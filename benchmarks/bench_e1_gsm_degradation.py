@@ -1,0 +1,103 @@
+"""E1 — the paper's headline result (Section 4).
+
+"Comparing the simulation speed of 4 ISSs with one memory and interconnect
+and this of 4 ISSs with interconnect and 4 memories we found a degradation
+of simulation speed of 20%."
+
+The bench builds both platforms (cycle-driven co-simulation mode, GSM
+encoder workload on every processing element, dynamic frame buffers managed
+through the shared-memory wrappers) and reports the simulation speed of each
+and the relative degradation.  The encoded parameters are checked against
+the pure-Python reference encoder, so both platforms do provably identical
+application work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc import Platform, PlatformConfig, speed_degradation
+from repro.sw.gsm import (
+    PLACEMENT_STRIPED,
+    build_gsm_tasks,
+    check_platform_results,
+    make_gsm_channels,
+    reference_encode,
+)
+
+from common import emit, format_rows
+
+#: Workload size: 4 channels x FRAMES frames of speech-like input.
+NUM_PES = 4
+FRAMES = 2
+#: Per-cycle host work of one ISS versus one memory wrapper FSM (see
+#: EXPERIMENTS.md for the calibration discussion).
+PE_TICK_WORK = 12
+MEM_TICK_WORK = 4
+
+
+def _run_configuration(num_memories: int, channels, reference):
+    config = PlatformConfig(
+        num_pes=NUM_PES,
+        num_memories=num_memories,
+        idle_tick_memories=True,
+        idle_tick_work=MEM_TICK_WORK,
+        pe_tick_work=PE_TICK_WORK,
+    )
+    platform = Platform(config)
+    placement = PLACEMENT_STRIPED if num_memories > 1 else None
+    tasks = (build_gsm_tasks(channels, placement=placement) if placement
+             else build_gsm_tasks(channels))
+    platform.add_tasks(tasks)
+    report = platform.run()
+    assert report.all_pes_finished, "all PEs must finish their GSM channels"
+    assert check_platform_results(report.results, reference), (
+        "platform-encoded GSM parameters must match the reference encoder"
+    )
+    return report
+
+
+@pytest.fixture(scope="module")
+def gsm_workload():
+    channels = make_gsm_channels(NUM_PES, FRAMES, seed=42)
+    return channels, reference_encode(channels)
+
+
+def test_e1_gsm_speed_degradation(benchmark, gsm_workload):
+    channels, reference = gsm_workload
+    results = {}
+
+    def run_both():
+        results["one"] = _run_configuration(1, channels, reference)
+        results["four"] = _run_configuration(4, channels, reference)
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    one, four = results["one"], results["four"]
+    degradation = speed_degradation(one, four)
+    rows = [
+        {
+            "platform": "4 ISS + interconnect + 1 shared memory",
+            "sim cycles": one.simulated_cycles,
+            "wall s": round(one.wallclock_seconds, 3),
+            "speed (cycles/s)": round(one.simulation_speed),
+        },
+        {
+            "platform": "4 ISS + interconnect + 4 shared memories",
+            "sim cycles": four.simulated_cycles,
+            "wall s": round(four.wallclock_seconds, 3),
+            "speed (cycles/s)": round(four.simulation_speed),
+        },
+    ]
+    emit(
+        "e1_gsm_degradation",
+        format_rows(rows)
+        + f"\n\nmeasured degradation: {degradation * 100:.1f}%"
+        + "\npaper (Section 4):    20%",
+    )
+
+    # Shape check: adding three memories degrades speed, by the same order of
+    # magnitude as the paper reports (we accept a generous band because the
+    # absolute ISS/FSM evaluation-cost ratio is host dependent).
+    assert 0.05 <= degradation <= 0.45

@@ -1,0 +1,175 @@
+"""E2 — claim (III) of Section 1: the wrapper's overhead is low.
+
+Compares three ways of giving the simulated software dynamic data, running
+the *same* allocation-heavy workload (GSM frame buffers plus an
+allocate/copy/free churn loop):
+
+* ``wrapper``  — the paper's host-backed dynamic shared memory wrapper;
+* ``modeled``  — the traditional fully-modelled dynamic memory (allocator
+  metadata simulated inside the memory table);
+* ``static``   — a lower bound: the same data movement against a plain
+  static memory with pre-allocated buffers (no dynamic management at all).
+
+Reported: host wall-clock, simulated cycles and simulation speed.  The shape
+the paper claims: wrapper ≈ static (low overhead), modeled clearly slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.interconnect import SharedBus
+from repro.kernel import Module, Simulator
+from repro.memory import (
+    DataType,
+    LatencyModel,
+    MemStatus,
+    REGISTER_WINDOW_BYTES,
+    StaticMemory,
+)
+from repro.soc import MemoryKind, Platform, PlatformConfig
+from repro.sw.gsm import FRAME_SAMPLES, PARAMETERS_PER_FRAME, generate_speech_like
+
+from common import emit, format_rows
+
+CHURN_ITERATIONS = 40
+CHURN_BLOCK_WORDS = 64
+GSM_FRAMES = 2
+
+
+def make_dynamic_workload():
+    """Task: GSM-like frame buffer management plus an alloc/copy/free churn."""
+    samples = generate_speech_like(GSM_FRAMES, seed=9)
+
+    def task(ctx):
+        smem = ctx.smem(0)
+        # Frame-buffer phase (the GSM traffic pattern without the codec math,
+        # so the measurement isolates the memory-model cost).
+        for frame in range(GSM_FRAMES):
+            start = frame * FRAME_SAMPLES
+            frame_samples = [v & 0xFFFF for v in samples[start:start + FRAME_SAMPLES]]
+            input_vptr = yield from smem.alloc(FRAME_SAMPLES, DataType.INT16)
+            output_vptr = yield from smem.alloc(PARAMETERS_PER_FRAME, DataType.UINT16)
+            yield from smem.write_array(input_vptr, frame_samples)
+            fetched = yield from smem.read_array(input_vptr, FRAME_SAMPLES)
+            yield from smem.write_array(output_vptr, fetched[:PARAMETERS_PER_FRAME])
+            yield from smem.free(input_vptr)
+            yield from smem.free(output_vptr)
+        # Churn phase: repeated allocate / scatter writes / copy / free.
+        survivors = []
+        for iteration in range(CHURN_ITERATIONS):
+            vptr = yield from smem.alloc(CHURN_BLOCK_WORDS, DataType.UINT32)
+            yield from smem.write(vptr, iteration, offset=iteration % CHURN_BLOCK_WORDS)
+            if iteration % 3 == 2 and survivors:
+                victim = survivors.pop(0)
+                yield from smem.memcpy(vptr, victim, 8)
+                yield from smem.free(victim)
+            survivors.append(vptr)
+        for vptr in survivors:
+            yield from smem.free(vptr)
+        return ctx.smem(0).calls
+
+    return task
+
+
+def run_dynamic(memory_kind: MemoryKind):
+    config = PlatformConfig(num_pes=1, num_memories=1, memory_kind=memory_kind,
+                            memory_capacity_bytes=1 << 20)
+    platform = Platform(config)
+    platform.add_task(make_dynamic_workload())
+    return platform.run()
+
+
+class StaticWorkloadPe(Module):
+    """The same data movement against a pre-allocated static memory."""
+
+    def __init__(self, name, port, base, parent=None):
+        super().__init__(name, parent)
+        self.port = port
+        self.base = base
+        self.finished = False
+        self.add_process(self._run, name="program")
+
+    def _run(self):
+        samples = generate_speech_like(GSM_FRAMES, seed=9)
+        for frame in range(GSM_FRAMES):
+            start = frame * FRAME_SAMPLES
+            payload = [v & 0xFFFF for v in samples[start:start + FRAME_SAMPLES]]
+            yield from self.port.burst_write(self.base, payload)
+            fetched = yield from self.port.burst_read(self.base, FRAME_SAMPLES)
+            yield from self.port.burst_write(
+                self.base + 4 * FRAME_SAMPLES,
+                fetched.burst_data[:PARAMETERS_PER_FRAME],
+            )
+        scratch = self.base + 0x2000
+        for iteration in range(CHURN_ITERATIONS):
+            address = scratch + 4 * (iteration % CHURN_BLOCK_WORDS)
+            yield from self.port.write(address, iteration)
+            if iteration % 3 == 2:
+                data = yield from self.port.burst_read(scratch, 8)
+                yield from self.port.burst_write(scratch + 0x100, data.burst_data)
+        self.finished = True
+
+
+def run_static():
+    top = Module("static_top")
+    bus = SharedBus("bus", period=10, parent=top)
+    memory = StaticMemory(1 << 16, latency=LatencyModel())
+    bus.attach_slave("ram", 0x1000_0000, 1 << 16, memory)
+    pe = StaticWorkloadPe("pe0", bus.master_port(0), 0x1000_0000, parent=top)
+    sim = Simulator(top)
+    wall_start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - wall_start
+    assert pe.finished
+    return {"wall": wall, "cycles": sim.now // 10}
+
+
+def test_e2_overhead_vs_baselines(benchmark):
+    results = {}
+
+    def run_all():
+        results["wrapper"] = run_dynamic(MemoryKind.WRAPPER)
+        results["modeled"] = run_dynamic(MemoryKind.MODELED)
+        results["static"] = run_static()
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    wrapper, modeled, static = results["wrapper"], results["modeled"], results["static"]
+    rows = [
+        {
+            "memory model": "host-backed wrapper (paper)",
+            "sim cycles": wrapper.simulated_cycles,
+            "wall s": round(wrapper.wallclock_seconds, 4),
+            "speed (cycles/s)": round(wrapper.simulation_speed),
+        },
+        {
+            "memory model": "fully-modelled dynamic memory",
+            "sim cycles": modeled.simulated_cycles,
+            "wall s": round(modeled.wallclock_seconds, 4),
+            "speed (cycles/s)": round(modeled.simulation_speed),
+        },
+        {
+            "memory model": "static table (no dynamic data)",
+            "sim cycles": static["cycles"],
+            "wall s": round(static["wall"], 4),
+            "speed (cycles/s)": round(static["cycles"] / max(static["wall"], 1e-9)),
+        },
+    ]
+    wrapper_vs_modeled = modeled.wallclock_seconds / max(wrapper.wallclock_seconds, 1e-9)
+    emit(
+        "e2_overhead_vs_baselines",
+        format_rows(rows)
+        + f"\n\nfully-modelled / wrapper wall-clock ratio: {wrapper_vs_modeled:.2f}x"
+        + "\npaper claim: the host-backed wrapper introduces very low overhead",
+    )
+
+    # Shape checks: the wrapper needs fewer simulated cycles than the
+    # fully-modelled baseline for the same dynamic workload, and both models
+    # agree functionally (checked elsewhere); the modelled baseline must not
+    # be faster than the wrapper in simulated time.
+    assert wrapper.all_pes_finished and modeled.all_pes_finished
+    assert wrapper.simulated_cycles < modeled.simulated_cycles

@@ -1,0 +1,148 @@
+"""E5 — per-operation cost of the wrapper mechanisms (Section 3).
+
+For every operation the wrapper supports (allocation, scalar write/read,
+indexed-structure transfers, pointer-arithmetic access, reservation,
+deallocation) this bench measures:
+
+* the simulated cycles charged by the cycle-true FSM, and
+* the host-side microseconds spent serving the operation,
+
+for both the host-backed wrapper and the fully-modelled baseline, at two
+heap occupancies (nearly empty vs. populated with 200 live allocations).
+The paper's argument is visible in the shape: wrapper costs are O(1) in the
+number of live allocations while the fully-modelled allocator walk grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.interconnect import BusOp, BusRequest
+from repro.memory import (
+    DataType,
+    IO_ARRAY_BASE,
+    MemCommand,
+    MemOpcode,
+    ModeledDynamicMemory,
+)
+from repro.wrapper import SharedMemoryWrapper
+
+from common import emit, format_rows
+
+POPULATED_ALLOCATIONS = 200
+ARRAY_WORDS = 32
+
+
+def drive(memory, command_or_request, offset=0, master_id=0):
+    if isinstance(command_or_request, MemCommand):
+        request = BusRequest(master_id, BusOp.WRITE, 0,
+                             burst_data=command_or_request.to_words())
+    else:
+        request = command_or_request
+    generator = memory.serve(request, offset)
+    cycles = 0
+    start = time.perf_counter()
+    while True:
+        try:
+            next(generator)
+            cycles += 1
+        except StopIteration as stop:
+            cycles += 1
+            host_us = (time.perf_counter() - start) * 1e6
+            return stop.value, cycles, host_us
+
+
+def populate(memory, count):
+    pointers = []
+    for _ in range(count):
+        response, _, _ = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
+        pointers.append(response.data)
+    return pointers
+
+
+def measure_operations(memory, label):
+    """Measure each operation once on ``memory`` and return result rows."""
+    rows = []
+    response, cycles, host_us = drive(memory, MemCommand(MemOpcode.ALLOC,
+                                                         dim=ARRAY_WORDS))
+    vptr = response.data
+    rows.append({"memory": label, "operation": "ALLOC", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.WRITE, vptr=vptr,
+                                                  offset=3, data=7))
+    rows.append({"memory": label, "operation": "WRITE", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ, vptr=vptr, offset=3))
+    rows.append({"memory": label, "operation": "READ", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ, vptr=vptr + 12))
+    rows.append({"memory": label, "operation": "READ (ptr arith)", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    drive(memory, BusRequest(0, BusOp.WRITE, 0, burst_data=list(range(ARRAY_WORDS))),
+          offset=IO_ARRAY_BASE)
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.WRITE_ARRAY, vptr=vptr,
+                                                  dim=ARRAY_WORDS))
+    rows.append({"memory": label, "operation": f"WRITE_ARRAY[{ARRAY_WORDS}]",
+                 "cycles": cycles, "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ_ARRAY, vptr=vptr,
+                                                  dim=ARRAY_WORDS))
+    rows.append({"memory": label, "operation": f"READ_ARRAY[{ARRAY_WORDS}]",
+                 "cycles": cycles, "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.RESERVE, vptr=vptr))
+    rows.append({"memory": label, "operation": "RESERVE", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.FREE, vptr=vptr))
+    rows.append({"memory": label, "operation": "FREE", "cycles": cycles,
+                 "host us": round(host_us, 1)})
+    return rows
+
+
+def alloc_cycles(memory):
+    response, cycles, _ = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
+    drive(memory, MemCommand(MemOpcode.FREE, vptr=response.data))
+    return cycles
+
+
+def test_e5_operation_costs(benchmark):
+    results = {}
+
+    def run_all():
+        results["wrapper_empty"] = measure_operations(SharedMemoryWrapper(),
+                                                      "wrapper (empty)")
+        results["modeled_empty"] = measure_operations(
+            ModeledDynamicMemory(1 << 20), "modeled (empty)")
+        wrapper_full = SharedMemoryWrapper()
+        populate(wrapper_full, POPULATED_ALLOCATIONS)
+        modeled_full = ModeledDynamicMemory(1 << 20)
+        populate(modeled_full, POPULATED_ALLOCATIONS)
+        results["wrapper_full_alloc"] = alloc_cycles(wrapper_full)
+        results["modeled_full_alloc"] = alloc_cycles(modeled_full)
+        results["wrapper_empty_alloc"] = alloc_cycles(SharedMemoryWrapper())
+        results["modeled_empty_alloc"] = alloc_cycles(ModeledDynamicMemory(1 << 20))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = results["wrapper_empty"] + results["modeled_empty"]
+    occupancy_rows = [
+        {"memory": "wrapper", "ALLOC cycles (empty heap)": results["wrapper_empty_alloc"],
+         f"ALLOC cycles ({POPULATED_ALLOCATIONS} live)": results["wrapper_full_alloc"]},
+        {"memory": "modeled", "ALLOC cycles (empty heap)": results["modeled_empty_alloc"],
+         f"ALLOC cycles ({POPULATED_ALLOCATIONS} live)": results["modeled_full_alloc"]},
+    ]
+    emit(
+        "e5_operation_costs",
+        format_rows(rows)
+        + "\n\nallocation cost vs. heap occupancy:\n" + format_rows(occupancy_rows),
+    )
+
+    # Shape checks: wrapper allocation cost is independent of occupancy,
+    # the fully-modelled allocator's cost grows with the first-fit walk.
+    assert results["wrapper_full_alloc"] == results["wrapper_empty_alloc"]
+    assert results["modeled_full_alloc"] > results["modeled_empty_alloc"]
+    # Array transfers cost more cycles than scalar accesses on both models.
+    for label in ("wrapper_empty", "modeled_empty"):
+        by_op = {row["operation"]: row["cycles"] for row in results[label]}
+        assert by_op[f"READ_ARRAY[{ARRAY_WORDS}]"] > by_op["READ"]

@@ -1,0 +1,31 @@
+"""Shared helpers for the evaluation benches.
+
+Every bench regenerates one row/figure of the paper's evaluation (see the
+experiment index in DESIGN.md and the recorded numbers in EXPERIMENTS.md).
+Results are printed and also appended to ``benchmarks/results/<bench>.txt``
+so they survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(bench_name: str, text: str) -> None:
+    """Print a result block and persist it under ``benchmarks/results/``."""
+    banner = f"\n===== {bench_name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{bench_name}.txt"), "w") as handle:
+        handle.write(banner)
+
+
+def format_rows(rows: List[Dict[str, object]], columns: Optional[List[str]] = None
+                ) -> str:
+    """Aligned text table (thin wrapper over the library formatter)."""
+    from repro.soc import format_table
+
+    return format_table(rows, columns)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multiple dynamic shared memories and a heterogeneous task mix.
+
+Section 3 of the paper ends with "multiple dynamic shared memories are
+considered".  This example builds a 4-PE / 2-memory crossbar platform and
+runs three cooperating applications at once:
+
+* PE0/PE1: a producer/consumer pair streaming items through a FIFO whose
+  storage and indices live in shared memory 0 (reservation bits guard the
+  index updates);
+* PE2: an FIR filter with its buffers in shared memory 1;
+* PE3: a GSM encoder channel whose frame buffers are striped across both
+  memories.
+
+Run with:  python examples/multi_memory_pipeline.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.soc import InterconnectKind, Platform, PlatformConfig
+from repro.sw.gsm import (
+    PLACEMENT_STRIPED,
+    make_gsm_channels,
+    make_gsm_encoder_task,
+    reference_encode,
+)
+from repro.sw.workloads import (
+    fir_reference,
+    make_consumer_task,
+    make_fir_task,
+    make_producer_task,
+)
+
+
+def main():
+    config = PlatformConfig(
+        num_pes=4,
+        num_memories=2,
+        interconnect=InterconnectKind.CROSSBAR,
+    )
+    platform = Platform(config)
+
+    # Producer/consumer pair on memory 0.
+    items = [i * 7 for i in range(30)]
+    fifo_shared = {}
+    platform.add_task(make_producer_task(items, fifo_depth=8, shared=fifo_shared,
+                                         memory_index=0))
+    platform.add_task(make_consumer_task(fifo_shared, memory_index=0))
+
+    # FIR on memory 1.
+    samples = [(i * 29) % 512 for i in range(96)]
+    taps = [1, 4, 6, 4, 1]
+    platform.add_task(make_fir_task(samples, taps, memory_index=1))
+
+    # One GSM channel striped over both memories.
+    channel = make_gsm_channels(1, 1, seed=5)[0]
+    platform.add_task(make_gsm_encoder_task(channel, pe_index=3,
+                                            placement=PLACEMENT_STRIPED))
+
+    report = platform.run()
+
+    print(report.summary())
+    print()
+
+    # Check every application produced the right answer.
+    assert report.results["pe1"] == items, "FIFO must deliver items in order"
+    assert report.results["pe2"] == fir_reference(samples, taps), "FIR mismatch"
+    expected_gsm = reference_encode([channel])[0]
+    assert [list(f) for f in report.results["pe3"]] == expected_gsm, "GSM mismatch"
+    print("all three applications produced reference-exact results")
+
+    print("\nper-memory traffic:")
+    for memory in report.memory_reports:
+        ops = memory.get("op_counts", {})
+        print(f"  {memory['name']}: {memory.get('total_allocations', 0)} allocations, "
+              f"op mix = {dict(sorted(ops.items()))}")
+    print("\nper-PE summary:")
+    for pe in report.pe_reports:
+        print(f"  {pe['name']}: {pe['elapsed_cycles']} cycles, "
+              f"{pe['api_calls']} API calls, "
+              f"{pe['compute_cycles']} compute cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — fast dynamic memory integration for MPSoC co-simulation.
+
+A Python reproduction of Villa, Schaumont, Verbauwhede, Monchiero and
+Palermo, *"Fast Dynamic Memory Integration in Co-Simulation Frameworks for
+Multiprocessor System on-Chip"*, DATE 2005.
+
+The package is organised as the paper's Figure 1:
+
+* :mod:`repro.kernel` — SystemC-like discrete-event simulation kernel;
+* :mod:`repro.isa` / :mod:`repro.iss` — ARM-like instruction set and ISS;
+* :mod:`repro.interconnect` — shared bus / crossbar with arbitration;
+* :mod:`repro.memory` — host memory layer, static memories, heap, and the
+  fully-modelled dynamic memory baseline;
+* :mod:`repro.wrapper` — the paper's contribution: the host-backed dynamic
+  shared memory wrapper (pointer table, translator, cycle-true FSM, delays)
+  and the C-formalism software API;
+* :mod:`repro.sw` — the software layer: task programs, workloads and the
+  GSM 06.10 codec used by the evaluation;
+* :mod:`repro.soc` — platform composition and simulation-speed reporting;
+* :mod:`repro.analysis` — helpers for the evaluation sweeps and tables.
+
+Quick start::
+
+    from repro.memory import DataType
+    from repro.soc import Platform, PlatformConfig
+
+    def program(ctx):
+        smem = ctx.smem(0)
+        vptr = yield from smem.alloc(16, DataType.UINT32)
+        yield from smem.write_array(vptr, list(range(16)))
+        data = yield from smem.read_array(vptr, 16)
+        yield from smem.free(vptr)
+        return sum(data)
+
+    platform = Platform(PlatformConfig(num_pes=1, num_memories=1))
+    platform.add_task(program)
+    report = platform.run()
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "interconnect",
+    "isa",
+    "iss",
+    "kernel",
+    "memory",
+    "soc",
+    "sw",
+    "wrapper",
+]

@@ -1,0 +1,28 @@
+"""Analysis helpers: evaluation metrics and parameter-sweep drivers."""
+
+from .metrics import (
+    cycles_per_operation,
+    degradation,
+    geometric_mean,
+    harmonic_mean,
+    overhead,
+    percent,
+    speedup,
+    summarize,
+)
+from .sweep import best_point, expand_grid, run_sweep, sweep_table
+
+__all__ = [
+    "best_point",
+    "cycles_per_operation",
+    "degradation",
+    "expand_grid",
+    "geometric_mean",
+    "harmonic_mean",
+    "overhead",
+    "percent",
+    "run_sweep",
+    "speedup",
+    "summarize",
+    "sweep_table",
+]

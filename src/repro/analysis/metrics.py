@@ -1,0 +1,85 @@
+"""Metrics used by the evaluation: speedups, degradations, summaries.
+
+Small, dependency-free helpers shared by the benches, the examples and
+EXPERIMENTS.md so that every number reported by the reproduction is computed
+the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def speedup(baseline_seconds: float, optimised_seconds: float) -> float:
+    """How many times faster the optimised run is (>1 means faster)."""
+    if optimised_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / optimised_seconds
+
+
+def degradation(reference_speed: float, other_speed: float) -> float:
+    """Relative speed loss of ``other_speed`` vs ``reference_speed`` (0.2 = 20%)."""
+    if reference_speed <= 0:
+        return 0.0
+    return 1.0 - other_speed / reference_speed
+
+
+def overhead(reference: float, with_feature: float) -> float:
+    """Relative cost increase (0.2 = the feature costs 20% more)."""
+    if reference <= 0:
+        return 0.0
+    return with_feature / reference - 1.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Min/max/mean/median summary of a numeric sequence."""
+    if not values:
+        return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    middle = count // 2
+    median = (ordered[middle] if count % 2
+              else 0.5 * (ordered[middle - 1] + ordered[middle]))
+    return {
+        "count": count,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / count,
+        "median": median,
+    }
+
+
+def cycles_per_operation(total_cycles: int, operation_counts: Dict[str, int]
+                         ) -> Dict[str, float]:
+    """Average cycles per operation kind given a total and per-kind counts."""
+    total_operations = sum(operation_counts.values())
+    if total_operations == 0:
+        return {}
+    average = total_cycles / total_operations
+    return {kind: average for kind in operation_counts}
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.196 → '19.6%')."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,64 @@
+"""Parameter sweep driver for platform experiments.
+
+Used by the scaling bench and by users exploring the design space: given a
+base :class:`~repro.soc.config.PlatformConfig`, a grid of parameter
+overrides and a task-list factory, run every point and collect the reports
+in a form that renders directly as the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..soc.config import PlatformConfig
+from ..soc.platform import Platform
+from ..soc.stats import SimulationReport, SweepPoint, format_table
+
+#: A factory producing the task list for one configuration point.
+TaskListFactory = Callable[[PlatformConfig], Sequence]
+
+
+def expand_grid(grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
+    """Cartesian product of a parameter grid, in deterministic order."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    combinations = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+def run_sweep(base_config: PlatformConfig, grid: Dict[str, Sequence],
+              task_factory: TaskListFactory,
+              max_time: Optional[int] = None) -> List[SweepPoint]:
+    """Run the platform for every parameter combination in ``grid``.
+
+    Every grid key must be a field of :class:`PlatformConfig`; the base
+    configuration supplies all other fields.
+    """
+    points: List[SweepPoint] = []
+    for overrides in expand_grid(grid):
+        config = dataclasses.replace(base_config, **overrides)
+        platform = Platform(config)
+        platform.add_tasks(list(task_factory(config)))
+        report = platform.run(max_time=max_time)
+        label = ",".join(f"{name}={value}" for name, value in sorted(overrides.items()))
+        points.append(SweepPoint(label=label or "base", parameters=dict(overrides),
+                                 report=report))
+    return points
+
+
+def sweep_table(points: Iterable[SweepPoint],
+                columns: Optional[List[str]] = None) -> str:
+    """Render a list of sweep points as an aligned text table."""
+    return format_table([point.row() for point in points], columns)
+
+
+def best_point(points: Sequence[SweepPoint],
+               key: Callable[[SimulationReport], float] = lambda r: r.simulation_speed
+               ) -> SweepPoint:
+    """The sweep point maximising ``key`` (default: simulation speed)."""
+    if not points:
+        raise ValueError("no sweep points given")
+    return max(points, key=lambda point: key(point.report))

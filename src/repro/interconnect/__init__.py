@@ -1,0 +1,53 @@
+"""System interconnect models: shared bus, crossbar, arbiters, monitors.
+
+The interconnect carries memory-mapped transactions between processing
+elements and memory modules (static memories and the dynamic shared-memory
+wrappers).  Both interconnects expose the same master-side interface
+(:class:`MasterPort`), so platform descriptions can switch topology freely.
+"""
+
+from .address_map import AddressDecodeError, AddressMap, AddressMapConflict, Region
+from .arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+from .bus import BusSlave, BusStats, MasterPort, MasterStats, SharedBus
+from .crossbar import Crossbar
+from .monitor import BusMonitor, MonitoredTransfer
+from .transaction import (
+    WORD_SIZE,
+    BusOp,
+    BusRequest,
+    BusResponse,
+    ResponseStatus,
+    decode_error_response,
+)
+
+__all__ = [
+    "AddressDecodeError",
+    "AddressMap",
+    "AddressMapConflict",
+    "Arbiter",
+    "BusMonitor",
+    "BusOp",
+    "BusRequest",
+    "BusResponse",
+    "BusSlave",
+    "BusStats",
+    "Crossbar",
+    "FixedPriorityArbiter",
+    "MasterPort",
+    "MasterStats",
+    "MonitoredTransfer",
+    "Region",
+    "ResponseStatus",
+    "RoundRobinArbiter",
+    "SharedBus",
+    "TdmaArbiter",
+    "WORD_SIZE",
+    "decode_error_response",
+    "make_arbiter",
+]

@@ -1,0 +1,171 @@
+"""Crossbar interconnect: concurrent channels, one per slave.
+
+Unlike the :class:`~repro.interconnect.bus.SharedBus`, a crossbar lets
+transfers addressed to *different* slaves proceed in parallel; only accesses
+to the same slave are serialised (per-slave arbitration).  The master-side
+interface is identical (:class:`~repro.interconnect.bus.MasterPort`), so
+platforms can swap interconnects without touching the processing elements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel import Event, Module
+from ..kernel.simtime import NS
+from .address_map import AddressDecodeError, AddressMap
+from .arbiter import Arbiter, RoundRobinArbiter
+from .bus import BusSlave, BusStats, MasterPort
+from .transaction import BusOp, BusRequest, BusResponse, ResponseStatus, decode_error_response
+
+
+class _Channel:
+    """Book-keeping for one slave-side channel of the crossbar."""
+
+    def __init__(self, name: str, slave: BusSlave, arbiter: Arbiter) -> None:
+        self.name = name
+        self.slave = slave
+        self.arbiter = arbiter
+        self.pending: Dict[int, Tuple[MasterPort, BusRequest, int]] = {}
+        self.request_event: Optional[Event] = None
+        self.busy_cycles = 0
+        self.transactions = 0
+
+
+class Crossbar(Module):
+    """A full crossbar with per-slave round-robin arbitration."""
+
+    def __init__(
+        self,
+        name: str = "xbar",
+        period: int = 10 * NS,
+        arbitration_cycles: int = 1,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(name, parent)
+        if period <= 0:
+            raise ValueError("crossbar period must be positive")
+        self.period = period
+        self.arbitration_cycles = arbitration_cycles
+        self.address_map = AddressMap()
+        self.stats = BusStats()
+        self._master_ports: Dict[int, MasterPort] = {}
+        self._channels: List[_Channel] = []
+        self._slave_to_channel: Dict[int, _Channel] = {}
+        self._decode_error_event = self.add_event(Event(f"{name}.decode_error"))
+
+    # -- construction-time wiring -------------------------------------------------
+    def attach_slave(self, name: str, base: int, size: int, slave: BusSlave) -> None:
+        """Map ``slave`` and create its dedicated channel."""
+        self.address_map.add_region(name, base, size, slave)
+        if id(slave) not in self._slave_to_channel:
+            channel = _Channel(name, slave, RoundRobinArbiter())
+            channel.request_event = self.add_event(Event(f"{self.name}.{name}.req"))
+            self._channels.append(channel)
+            self._slave_to_channel[id(slave)] = channel
+            self.add_process(
+                lambda ch=channel: self._run_channel(ch), name=f"channel_{name}"
+            )
+
+    def _register_port(self, port: MasterPort) -> None:
+        if port.master_id in self._master_ports:
+            raise ValueError(f"master id {port.master_id} registered twice")
+        self._master_ports[port.master_id] = port
+
+    def master_port(self, master_id: int, name: str = "") -> MasterPort:
+        """Create (and register) a new master port on this crossbar."""
+        return MasterPort(self, master_id, name)
+
+    # -- MasterPort protocol (same duck-type as SharedBus) ---------------------------
+    def sim_now(self) -> int:
+        """Current simulated time (0 before elaboration)."""
+        sim = self._decode_error_event._sim
+        return sim.now if sim is not None else 0
+
+    def time_to_cycles(self, duration: int) -> int:
+        """Convert a kernel duration to whole crossbar cycles."""
+        return duration // self.period
+
+    def _post(self, port: MasterPort, request: BusRequest) -> None:
+        try:
+            slave, offset, _region = self.address_map.decode(request.address)
+        except AddressDecodeError:
+            # Complete after one cycle with a decode error; the completion
+            # event may not have been bound yet (that normally happens when
+            # the master first waits on it), so bind it explicitly here.
+            self.stats.decode_errors += 1
+            port._response = decode_error_response()
+            sim = self._decode_error_event._sim
+            if sim is not None:
+                port._completion._bind(sim)
+            port._completion.notify(self.period)
+            return
+        channel = self._slave_to_channel[id(slave)]
+        if port.master_id in channel.pending:
+            raise RuntimeError(
+                f"master {port.master_id} posted a request while one is outstanding"
+            )
+        channel.pending[port.master_id] = (port, request, offset)
+        assert channel.request_event is not None
+        channel.request_event.notify()
+
+    # -- per-channel process ------------------------------------------------------------
+    def _run_channel(self, channel: _Channel):
+        while True:
+            if not channel.pending:
+                yield channel.request_event
+                continue
+            winner = channel.arbiter.grant(sorted(channel.pending))
+            if winner is None:  # pragma: no cover - defensive
+                continue
+            port, request, offset = channel.pending.pop(winner)
+            for _ in range(self.arbitration_cycles):
+                yield self.period
+            generator = channel.slave.serve(request, offset)
+            cycles = 0
+            while True:
+                try:
+                    next(generator)
+                except StopIteration as stop:
+                    cycles += 1
+                    yield self.period
+                    response = stop.value if stop.value is not None else BusResponse()
+                    break
+                cycles += 1
+                yield self.period
+            response.slave_cycles = cycles
+            response.total_cycles = cycles + self.arbitration_cycles
+            channel.busy_cycles += response.total_cycles
+            channel.transactions += 1
+            self._account(request, response)
+            port._response = response
+            port._completion.notify()
+
+    def _account(self, request: BusRequest, response: BusResponse) -> None:
+        self.stats.transactions += 1
+        self.stats.busy_cycles += response.total_cycles
+        per_master = self.stats.master(request.master_id)
+        per_master.transactions += 1
+        per_master.words += request.word_count
+        per_master.busy_cycles += response.total_cycles
+        if request.op is BusOp.READ:
+            per_master.reads += 1
+        else:
+            per_master.writes += 1
+        if response.status is not ResponseStatus.OK:
+            per_master.errors += 1
+
+    # -- reporting ------------------------------------------------------------------------
+    def channel_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-channel busy-cycle and transaction counters."""
+        return {
+            ch.name: {"busy_cycles": ch.busy_cycles, "transactions": ch.transactions}
+            for ch in self._channels
+        }
+
+    def utilization(self, elapsed_time: int) -> float:
+        """Average fraction of time the channels were busy."""
+        if elapsed_time <= 0 or not self._channels:
+            return 0.0
+        busy = sum(ch.busy_cycles for ch in self._channels) * self.period
+        return min(1.0, busy / (elapsed_time * len(self._channels)))

@@ -1,0 +1,108 @@
+"""Interconnect traffic monitor.
+
+A :class:`BusMonitor` can be attached in front of any slave to record the
+transaction stream hitting it — useful both for debugging platform wiring
+and for the evaluation benches (per-operation cycle costs, traffic split
+between memories, ...).  The monitor is itself a
+:class:`~repro.interconnect.bus.BusSlave` that forwards every request to the
+wrapped slave unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..kernel.trace import TransactionLog
+from .bus import BusSlave
+from .transaction import BusOp, BusRequest, BusResponse
+
+
+@dataclass
+class MonitoredTransfer:
+    """One observed transfer with its measured slave latency."""
+
+    op: BusOp
+    address: int
+    words: int
+    cycles: int
+    status: str
+    tag: str
+
+
+class BusMonitor(BusSlave):
+    """A transparent probe wrapped around a slave."""
+
+    def __init__(self, slave: BusSlave, name: str = "monitor",
+                 log: Optional[TransactionLog] = None) -> None:
+        self._slave = slave
+        self.name = name
+        self.log = log
+        self.transfers: List[MonitoredTransfer] = []
+        self.op_counts: Counter = Counter()
+        self.cycles_by_tag: Counter = Counter()
+
+    # -- BusSlave protocol ----------------------------------------------------
+    def serve(self, request: BusRequest, offset: int
+              ) -> Generator[None, None, BusResponse]:
+        generator = self._slave.serve(request, offset)
+        cycles = 0
+        while True:
+            try:
+                next(generator)
+            except StopIteration as stop:
+                cycles += 1
+                response = stop.value if stop.value is not None else BusResponse()
+                break
+            cycles += 1
+            yield None
+        self._record(request, response, cycles)
+        return response
+
+    # -- bookkeeping --------------------------------------------------------------
+    def _record(self, request: BusRequest, response: BusResponse, cycles: int) -> None:
+        transfer = MonitoredTransfer(
+            op=request.op,
+            address=request.address,
+            words=request.word_count,
+            cycles=cycles,
+            status=response.status.value,
+            tag=request.tag,
+        )
+        self.transfers.append(transfer)
+        self.op_counts[request.op] += 1
+        if request.tag:
+            self.cycles_by_tag[request.tag] += cycles
+        if self.log is not None:
+            self.log.record(
+                0,
+                self.name,
+                request.op.value,
+                address=request.address,
+                words=request.word_count,
+                cycles=cycles,
+                status=response.status.value,
+                tag=request.tag,
+            )
+
+    # -- queries ---------------------------------------------------------------------
+    @property
+    def transaction_count(self) -> int:
+        """Total number of observed transfers."""
+        return len(self.transfers)
+
+    def total_cycles(self) -> int:
+        """Sum of slave cycles across all observed transfers."""
+        return sum(t.cycles for t in self.transfers)
+
+    def average_latency(self) -> float:
+        """Mean slave latency in cycles (0.0 when nothing was observed)."""
+        if not self.transfers:
+            return 0.0
+        return self.total_cycles() / len(self.transfers)
+
+    def histogram_by_tag(self) -> Dict[str, int]:
+        """Number of transfers per request tag."""
+        counts: Counter = Counter(t.tag for t in self.transfers if t.tag)
+        return dict(counts)

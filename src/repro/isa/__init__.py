@@ -1,0 +1,46 @@
+"""The ALM (ARM-like machine) instruction set: encoding, decoding, assembler."""
+
+from .assembler import AssemblerError, Program, assemble
+from .encoding import EncodingError, decode, disassemble, encode
+from .instructions import (
+    NUM_REGISTERS,
+    REG_LR,
+    REG_PC,
+    REG_SP,
+    WORD_BYTES,
+    BranchOp,
+    Cond,
+    DpOp,
+    InsnClass,
+    Instruction,
+    MemOp,
+    MulOp,
+    SysOp,
+    condition_passed,
+    sign_extend,
+)
+
+__all__ = [
+    "AssemblerError",
+    "BranchOp",
+    "Cond",
+    "DpOp",
+    "EncodingError",
+    "InsnClass",
+    "Instruction",
+    "MemOp",
+    "MulOp",
+    "NUM_REGISTERS",
+    "Program",
+    "REG_LR",
+    "REG_PC",
+    "REG_SP",
+    "SysOp",
+    "WORD_BYTES",
+    "assemble",
+    "condition_passed",
+    "decode",
+    "disassemble",
+    "encode",
+    "sign_extend",
+]

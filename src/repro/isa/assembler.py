@@ -1,0 +1,243 @@
+"""A small two-pass assembler for the ALM instruction set.
+
+Supported syntax (one instruction or directive per line, ``;`` and ``@``
+start comments)::
+
+    start:  MOV   r0, #0
+            ADD   r0, r0, #1
+            CMP   r0, r1
+            BNE   start          ; conditional branches: B<cond>
+            LDR   r2, [r3, #8]
+            STR   r2, [r3]
+            SWI   #1
+            HALT
+    table:  .word 1, 2, 3        ; literal data words
+
+Register aliases ``sp``, ``lr`` and ``pc`` map to r13/r14/r15.  Branch
+targets may be labels or literal numeric offsets (in instructions, relative
+to the *next* instruction as the CPU defines it).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .encoding import encode
+from .instructions import (
+    BranchOp,
+    Cond,
+    DpOp,
+    InsnClass,
+    Instruction,
+    MemOp,
+    MulOp,
+    REG_LR,
+    REG_PC,
+    REG_SP,
+    SysOp,
+)
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = "") -> None:
+        prefix = f"line {line_number}: " if line_number else ""
+        super().__init__(f"{prefix}{message}" + (f"  [{line.strip()}]" if line else ""))
+
+
+_REGISTER_ALIASES = {"sp": REG_SP, "lr": REG_LR, "pc": REG_PC}
+_DP_MNEMONICS = {op.name: op for op in DpOp}
+_MEM_MNEMONICS = {op.name: op for op in MemOp}
+_MUL_MNEMONICS = {op.name: op for op in MulOp}
+_CONDITION_SUFFIXES = {cond.name: cond for cond in Cond if cond is not Cond.AL}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+
+
+def _parse_register(token: str, line_number: int, line: str) -> int:
+    token = token.strip().lower().rstrip(",")
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index <= 15:
+            return index
+    raise AssemblerError(f"invalid register {token!r}", line_number, line)
+
+
+def _parse_immediate(token: str, line_number: int, line: str) -> int:
+    token = token.strip().rstrip(",")
+    if not token.startswith("#"):
+        raise AssemblerError(f"expected immediate, got {token!r}", line_number, line)
+    try:
+        return int(token[1:], 0)
+    except ValueError:
+        raise AssemblerError(f"invalid immediate {token!r}", line_number, line) from None
+
+
+def _split_mnemonic(mnemonic: str) -> Tuple[str, Cond]:
+    """Split a mnemonic into (base, condition): ``BNE`` → (``B``, NE)."""
+    upper = mnemonic.upper()
+    for suffix, cond in _CONDITION_SUFFIXES.items():
+        if upper.endswith(suffix) and len(upper) > len(suffix):
+            base = upper[: -len(suffix)]
+            if base in _DP_MNEMONICS or base in _MEM_MNEMONICS or base in (
+                    "B", "BL", "BX", "SWI", "HALT", "NOP") or base in _MUL_MNEMONICS:
+                return base, cond
+    return upper, Cond.AL
+
+
+class Program:
+    """The output of the assembler: words plus the label → address map."""
+
+    def __init__(self, words: List[int], labels: Dict[str, int], source: str) -> None:
+        self.words = words
+        self.labels = labels
+        self.source = source
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def to_bytes(self, endianness: str = "little") -> bytes:
+        """Serialise the program as raw bytes (for loading into memories)."""
+        return b"".join(word.to_bytes(4, endianness) for word in self.words)
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    # First pass: strip comments, collect labels and count words.
+    lines = source.splitlines()
+    cleaned: List[Tuple[int, str]] = []
+    labels: Dict[str, int] = {}
+    address = 0
+    for line_number, raw in enumerate(lines, start=1):
+        line = re.split(r"[;@]", raw, maxsplit=1)[0].rstrip()
+        stripped = line.strip()
+        while True:
+            match = _LABEL_RE.match(stripped)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_number, raw)
+            labels[label] = address
+            stripped = stripped[match.end():].strip()
+        if not stripped:
+            continue
+        cleaned.append((line_number, stripped))
+        if stripped.lower().startswith(".word"):
+            address += len(stripped[5:].split(","))
+        else:
+            address += 1
+
+    # Second pass: encode.
+    words: List[int] = []
+    for line_number, text in cleaned:
+        if text.lower().startswith(".word"):
+            for token in text[5:].split(","):
+                try:
+                    words.append(int(token.strip(), 0) & 0xFFFFFFFF)
+                except ValueError:
+                    raise AssemblerError(f"bad .word literal {token!r}",
+                                         line_number, text) from None
+            continue
+        words.append(encode(_parse_instruction(text, labels, len(words),
+                                                line_number)))
+    return Program(words, labels, source)
+
+
+def _parse_instruction(text: str, labels: Dict[str, int], address: int,
+                       line_number: int) -> Instruction:
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    base, cond = _split_mnemonic(mnemonic)
+
+    if base in _DP_MNEMONICS:
+        return _parse_dp(base, cond, rest, line_number, text)
+    if base in _MEM_MNEMONICS:
+        return _parse_mem(base, cond, rest, line_number, text)
+    if base in _MUL_MNEMONICS:
+        registers = [_parse_register(t, line_number, text) for t in rest.split()]
+        if len(registers) != 3:
+            raise AssemblerError("MUL/MLA need three registers", line_number, text)
+        return Instruction(cond, InsnClass.MUL, _MUL_MNEMONICS[base],
+                           rd=registers[0], rn=registers[1], rm=registers[2])
+    if base in ("B", "BL"):
+        op = BranchOp.B if base == "B" else BranchOp.BL
+        target = rest.strip()
+        if target in labels:
+            offset = labels[target] - (address + 1)
+        else:
+            try:
+                offset = int(target, 0)
+            except ValueError:
+                raise AssemblerError(f"unknown label {target!r}", line_number,
+                                     text) from None
+        return Instruction(cond, InsnClass.BRANCH, op, imm=offset, uses_imm=True)
+    if base == "BX":
+        return Instruction(cond, InsnClass.BRANCH, BranchOp.BX,
+                           rn=_parse_register(rest, line_number, text))
+    if base == "SWI":
+        return Instruction(cond, InsnClass.SYS, SysOp.SWI,
+                           imm=_parse_immediate(rest, line_number, text),
+                           uses_imm=True)
+    if base == "HALT":
+        return Instruction(cond, InsnClass.SYS, SysOp.HALT)
+    if base == "NOP":
+        return Instruction(cond, InsnClass.SYS, SysOp.NOP)
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_number, text)
+
+
+def _parse_dp(base: str, cond: Cond, rest: str, line_number: int,
+              text: str) -> Instruction:
+    op = _DP_MNEMONICS[base]
+    tokens = [t for t in rest.replace(",", " ").split() if t]
+    if op in (DpOp.CMP, DpOp.CMN, DpOp.TST):
+        if len(tokens) != 2:
+            raise AssemblerError(f"{base} needs two operands", line_number, text)
+        rn = _parse_register(tokens[0], line_number, text)
+        if tokens[1].startswith("#"):
+            return Instruction(cond, InsnClass.DP_IMM, op, rn=rn,
+                               imm=_parse_immediate(tokens[1], line_number, text),
+                               uses_imm=True)
+        return Instruction(cond, InsnClass.DP_REG, op, rn=rn,
+                           rm=_parse_register(tokens[1], line_number, text))
+    if op in (DpOp.MOV, DpOp.MVN):
+        if len(tokens) != 2:
+            raise AssemblerError(f"{base} needs two operands", line_number, text)
+        rd = _parse_register(tokens[0], line_number, text)
+        if tokens[1].startswith("#"):
+            return Instruction(cond, InsnClass.DP_IMM, op, rd=rd,
+                               imm=_parse_immediate(tokens[1], line_number, text),
+                               uses_imm=True)
+        return Instruction(cond, InsnClass.DP_REG, op, rd=rd,
+                           rm=_parse_register(tokens[1], line_number, text))
+    # Three-operand forms: ADD rd, rn, (rm | #imm)
+    if len(tokens) != 3:
+        raise AssemblerError(f"{base} needs three operands", line_number, text)
+    rd = _parse_register(tokens[0], line_number, text)
+    rn = _parse_register(tokens[1], line_number, text)
+    if tokens[2].startswith("#"):
+        return Instruction(cond, InsnClass.DP_IMM, op, rd=rd, rn=rn,
+                           imm=_parse_immediate(tokens[2], line_number, text),
+                           uses_imm=True)
+    return Instruction(cond, InsnClass.DP_REG, op, rd=rd, rn=rn,
+                       rm=_parse_register(tokens[2], line_number, text))
+
+
+def _parse_mem(base: str, cond: Cond, rest: str, line_number: int,
+               text: str) -> Instruction:
+    op = _MEM_MNEMONICS[base]
+    match = re.match(
+        r"\s*([a-zA-Z0-9]+)\s*,\s*\[\s*([a-zA-Z0-9]+)\s*(?:,\s*(#[-0-9xXa-fA-F]+))?\s*\]\s*$",
+        rest,
+    )
+    if not match:
+        raise AssemblerError(f"malformed memory operand {rest!r}", line_number, text)
+    rd = _parse_register(match.group(1), line_number, text)
+    rn = _parse_register(match.group(2), line_number, text)
+    imm = _parse_immediate(match.group(3), line_number, text) if match.group(3) else 0
+    return Instruction(cond, InsnClass.MEM, op, rd=rd, rn=rn, imm=imm, uses_imm=True)

@@ -1,0 +1,108 @@
+"""Binary encoding and decoding of ALM instructions."""
+
+from __future__ import annotations
+
+from .instructions import (
+    BranchOp,
+    Cond,
+    DpOp,
+    InsnClass,
+    Instruction,
+    MemOp,
+    MulOp,
+    SysOp,
+    sign_extend,
+)
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode a symbolic instruction into its 32-bit word."""
+    word = (int(instruction.cond) & 0xF) << 28
+    word |= (int(instruction.klass) & 0xF) << 24
+    word |= (instruction.op & 0xF) << 20
+    word |= (instruction.rd & 0xF) << 16
+    word |= (instruction.rn & 0xF) << 12
+    klass = instruction.klass
+    if klass is InsnClass.DP_REG or klass is InsnClass.MUL:
+        word |= instruction.rm & 0xF
+    elif klass is InsnClass.DP_IMM:
+        if not 0 <= instruction.imm <= 0xFFF:
+            raise EncodingError(
+                f"immediate {instruction.imm} does not fit in 12 unsigned bits"
+            )
+        word |= instruction.imm & 0xFFF
+    elif klass is InsnClass.MEM:
+        if not -2048 <= instruction.imm <= 2047:
+            raise EncodingError(
+                f"memory offset {instruction.imm} does not fit in 12 signed bits"
+            )
+        word |= instruction.imm & 0xFFF
+    elif klass is InsnClass.BRANCH:
+        if instruction.op == BranchOp.BX:
+            word |= 0
+        else:
+            if not -2048 <= instruction.imm <= 2047:
+                raise EncodingError(
+                    f"branch offset {instruction.imm} does not fit in 12 signed bits"
+                )
+            word |= instruction.imm & 0xFFF
+    elif klass is InsnClass.SYS:
+        if not 0 <= instruction.imm <= 0xFFF:
+            raise EncodingError("SWI number must fit in 12 bits")
+        word |= instruction.imm & 0xFFF
+    else:  # pragma: no cover - defensive
+        raise EncodingError(f"unknown instruction class {klass!r}")
+    return word & 0xFFFFFFFF
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into its symbolic instruction."""
+    try:
+        cond = Cond((word >> 28) & 0xF)
+    except ValueError:
+        raise EncodingError(f"invalid condition field in {word:#010x}") from None
+    try:
+        klass = InsnClass((word >> 24) & 0xF)
+    except ValueError:
+        raise EncodingError(f"invalid class field in {word:#010x}") from None
+    op = (word >> 20) & 0xF
+    rd = (word >> 16) & 0xF
+    rn = (word >> 12) & 0xF
+    low = word & 0xFFF
+    try:
+        if klass is InsnClass.DP_REG:
+            DpOp(op)
+            return Instruction(cond, klass, op, rd=rd, rn=rn, rm=low & 0xF)
+        if klass is InsnClass.DP_IMM:
+            DpOp(op)
+            return Instruction(cond, klass, op, rd=rd, rn=rn, imm=low, uses_imm=True)
+        if klass is InsnClass.MEM:
+            MemOp(op)
+            return Instruction(cond, klass, op, rd=rd, rn=rn,
+                               imm=sign_extend(low, 12), uses_imm=True)
+        if klass is InsnClass.BRANCH:
+            BranchOp(op)
+            if op == BranchOp.BX:
+                return Instruction(cond, klass, op, rn=rn)
+            return Instruction(cond, klass, op, imm=sign_extend(low, 12),
+                               uses_imm=True)
+        if klass is InsnClass.SYS:
+            SysOp(op)
+            return Instruction(cond, klass, op, imm=low, uses_imm=True)
+        if klass is InsnClass.MUL:
+            MulOp(op)
+            return Instruction(cond, klass, op, rd=rd, rn=rn, rm=low & 0xF)
+    except ValueError:
+        raise EncodingError(
+            f"invalid opcode {op:#x} for class {klass.name} in {word:#010x}"
+        ) from None
+    raise EncodingError(f"cannot decode {word:#010x}")  # pragma: no cover
+
+
+def disassemble(word: int) -> str:
+    """Convenience: decode and render one instruction word."""
+    return decode(word).describe()

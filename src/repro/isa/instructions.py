@@ -1,0 +1,215 @@
+"""The ALM (ARM-like machine) instruction set.
+
+The paper's framework embeds SimIt-ARM instruction-set simulators.  For the
+reproduction we define a compact ARM-flavoured 32-bit ISA — conditional
+execution, 16 registers with PC/LR/SP conventions, data-processing,
+load/store, branch-and-link and software interrupts — with a fixed, easily
+testable encoding:
+
+==========  ==========================================================
+bits        field
+==========  ==========================================================
+[31:28]     condition code (AL, EQ, NE, ...)
+[27:24]     instruction class (DP_REG, DP_IMM, MEM, BRANCH, SYS, MUL)
+[23:20]     opcode within the class
+[19:16]     rd
+[15:12]     rn
+[11:0]      class-specific: rm/shift, 12-bit immediate/offset, ...
+==========  ==========================================================
+
+All data-processing instructions update the NZCV flags (the ISA has no
+separate S bit); conditional execution applies to every instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Number of general-purpose registers (R15 = PC, R14 = LR, R13 = SP).
+NUM_REGISTERS = 16
+REG_SP = 13
+REG_LR = 14
+REG_PC = 15
+
+#: Word size of the architecture in bytes.
+WORD_BYTES = 4
+
+
+class Cond(enum.IntEnum):
+    """Condition codes evaluated against the NZCV flags."""
+
+    AL = 0x0   # always
+    EQ = 0x1   # Z set
+    NE = 0x2   # Z clear
+    GE = 0x3   # N == V (signed >=)
+    LT = 0x4   # N != V (signed <)
+    GT = 0x5   # Z clear and N == V
+    LE = 0x6   # Z set or N != V
+    CS = 0x7   # C set (unsigned >=)
+    CC = 0x8   # C clear (unsigned <)
+    MI = 0x9   # N set
+    PL = 0xA   # N clear
+    HI = 0xB   # C set and Z clear (unsigned >)
+    LS = 0xC   # C clear or Z set (unsigned <=)
+
+
+class InsnClass(enum.IntEnum):
+    """Top-level instruction classes."""
+
+    DP_REG = 0x0
+    DP_IMM = 0x1
+    MEM = 0x2
+    BRANCH = 0x3
+    SYS = 0x4
+    MUL = 0x5
+
+
+class DpOp(enum.IntEnum):
+    """Data-processing opcodes (register and immediate forms)."""
+
+    MOV = 0x0
+    MVN = 0x1
+    ADD = 0x2
+    SUB = 0x3
+    RSB = 0x4
+    AND = 0x5
+    ORR = 0x6
+    EOR = 0x7
+    CMP = 0x8
+    CMN = 0x9
+    TST = 0xA
+    LSL = 0xB
+    LSR = 0xC
+    ASR = 0xD
+
+
+class MemOp(enum.IntEnum):
+    """Load/store opcodes."""
+
+    LDR = 0x0
+    STR = 0x1
+    LDRB = 0x2
+    STRB = 0x3
+
+
+class BranchOp(enum.IntEnum):
+    """Branch opcodes."""
+
+    B = 0x0
+    BL = 0x1
+    BX = 0x2
+
+
+class SysOp(enum.IntEnum):
+    """System opcodes."""
+
+    SWI = 0x0
+    HALT = 0x1
+    NOP = 0x2
+
+
+class MulOp(enum.IntEnum):
+    """Multiply opcodes."""
+
+    MUL = 0x0
+    MLA = 0x1
+
+
+#: Opcodes that only update flags and do not write a destination register.
+FLAG_ONLY_OPS = {DpOp.CMP, DpOp.CMN, DpOp.TST}
+
+
+@dataclass
+class Instruction:
+    """A decoded instruction (the symbolic form the assembler also builds)."""
+
+    cond: Cond
+    klass: InsnClass
+    op: int
+    rd: int = 0
+    rn: int = 0
+    rm: int = 0
+    imm: int = 0
+    uses_imm: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rn", "rm"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGISTERS:
+                raise ValueError(f"{name}={value} is not a valid register")
+
+    # -- helpers used by the CPU and the disassembler --------------------------
+    @property
+    def mnemonic(self) -> str:
+        """Canonical mnemonic (without condition suffix)."""
+        if self.klass in (InsnClass.DP_REG, InsnClass.DP_IMM):
+            return DpOp(self.op).name
+        if self.klass is InsnClass.MEM:
+            return MemOp(self.op).name
+        if self.klass is InsnClass.BRANCH:
+            return BranchOp(self.op).name
+        if self.klass is InsnClass.SYS:
+            return SysOp(self.op).name
+        return MulOp(self.op).name
+
+    def describe(self) -> str:
+        """Human-readable rendering used in traces and error messages."""
+        suffix = "" if self.cond is Cond.AL else Cond(self.cond).name
+        base = f"{self.mnemonic}{suffix}"
+        if self.klass is InsnClass.DP_IMM:
+            return f"{base} r{self.rd}, r{self.rn}, #{self.imm}"
+        if self.klass is InsnClass.DP_REG:
+            return f"{base} r{self.rd}, r{self.rn}, r{self.rm}"
+        if self.klass is InsnClass.MEM:
+            return f"{base} r{self.rd}, [r{self.rn}, #{self.imm}]"
+        if self.klass is InsnClass.BRANCH:
+            if self.op == BranchOp.BX:
+                return f"{base} r{self.rn}"
+            return f"{base} {self.imm}"
+        if self.klass is InsnClass.SYS:
+            if self.op == SysOp.SWI:
+                return f"{base} #{self.imm}"
+            return base
+        return f"{base} r{self.rd}, r{self.rn}, r{self.rm}"
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def condition_passed(cond: Cond, n: bool, z: bool, c: bool, v: bool) -> bool:
+    """Evaluate a condition code against the NZCV flags."""
+    if cond is Cond.AL:
+        return True
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.GT:
+        return (not z) and n == v
+    if cond is Cond.LE:
+        return z or n != v
+    if cond is Cond.CS:
+        return c
+    if cond is Cond.CC:
+        return not c
+    if cond is Cond.MI:
+        return n
+    if cond is Cond.PL:
+        return not n
+    if cond is Cond.HI:
+        return c and not z
+    if cond is Cond.LS:
+        return (not c) or z
+    raise ValueError(f"unknown condition {cond!r}")

@@ -1,0 +1,32 @@
+"""Instruction-set simulation: the ALM CPU core and its bus-attached wrapper."""
+
+from .cosim import (
+    SWI_ALLOC,
+    SWI_EXIT,
+    SWI_FREE,
+    SWI_QUERY,
+    SWI_READ,
+    SWI_RELEASE,
+    SWI_RESERVE,
+    SWI_WRITE,
+    IssProcessor,
+)
+from .cpu import Action, ActionKind, Cpu, CpuError, CpuStats, StepResult
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Cpu",
+    "CpuError",
+    "CpuStats",
+    "IssProcessor",
+    "StepResult",
+    "SWI_ALLOC",
+    "SWI_EXIT",
+    "SWI_FREE",
+    "SWI_QUERY",
+    "SWI_READ",
+    "SWI_RELEASE",
+    "SWI_RESERVE",
+    "SWI_WRITE",
+]

@@ -1,0 +1,169 @@
+"""Bus-attached ISS processing element.
+
+:class:`IssProcessor` wraps one :class:`~repro.iss.cpu.Cpu` core as a kernel
+module with a master port on the interconnect, the way the paper's framework
+integrates SimIt-ARM instruction-set simulators:
+
+* every executed instruction advances simulated time by its cycle cost;
+* loads and stores outside the core's scratchpad become bus transactions;
+* software interrupts implement the high-level dynamic-memory API, so
+  assembly programs can allocate, access and free shared data through the
+  wrapper exactly like the task-level software does.
+
+SWI call numbers (arguments/results in r0..r3):
+
+====  =====================================================================
+SWI   meaning
+====  =====================================================================
+0     exit (halts the core)
+1     r0 = sm_alloc(dim=r0, data_type=r1)
+2     sm_free(vptr=r0)
+3     sm_write(vptr=r0, offset=r1, value=r2)
+4     r0 = sm_read(vptr=r0, offset=r1)
+5     sm_reserve(vptr=r0)
+6     sm_release(vptr=r0)
+7     r0 = sm_query(vptr=r0)
+====  =====================================================================
+
+The memory module targeted by the API calls is selected by ``r3`` (index in
+platform order), defaulting to memory 0 when ``r3`` is out of range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..interconnect.bus import MasterPort
+from ..kernel import Module
+from ..memory.protocol import DataType
+from ..wrapper.api import SharedMemoryAPI
+from .cpu import ActionKind, Cpu, CpuError
+
+#: SWI numbers understood by the processing element.
+SWI_EXIT = 0
+SWI_ALLOC = 1
+SWI_FREE = 2
+SWI_WRITE = 3
+SWI_READ = 4
+SWI_RESERVE = 5
+SWI_RELEASE = 6
+SWI_QUERY = 7
+
+
+class IssProcessor(Module):
+    """One ISS core attached to the platform interconnect."""
+
+    def __init__(
+        self,
+        name: str,
+        port: MasterPort,
+        apis: List[SharedMemoryAPI],
+        program_words: List[int],
+        clock_period: int,
+        scratchpad_bytes: int = 4096,
+        max_instructions: int = 1_000_000,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(name, parent)
+        if not apis:
+            raise ValueError("an ISS processor needs at least one memory API")
+        self.port = port
+        self.apis = apis
+        self.clock_period = clock_period
+        self.max_instructions = max_instructions
+        self.cpu = Cpu(program_words, scratchpad_bytes=scratchpad_bytes)
+        self.finished = False
+        self.exit_code: Optional[int] = None
+        self.bus_accesses = 0
+        self.add_process(self._run, name="core")
+
+    # -- helpers ---------------------------------------------------------------
+    def _api_for(self, index: int) -> SharedMemoryAPI:
+        if 0 <= index < len(self.apis):
+            return self.apis[index]
+        return self.apis[0]
+
+    # -- main loop ---------------------------------------------------------------
+    def _run(self):
+        cpu = self.cpu
+        for _ in range(self.max_instructions):
+            if cpu.halted:
+                break
+            result = cpu.step()
+            if result.cycles:
+                yield result.cycles * self.clock_period
+            action = result.action
+            if action.kind is ActionKind.NONE:
+                continue
+            if action.kind is ActionKind.HALT:
+                break
+            if action.kind is ActionKind.LOAD:
+                self.bus_accesses += 1
+                response = yield from self.port.read(action.address,
+                                                     size=action.size,
+                                                     tag=f"{self.name}.load")
+                cpu.write_register(action.register, response.data)
+            elif action.kind is ActionKind.STORE:
+                self.bus_accesses += 1
+                yield from self.port.write(action.address, action.value,
+                                           size=action.size,
+                                           tag=f"{self.name}.store")
+            elif action.kind is ActionKind.SWI:
+                yield from self._handle_swi(action.swi_number)
+        self.finished = True
+        if self.exit_code is None and cpu.halted:
+            self.exit_code = cpu.read_register(0)
+
+    def _handle_swi(self, number: int):
+        cpu = self.cpu
+        r0 = cpu.read_register(0)
+        r1 = cpu.read_register(1)
+        r2 = cpu.read_register(2)
+        api = self._api_for(cpu.read_register(3))
+        if number == SWI_EXIT:
+            cpu.halted = True
+            self.exit_code = r0
+            return
+        if number == SWI_ALLOC:
+            try:
+                data_type = DataType(r1)
+            except ValueError:
+                data_type = DataType.UINT32
+            vptr = yield from api.alloc(r0, data_type)
+            cpu.write_register(0, vptr if vptr is not None else 0xFFFFFFFF)
+            return
+        if number == SWI_FREE:
+            yield from api.free(r0)
+            return
+        if number == SWI_WRITE:
+            yield from api.write(r0, r2, offset=r1)
+            return
+        if number == SWI_READ:
+            value = yield from api.read(r0, offset=r1)
+            cpu.write_register(0, value if value is not None else 0)
+            return
+        if number == SWI_RESERVE:
+            yield from api.reserve(r0)
+            return
+        if number == SWI_RELEASE:
+            yield from api.release(r0)
+            return
+        if number == SWI_QUERY:
+            value = yield from api.query(r0)
+            cpu.write_register(0, value if value is not None else 0)
+            return
+        raise CpuError(f"{self.name}: unknown SWI #{number}")
+
+    # -- reporting -----------------------------------------------------------------
+    def report(self) -> dict:
+        """Execution summary (instructions, cycles, bus traffic)."""
+        stats = self.cpu.stats
+        return {
+            "name": self.name,
+            "finished": self.finished,
+            "exit_code": self.exit_code,
+            "instructions": stats.instructions,
+            "cpu_cycles": stats.cycles,
+            "bus_accesses": self.bus_accesses,
+            "swi_calls": stats.swi_calls,
+        }

@@ -1,0 +1,337 @@
+"""Functional + cycle-approximate ALM CPU core.
+
+The core executes decoded instructions from a local instruction memory and
+keeps a local scratchpad for data.  Accesses that fall outside the
+scratchpad — and every software interrupt — are *not* handled internally:
+:meth:`Cpu.step` returns an :class:`Action` describing what the surrounding
+processing element must do (issue a bus transaction, run an API call), which
+is how the ISS plugs into the co-simulation platform in
+:mod:`repro.iss.cosim`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..isa.encoding import decode
+from ..isa.instructions import (
+    BranchOp,
+    DpOp,
+    InsnClass,
+    Instruction,
+    MemOp,
+    MulOp,
+    NUM_REGISTERS,
+    REG_LR,
+    REG_PC,
+    SysOp,
+    WORD_BYTES,
+    condition_passed,
+)
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+class CpuError(Exception):
+    """Raised on invalid CPU operation (bad PC, missing external handler...)."""
+
+
+class ActionKind(enum.Enum):
+    """External interactions a step may require from the processing element."""
+
+    NONE = "none"
+    LOAD = "load"
+    STORE = "store"
+    SWI = "swi"
+    HALT = "halt"
+
+
+@dataclass
+class Action:
+    """Description of the external work required to complete an instruction."""
+
+    kind: ActionKind
+    address: int = 0
+    value: int = 0
+    size: int = WORD_BYTES
+    register: int = 0
+    swi_number: int = 0
+
+
+@dataclass
+class StepResult:
+    """Outcome of executing one instruction."""
+
+    cycles: int
+    action: Action
+    executed: Optional[Instruction] = None
+    skipped: bool = False
+
+
+@dataclass
+class CpuStats:
+    """Execution statistics."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_taken: int = 0
+    swi_calls: int = 0
+    skipped: int = 0
+
+
+class Cpu:
+    """A single ALM core with local instruction and scratchpad memory."""
+
+    #: Cycle costs per instruction category (ARM7-ish).
+    CYCLES_ALU = 1
+    CYCLES_MUL = 3
+    CYCLES_MEM = 2
+    CYCLES_BRANCH_TAKEN = 3
+    CYCLES_SWI = 4
+
+    def __init__(self, program_words: List[int], scratchpad_bytes: int = 4096,
+                 scratchpad_base: int = 0x0000_0000) -> None:
+        self.program = list(program_words)
+        self.registers = [0] * NUM_REGISTERS
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+        self.halted = False
+        self.scratchpad = bytearray(scratchpad_bytes)
+        self.scratchpad_base = scratchpad_base
+        self.stats = CpuStats()
+
+    # -- register access -----------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """The program counter (word-granular byte address)."""
+        return self.registers[REG_PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.registers[REG_PC] = value & _WORD_MASK
+
+    def read_register(self, index: int) -> int:
+        return self.registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        self.registers[index] = value & _WORD_MASK
+
+    # -- scratchpad ------------------------------------------------------------------
+    def in_scratchpad(self, address: int, size: int = WORD_BYTES) -> bool:
+        """True when ``[address, address+size)`` falls in the local scratchpad."""
+        offset = address - self.scratchpad_base
+        return 0 <= offset and offset + size <= len(self.scratchpad)
+
+    def scratchpad_load(self, address: int, size: int) -> int:
+        offset = address - self.scratchpad_base
+        return int.from_bytes(self.scratchpad[offset:offset + size], "little")
+
+    def scratchpad_store(self, address: int, value: int, size: int) -> None:
+        offset = address - self.scratchpad_base
+        self.scratchpad[offset:offset + size] = (value & ((1 << (8 * size)) - 1)
+                                                 ).to_bytes(size, "little")
+
+    # -- flag helpers ------------------------------------------------------------------
+    def _set_nz(self, result: int) -> None:
+        result &= _WORD_MASK
+        self.flag_n = bool(result & 0x8000_0000)
+        self.flag_z = result == 0
+
+    def _add_with_flags(self, a: int, b: int, carry_in: int = 0) -> int:
+        a &= _WORD_MASK
+        b &= _WORD_MASK
+        total = a + b + carry_in
+        result = total & _WORD_MASK
+        self.flag_c = total > _WORD_MASK
+        signed_a = a - (1 << 32) if a & 0x8000_0000 else a
+        signed_b = b - (1 << 32) if b & 0x8000_0000 else b
+        signed_r = signed_a + signed_b + carry_in
+        self.flag_v = not (-(1 << 31) <= signed_r < (1 << 31))
+        self._set_nz(result)
+        return result
+
+    # -- execution -------------------------------------------------------------------------
+    def fetch(self) -> Instruction:
+        """Fetch and decode the instruction at the current PC."""
+        index = self.pc // WORD_BYTES
+        if not 0 <= index < len(self.program):
+            raise CpuError(f"PC {self.pc:#010x} outside the loaded program")
+        return decode(self.program[index])
+
+    def step(self) -> StepResult:
+        """Execute one instruction; returns cycles spent and any external action."""
+        if self.halted:
+            return StepResult(cycles=0, action=Action(ActionKind.HALT))
+        instruction = self.fetch()
+        next_pc = self.pc + WORD_BYTES
+        if not condition_passed(instruction.cond, self.flag_n, self.flag_z,
+                                self.flag_c, self.flag_v):
+            self.pc = next_pc
+            self.stats.instructions += 1
+            self.stats.skipped += 1
+            self.stats.cycles += self.CYCLES_ALU
+            return StepResult(cycles=self.CYCLES_ALU, action=Action(ActionKind.NONE),
+                              executed=instruction, skipped=True)
+        self.pc = next_pc
+        self.stats.instructions += 1
+        result = self._execute(instruction)
+        self.stats.cycles += result.cycles
+        return result
+
+    def _execute(self, instruction: Instruction) -> StepResult:
+        klass = instruction.klass
+        if klass in (InsnClass.DP_REG, InsnClass.DP_IMM):
+            return self._execute_dp(instruction)
+        if klass is InsnClass.MUL:
+            return self._execute_mul(instruction)
+        if klass is InsnClass.MEM:
+            return self._execute_mem(instruction)
+        if klass is InsnClass.BRANCH:
+            return self._execute_branch(instruction)
+        return self._execute_sys(instruction)
+
+    def _operand(self, instruction: Instruction) -> int:
+        if instruction.klass is InsnClass.DP_IMM:
+            return instruction.imm & _WORD_MASK
+        return self.registers[instruction.rm]
+
+    def _execute_dp(self, instruction: Instruction) -> StepResult:
+        # Only the comparison opcodes (CMP/CMN/TST) update the NZCV flags, so
+        # conditionally executed instructions between a comparison and its
+        # consumers do not clobber the condition they rely on.
+        op = DpOp(instruction.op)
+        rn_value = self.registers[instruction.rn]
+        operand = self._operand(instruction)
+        write = True
+        if op is DpOp.MOV:
+            result = operand
+        elif op is DpOp.MVN:
+            result = (~operand) & _WORD_MASK
+        elif op is DpOp.ADD:
+            result = (rn_value + operand) & _WORD_MASK
+        elif op is DpOp.SUB:
+            result = (rn_value - operand) & _WORD_MASK
+        elif op is DpOp.RSB:
+            result = (operand - rn_value) & _WORD_MASK
+        elif op is DpOp.AND:
+            result = rn_value & operand
+        elif op is DpOp.ORR:
+            result = rn_value | operand
+        elif op is DpOp.EOR:
+            result = rn_value ^ operand
+        elif op is DpOp.CMP:
+            self._add_with_flags(rn_value, (~operand) & _WORD_MASK, 1)
+            result, write = 0, False
+        elif op is DpOp.CMN:
+            self._add_with_flags(rn_value, operand)
+            result, write = 0, False
+        elif op is DpOp.TST:
+            self._set_nz(rn_value & operand)
+            result, write = 0, False
+        elif op is DpOp.LSL:
+            shift = operand & 0xFF
+            result = (rn_value << shift) & _WORD_MASK if shift < 32 else 0
+        elif op is DpOp.LSR:
+            shift = operand & 0xFF
+            result = (rn_value >> shift) if shift < 32 else 0
+        elif op is DpOp.ASR:
+            shift = min(operand & 0xFF, 31)
+            signed = rn_value - (1 << 32) if rn_value & 0x8000_0000 else rn_value
+            result = (signed >> shift) & _WORD_MASK
+        else:  # pragma: no cover - enum is exhaustive
+            raise CpuError(f"unhandled data-processing opcode {op!r}")
+        if write:
+            self.write_register(instruction.rd, result)
+        return StepResult(cycles=self.CYCLES_ALU, action=Action(ActionKind.NONE),
+                          executed=instruction)
+
+    def _execute_mul(self, instruction: Instruction) -> StepResult:
+        op = MulOp(instruction.op)
+        product = self.registers[instruction.rn] * self.registers[instruction.rm]
+        if op is MulOp.MLA:
+            product += self.registers[instruction.rd]
+        result = product & _WORD_MASK
+        self.write_register(instruction.rd, result)
+        return StepResult(cycles=self.CYCLES_MUL, action=Action(ActionKind.NONE),
+                          executed=instruction)
+
+    def _execute_mem(self, instruction: Instruction) -> StepResult:
+        op = MemOp(instruction.op)
+        address = (self.registers[instruction.rn] + instruction.imm) & _WORD_MASK
+        size = 1 if op in (MemOp.LDRB, MemOp.STRB) else WORD_BYTES
+        is_load = op in (MemOp.LDR, MemOp.LDRB)
+        if is_load:
+            self.stats.loads += 1
+        else:
+            self.stats.stores += 1
+        if self.in_scratchpad(address, size):
+            if is_load:
+                self.write_register(instruction.rd,
+                                    self.scratchpad_load(address, size))
+            else:
+                self.scratchpad_store(address, self.registers[instruction.rd], size)
+            return StepResult(cycles=self.CYCLES_MEM, action=Action(ActionKind.NONE),
+                              executed=instruction)
+        # External access: the processing element completes it over the bus.
+        if is_load:
+            action = Action(ActionKind.LOAD, address=address, size=size,
+                            register=instruction.rd)
+        else:
+            action = Action(ActionKind.STORE, address=address, size=size,
+                            value=self.registers[instruction.rd])
+        return StepResult(cycles=self.CYCLES_MEM, action=action,
+                          executed=instruction)
+
+    def _execute_branch(self, instruction: Instruction) -> StepResult:
+        op = BranchOp(instruction.op)
+        self.stats.branches_taken += 1
+        if op is BranchOp.BX:
+            self.pc = self.registers[instruction.rn] & ~0x3
+        else:
+            if op is BranchOp.BL:
+                self.write_register(REG_LR, self.pc)
+            self.pc = (self.pc + instruction.imm * WORD_BYTES) & _WORD_MASK
+        return StepResult(cycles=self.CYCLES_BRANCH_TAKEN,
+                          action=Action(ActionKind.NONE), executed=instruction)
+
+    def _execute_sys(self, instruction: Instruction) -> StepResult:
+        op = SysOp(instruction.op)
+        if op is SysOp.NOP:
+            return StepResult(cycles=self.CYCLES_ALU, action=Action(ActionKind.NONE),
+                              executed=instruction)
+        if op is SysOp.HALT:
+            self.halted = True
+            return StepResult(cycles=self.CYCLES_ALU, action=Action(ActionKind.HALT),
+                              executed=instruction)
+        self.stats.swi_calls += 1
+        return StepResult(cycles=self.CYCLES_SWI,
+                          action=Action(ActionKind.SWI, swi_number=instruction.imm),
+                          executed=instruction)
+
+    # -- convenience ----------------------------------------------------------------------
+    def run(self, max_instructions: int = 1_000_000,
+            swi_handler: Optional[Callable[[int, "Cpu"], None]] = None) -> CpuStats:
+        """Run stand-alone (no bus) until HALT or the instruction limit.
+
+        External loads/stores are rejected in this mode; SWIs are passed to
+        ``swi_handler`` (or ignored when none is given).
+        """
+        for _ in range(max_instructions):
+            if self.halted:
+                break
+            result = self.step()
+            kind = result.action.kind
+            if kind in (ActionKind.LOAD, ActionKind.STORE):
+                raise CpuError(
+                    f"external memory access at {result.action.address:#010x} "
+                    "requires a bus-attached processing element"
+                )
+            if kind is ActionKind.SWI and swi_handler is not None:
+                swi_handler(result.action.swi_number, self)
+        return self.stats

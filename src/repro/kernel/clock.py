@@ -1,0 +1,87 @@
+"""Clock generator module.
+
+A :class:`Clock` drives a boolean signal with a configurable period and duty
+cycle.  Clocked models register processes sensitive to
+``clock.posedge_event`` and read/write their signals once per cycle.
+
+For the performance-critical co-simulation models in this project the clock
+also exposes a monotonically increasing :attr:`cycle` counter so cycle-true
+models can timestamp transactions without recomputing ``now // period``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .event import Event
+from .module import Module
+from .signal import Signal
+from .simtime import NS
+
+
+class Clock(Module):
+    """A free-running clock with period ``period`` time units."""
+
+    def __init__(
+        self,
+        name: str = "clock",
+        period: int = 10 * NS,
+        duty_cycle: float = 0.5,
+        parent: Optional[Module] = None,
+        start_high: bool = False,
+    ) -> None:
+        super().__init__(name, parent)
+        if period <= 1:
+            raise ValueError("clock period must be at least 2 time units")
+        if not 0.0 < duty_cycle < 1.0:
+            raise ValueError("duty cycle must be strictly between 0 and 1")
+        self.period = period
+        self.high_time = max(1, int(round(period * duty_cycle)))
+        self.low_time = period - self.high_time
+        if self.low_time < 1:
+            self.high_time = period - 1
+            self.low_time = 1
+        self.signal: Signal[bool] = self.add_signal(
+            Signal(start_high, name=f"{name}.sig")
+        )
+        #: Number of completed rising edges since the start of simulation.
+        self.cycle: int = 0
+        self._start_high = start_high
+        self.add_process(self._drive, name="drive")
+
+    # -- events ----------------------------------------------------------------
+    @property
+    def posedge_event(self) -> Event:
+        """Event notified on every rising edge of the clock signal."""
+        return self.signal.posedge_event
+
+    @property
+    def negedge_event(self) -> Event:
+        """Event notified on every falling edge of the clock signal."""
+        return self.signal.negedge_event
+
+    def read(self) -> bool:
+        """Current level of the clock signal."""
+        return self.signal.read()
+
+    # -- behaviour ----------------------------------------------------------------
+    def _drive(self):
+        if self._start_high:
+            # Already high: stay high for the high time, then fall.
+            while True:
+                self.cycle += 1
+                yield self.high_time
+                self.signal.write(False)
+                yield self.low_time
+                self.signal.write(True)
+        else:
+            while True:
+                yield self.low_time
+                self.signal.write(True)
+                self.cycle += 1
+                yield self.high_time
+                self.signal.write(False)
+
+    def cycles_to_time(self, cycles: int) -> int:
+        """Convert a cycle count into time units for this clock."""
+        return cycles * self.period

@@ -1,0 +1,157 @@
+"""Events and the central event queue.
+
+Events follow SystemC semantics:
+
+* ``notify()`` with no argument performs an *immediate* notification — every
+  process currently sensitive to the event becomes runnable in the same
+  evaluation phase.
+* ``notify(0)`` (delta notification) wakes waiting processes in the next
+  delta cycle.
+* ``notify(t)`` with ``t > 0`` wakes waiting processes after ``t`` time units.
+
+A later notification with an earlier completion time overrides a pending
+one, exactly as in SystemC.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .process import Process
+    from .simulator import Simulator
+
+#: Sentinel meaning "no notification pending".
+_NOT_PENDING = -1
+#: Sentinel time meaning "pending as a delta notification".
+_DELTA_PENDING = -2
+
+
+class Event:
+    """A notification primitive processes can wait on.
+
+    Events are created by modules (or by signals internally) and bound to the
+    simulator lazily on first use.  Waiting is done from a process by yielding
+    the event (or a :class:`repro.kernel.process.WaitEvent` wrapping it).
+    """
+
+    __slots__ = ("name", "_sim", "_waiters", "_static_sensitive", "_pending_at")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self._sim: Optional["Simulator"] = None
+        #: Processes dynamically waiting on this event (one-shot).
+        self._waiters: List["Process"] = []
+        #: Processes statically sensitive to this event (persistent).
+        self._static_sensitive: List["Process"] = []
+        self._pending_at: int = _NOT_PENDING
+
+    # -- wiring ----------------------------------------------------------
+    def _bind(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    def add_static_sensitivity(self, process: "Process") -> None:
+        """Register ``process`` to be woken on *every* notification."""
+        if process not in self._static_sensitive:
+            self._static_sensitive.append(process)
+
+    def remove_static_sensitivity(self, process: "Process") -> None:
+        """Remove a previously registered static sensitivity (no-op if absent)."""
+        if process in self._static_sensitive:
+            self._static_sensitive.remove(process)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _discard_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    # -- notification ----------------------------------------------------
+    def notify(self, delay: Optional[int] = None) -> None:
+        """Notify the event.
+
+        ``delay=None`` → immediate, ``delay=0`` → next delta cycle,
+        ``delay>0`` → timed notification after ``delay`` time units.
+        """
+        if self._sim is None:
+            raise RuntimeError(
+                f"event {self.name!r} is not attached to a running simulator"
+            )
+        if delay is None:
+            self._pending_at = _NOT_PENDING
+            self._sim._trigger_event_now(self)
+            return
+        if delay < 0:
+            raise ValueError("notification delay must be >= 0")
+        if delay == 0:
+            if self._pending_at == _DELTA_PENDING:
+                return
+            # A delta notification overrides any pending timed notification.
+            self._pending_at = _DELTA_PENDING
+            self._sim._schedule_delta_event(self)
+            return
+        target = self._sim.now + delay
+        if self._pending_at == _DELTA_PENDING:
+            return  # an earlier (delta) notification wins
+        if self._pending_at != _NOT_PENDING and self._pending_at <= target:
+            return  # an earlier timed notification wins
+        self._pending_at = target
+        self._sim._schedule_timed_event(self, target)
+
+    def cancel(self) -> None:
+        """Cancel any pending (delta or timed) notification."""
+        self._pending_at = _NOT_PENDING
+
+    # -- used by the simulator -------------------------------------------
+    def _collect_triggered(self) -> Iterable["Process"]:
+        """Return and clear the processes to wake, marking the event fired."""
+        triggered = list(self._static_sensitive)
+        triggered.extend(self._waiters)
+        self._waiters.clear()
+        self._pending_at = _NOT_PENDING
+        return triggered
+
+    def _is_pending_for(self, time: int) -> bool:
+        return self._pending_at == time or self._pending_at == _DELTA_PENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Event({self.name!r})"
+
+
+class EventQueue:
+    """A priority queue of timed notifications keyed by (time, sequence).
+
+    The sequence counter keeps ordering deterministic for notifications
+    scheduled at the same instant.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: int, event: Event) -> None:
+        """Schedule ``event`` to fire at absolute ``time``."""
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+
+    def next_time(self) -> Optional[int]:
+        """Absolute time of the earliest pending notification, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_until(self, time: int) -> List[Event]:
+        """Pop and return every event scheduled at or before ``time``."""
+        fired: List[Event] = []
+        while self._heap and self._heap[0][0] <= time:
+            __, __, event = heapq.heappop(self._heap)
+            fired.append(event)
+        return fired
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

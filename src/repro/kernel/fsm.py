@@ -1,0 +1,94 @@
+"""Cycle-true finite state machine helper.
+
+The paper's shared-memory wrapper is described as a *cycle-true FSM* that
+"evaluates incoming signals cycle by cycle".  This module provides a small
+framework for writing such FSMs declaratively: states are registered with a
+handler; on every clock edge the current state's handler runs, observes its
+inputs and returns the next state (or ``None`` to remain).
+
+The FSM keeps per-state occupancy counters so models can report how many
+cycles were spent waiting versus transferring — useful for the accuracy
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+from .errors import SimulationError
+
+StateHandler = Callable[[], Optional[str]]
+
+
+class FsmStateError(SimulationError):
+    """Raised when an FSM references an unknown state."""
+
+
+class CycleTrueFsm:
+    """A Moore-style FSM evaluated once per clock cycle.
+
+    Usage::
+
+        fsm = CycleTrueFsm("IDLE")
+        fsm.state("IDLE", handle_idle)
+        fsm.state("BUSY", handle_busy)
+        ...
+        # in a clocked process, once per cycle:
+        fsm.step()
+
+    Handlers return the name of the next state or ``None`` to stay put.
+    """
+
+    def __init__(self, initial_state: str) -> None:
+        self._handlers: Dict[str, StateHandler] = {}
+        self._initial = initial_state
+        self.current_state = initial_state
+        #: Number of cycles spent in each state.
+        self.occupancy: Counter = Counter()
+        #: Number of transitions taken, keyed by (from_state, to_state).
+        self.transitions: Counter = Counter()
+        #: Total number of evaluated cycles.
+        self.cycles = 0
+
+    def state(self, name: str, handler: StateHandler) -> None:
+        """Register ``handler`` as the behaviour of state ``name``."""
+        if name in self._handlers:
+            raise FsmStateError(f"state {name!r} registered twice")
+        self._handlers[name] = handler
+
+    def states(self) -> list:
+        """Names of all registered states."""
+        return list(self._handlers)
+
+    def reset(self) -> None:
+        """Return to the initial state without clearing statistics."""
+        self.current_state = self._initial
+
+    def step(self) -> str:
+        """Evaluate one clock cycle; returns the state *after* the cycle."""
+        try:
+            handler = self._handlers[self.current_state]
+        except KeyError:
+            raise FsmStateError(
+                f"FSM is in unregistered state {self.current_state!r}"
+            ) from None
+        self.cycles += 1
+        self.occupancy[self.current_state] += 1
+        next_state = handler()
+        if next_state is None or next_state == self.current_state:
+            return self.current_state
+        if next_state not in self._handlers:
+            raise FsmStateError(
+                f"handler for {self.current_state!r} returned unknown state "
+                f"{next_state!r}"
+            )
+        self.transitions[(self.current_state, next_state)] += 1
+        self.current_state = next_state
+        return self.current_state
+
+    def occupancy_fraction(self, state: str) -> float:
+        """Fraction of evaluated cycles spent in ``state`` (0.0 if never run)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.occupancy[state] / self.cycles

@@ -1,0 +1,151 @@
+"""Hierarchical hardware modules.
+
+A :class:`Module` groups processes, ports, signals and child modules, giving
+each a hierarchical name (``top.bus.arbiter``).  Subclasses declare behaviour
+by registering processes in ``__init__`` (or in :meth:`elaborate`) with
+:meth:`add_process` / :meth:`add_method` and wiring ports to signals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .errors import ElaborationError
+from .event import Event
+from .port import PortBase
+from .process import Process
+from .signal import Signal
+
+
+class Module:
+    """Base class for every simulated hardware block."""
+
+    def __init__(self, name: str, parent: Optional["Module"] = None) -> None:
+        if not name:
+            raise ElaborationError("module name must be non-empty")
+        self.name = name
+        self.parent = parent
+        self._children: Dict[str, "Module"] = {}
+        self._processes: List[Process] = []
+        self._signals: List[Signal] = []
+        self._ports: List[PortBase] = []
+        self._events: List[Event] = []
+        if parent is not None:
+            parent._register_child(self)
+
+    # -- hierarchy ---------------------------------------------------------
+    @property
+    def full_name(self) -> str:
+        """Dot-separated hierarchical name from the root module."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.full_name}.{self.name}"
+
+    def _register_child(self, child: "Module") -> None:
+        if child.name in self._children:
+            raise ElaborationError(
+                f"module {self.full_name!r} already has a child named {child.name!r}"
+            )
+        self._children[child.name] = child
+
+    @property
+    def children(self) -> Sequence["Module"]:
+        """Direct child modules in registration order."""
+        return list(self._children.values())
+
+    def descendants(self) -> Iterable["Module"]:
+        """Yield this module and all modules below it, depth-first."""
+        yield self
+        for child in self._children.values():
+            yield from child.descendants()
+
+    def find(self, path: str) -> "Module":
+        """Look up a descendant by relative dotted path (``"bus.arbiter"``)."""
+        module: Module = self
+        for part in path.split("."):
+            try:
+                module = module._children[part]
+            except KeyError:
+                raise ElaborationError(
+                    f"{self.full_name!r} has no descendant {path!r}"
+                ) from None
+        return module
+
+    # -- behavioural registration -------------------------------------------
+    def add_process(
+        self,
+        body: Callable,
+        name: Optional[str] = None,
+        sensitivity: Sequence[Event] = (),
+    ) -> Process:
+        """Register a generator-function process (SystemC ``SC_THREAD``-like)."""
+        process = Process(
+            name=f"{self.full_name}.{name or body.__name__}",
+            body=body,
+            static_events=sensitivity,
+        )
+        self._processes.append(process)
+        return process
+
+    def add_method(
+        self,
+        body: Callable[[], None],
+        sensitivity: Sequence[Event],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Register a method process re-run on every sensitivity trigger."""
+        if not sensitivity:
+            raise ElaborationError(
+                "method processes require at least one sensitivity event"
+            )
+        process = Process(
+            name=f"{self.full_name}.{name or body.__name__}",
+            body=body,
+            static_events=sensitivity,
+        )
+        self._processes.append(process)
+        return process
+
+    def add_signal(self, signal: Signal) -> Signal:
+        """Register a signal owned by this module (for binding/tracing)."""
+        self._signals.append(signal)
+        return signal
+
+    def add_port(self, port: PortBase) -> PortBase:
+        """Register a port owned by this module (checked at elaboration)."""
+        self._ports.append(port)
+        return port
+
+    def add_event(self, event: Event) -> Event:
+        """Register a module-owned event so the simulator binds it."""
+        self._events.append(event)
+        return event
+
+    # -- elaboration hooks ----------------------------------------------------
+    def elaborate(self) -> None:
+        """Hook called once before simulation starts; override to finish wiring."""
+
+    def check_bindings(self) -> None:
+        """Raise :class:`ElaborationError` if any registered port is unbound."""
+        for port in self._ports:
+            if not port.bound:
+                raise ElaborationError(
+                    f"port {port.name!r} of module {self.full_name!r} is unbound"
+                )
+
+    def end_of_simulation(self) -> None:
+        """Hook called once after the simulation finishes; override for reports."""
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def processes(self) -> Sequence[Process]:
+        """Processes registered directly on this module."""
+        return list(self._processes)
+
+    @property
+    def signals(self) -> Sequence[Signal]:
+        """Signals registered directly on this module."""
+        return list(self._signals)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.full_name!r})"

@@ -1,0 +1,88 @@
+"""Ports: typed connection points between modules and signals.
+
+Ports decouple a module's interface from the signals it is eventually bound
+to, allowing platforms to be assembled from reusable modules.  An
+:class:`InputPort` only reads, an :class:`OutputPort` only writes, and an
+:class:`InOutPort` does both.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from .errors import PortBindingError
+from .event import Event
+from .signal import Signal
+
+T = TypeVar("T")
+
+
+class PortBase(Generic[T]):
+    """Common machinery for all port flavours."""
+
+    __slots__ = ("name", "_signal")
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self._signal: Optional[Signal[T]] = None
+
+    def bind(self, signal: Signal[T]) -> None:
+        """Connect this port to ``signal``.  A port binds exactly once."""
+        if self._signal is not None:
+            raise PortBindingError(f"port {self.name!r} is already bound")
+        self._signal = signal
+
+    @property
+    def bound(self) -> bool:
+        """True once the port has been connected to a signal."""
+        return self._signal is not None
+
+    @property
+    def signal(self) -> Signal[T]:
+        """The bound signal (raises if the port is unbound)."""
+        if self._signal is None:
+            raise PortBindingError(f"port {self.name!r} is not bound")
+        return self._signal
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "bound" if self.bound else "unbound"
+        return f"{type(self).__name__}({self.name!r}, {state})"
+
+
+class InputPort(PortBase[T]):
+    """A read-only connection point."""
+
+    def read(self) -> T:
+        """Read the committed value of the bound signal."""
+        return self.signal.read()
+
+    @property
+    def changed_event(self) -> Event:
+        """Event fired when the bound signal's value changes."""
+        return self.signal.changed_event
+
+    @property
+    def posedge_event(self) -> Event:
+        """Event fired on the bound signal's rising edge."""
+        return self.signal.posedge_event
+
+    @property
+    def negedge_event(self) -> Event:
+        """Event fired on the bound signal's falling edge."""
+        return self.signal.negedge_event
+
+
+class OutputPort(PortBase[T]):
+    """A write-only connection point."""
+
+    def write(self, value: T) -> None:
+        """Stage ``value`` on the bound signal for the next delta cycle."""
+        self.signal.write(value)
+
+    def initialize(self, value: T) -> None:
+        """Force an initial value before the simulation starts."""
+        self.signal.force(value)
+
+
+class InOutPort(InputPort[T], OutputPort[T]):
+    """A bidirectional connection point (read and write)."""

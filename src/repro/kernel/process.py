@@ -1,0 +1,188 @@
+"""Simulation processes.
+
+A *process* is a Python generator function registered on a module.  The
+generator runs until it ``yield``s a wait request, at which point control
+returns to the scheduler.  Supported wait requests:
+
+* ``yield WaitTime(n)`` or ``yield n`` (an ``int``) — resume after ``n`` time
+  units.
+* ``yield WaitEvent(e)`` or ``yield e`` (an :class:`~repro.kernel.event.Event`)
+  — resume when the event is notified.
+* ``yield WaitAny(e1, e2, ...)`` — resume when any of the events fires.
+* ``yield WaitDelta()`` — resume in the next delta cycle.
+
+Processes may also be *statically sensitive* to a list of events (typically a
+clock edge); such processes are re-run from the top on each trigger if they
+are plain callables, or resumed if they are generators.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Union
+
+from .errors import ProcessError
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+
+class WaitRequest:
+    """Base class for objects a process may yield to the scheduler."""
+
+    __slots__ = ()
+
+
+class WaitTime(WaitRequest):
+    """Suspend the process for a fixed number of time units."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise ValueError("wait duration must be >= 0")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitTime({self.duration})"
+
+
+class WaitDelta(WaitRequest):
+    """Suspend the process until the next delta cycle."""
+
+    __slots__ = ()
+
+
+class WaitEvent(WaitRequest):
+    """Suspend the process until a specific event is notified."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class WaitAny(WaitRequest):
+    """Suspend the process until any of the given events is notified."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event) -> None:
+        if not events:
+            raise ValueError("WaitAny requires at least one event")
+        self.events = tuple(events)
+
+
+#: The union of things a process body may yield.
+Yieldable = Union[WaitRequest, Event, int]
+
+
+class Process:
+    """Scheduler-side wrapper around a user process body.
+
+    ``body`` may be either a generator function (resumable, keeps local
+    state between activations) or a plain callable (re-invoked on every
+    trigger, SystemC ``SC_METHOD`` style).
+    """
+
+    __slots__ = (
+        "name",
+        "_body",
+        "_generator",
+        "_is_generator_func",
+        "_static_events",
+        "_dynamic_events",
+        "_sim",
+        "_terminated",
+        "activation_count",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[[], Union[None, Iterable[Yieldable]]],
+        static_events: Sequence[Event] = (),
+    ) -> None:
+        self.name = name
+        self._body = body
+        self._is_generator_func = inspect.isgeneratorfunction(body)
+        self._generator = None
+        self._static_events: List[Event] = list(static_events)
+        self._dynamic_events: List[Event] = []
+        self._sim: Optional["Simulator"] = None
+        self._terminated = False
+        #: Number of times the process has been activated (useful in tests).
+        self.activation_count = 0
+
+    # -- properties -------------------------------------------------------
+    @property
+    def terminated(self) -> bool:
+        """True once a generator body has run to completion."""
+        return self._terminated
+
+    @property
+    def is_method(self) -> bool:
+        """True if the body is a plain callable re-run on every activation."""
+        return not self._is_generator_func
+
+    # -- wiring -----------------------------------------------------------
+    def _bind(self, sim: "Simulator") -> None:
+        self._sim = sim
+        for event in self._static_events:
+            event._bind(sim)
+            event.add_static_sensitivity(self)
+
+    def add_static_sensitivity(self, event: Event) -> None:
+        """Make the process statically sensitive to ``event``."""
+        self._static_events.append(event)
+        if self._sim is not None:
+            event._bind(self._sim)
+            event.add_static_sensitivity(self)
+
+    # -- execution --------------------------------------------------------
+    def _clear_dynamic_waits(self) -> None:
+        for event in self._dynamic_events:
+            event._discard_waiter(self)
+        self._dynamic_events.clear()
+
+    def run(self) -> Optional[Yieldable]:
+        """Activate the process once and return what it yielded (if anything).
+
+        Returns ``None`` when a method process returns or a generator body
+        terminates; otherwise returns the yielded wait request, which the
+        scheduler translates into event/time waits.
+        """
+        if self._terminated:
+            return None
+        self.activation_count += 1
+        self._clear_dynamic_waits()
+        try:
+            if self._is_generator_func:
+                if self._generator is None:
+                    self._generator = self._body()
+                return next(self._generator)
+            if self._generator is not None:
+                return next(self._generator)
+            result = self._body()
+            if inspect.isgenerator(result):
+                # The body was a factory (lambda/partial) returning a
+                # generator: adopt it and behave like a thread process.
+                self._is_generator_func = True
+                self._generator = result
+                return next(self._generator)
+            return None
+        except StopIteration:
+            self._terminated = True
+            return None
+        except Exception as exc:  # re-raise with process context
+            self._terminated = True
+            raise ProcessError(f"process {self.name!r} raised {exc!r}") from exc
+
+    def _register_dynamic_wait(self, event: Event) -> None:
+        event._add_waiter(self)
+        self._dynamic_events.append(event)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "method" if self.is_method else "thread"
+        return f"Process({self.name!r}, {kind})"

@@ -1,0 +1,165 @@
+"""Signals with SystemC-style evaluate/update (delta cycle) semantics.
+
+A :class:`Signal` holds a *current* value visible to readers and a *next*
+value staged by writers.  Writes only become visible after the update phase
+of the current delta cycle, which is what makes clocked register-transfer
+descriptions race-free: every process in the same delta sees the same
+pre-update values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generic, List, Optional, TypeVar
+
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+class Signal(Generic[T]):
+    """A value holder with deferred (delta-cycle) update semantics."""
+
+    __slots__ = (
+        "name",
+        "_current",
+        "_next",
+        "_has_pending",
+        "_changed_event",
+        "_posedge_event",
+        "_negedge_event",
+        "_sim",
+        "write_count",
+    )
+
+    def __init__(self, initial: T, name: str = "signal") -> None:
+        self.name = name
+        self._current: T = initial
+        self._next: T = initial
+        self._has_pending = False
+        self._changed_event = Event(f"{name}.changed")
+        self._posedge_event: Optional[Event] = None
+        self._negedge_event: Optional[Event] = None
+        self._sim: Optional["Simulator"] = None
+        #: Total number of committed value changes (handy for activity stats).
+        self.write_count = 0
+
+    # -- wiring -----------------------------------------------------------
+    def _bind(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._changed_event._bind(sim)
+        if self._posedge_event is not None:
+            self._posedge_event._bind(sim)
+        if self._negedge_event is not None:
+            self._negedge_event._bind(sim)
+
+    # -- value access ------------------------------------------------------
+    def read(self) -> T:
+        """Return the value committed in the last update phase."""
+        return self._current
+
+    @property
+    def value(self) -> T:
+        """Alias of :meth:`read` for attribute-style access."""
+        return self._current
+
+    def write(self, value: T) -> None:
+        """Stage ``value`` to become visible in the next delta cycle.
+
+        Writing the current value is a no-op (no event is generated), matching
+        SystemC's ``sc_signal`` behaviour.
+        """
+        self._next = value
+        if self._sim is None:
+            # Elaboration-time write: commit immediately, nobody is running.
+            self._current = value
+            return
+        if value == self._current and not self._has_pending:
+            return
+        if not self._has_pending:
+            self._has_pending = True
+            self._sim._schedule_signal_update(self)
+
+    def force(self, value: T) -> None:
+        """Set the current value immediately, bypassing the delta cycle.
+
+        Intended for test benches and initialisation only.
+        """
+        self._current = value
+        self._next = value
+        self._has_pending = False
+
+    # -- events -------------------------------------------------------------
+    @property
+    def changed_event(self) -> Event:
+        """Event notified whenever the committed value changes."""
+        return self._changed_event
+
+    @property
+    def posedge_event(self) -> Event:
+        """Event notified on a False→True (or 0→nonzero) transition."""
+        if self._posedge_event is None:
+            self._posedge_event = Event(f"{self.name}.posedge")
+            if self._sim is not None:
+                self._posedge_event._bind(self._sim)
+        return self._posedge_event
+
+    @property
+    def negedge_event(self) -> Event:
+        """Event notified on a True→False (or nonzero→0) transition."""
+        if self._negedge_event is None:
+            self._negedge_event = Event(f"{self.name}.negedge")
+            if self._sim is not None:
+                self._negedge_event._bind(self._sim)
+        return self._negedge_event
+
+    # -- used by the simulator ----------------------------------------------
+    def _perform_update(self) -> None:
+        """Commit the staged value; called by the scheduler's update phase."""
+        self._has_pending = False
+        if self._next == self._current:
+            return
+        old, new = self._current, self._next
+        self._current = self._next
+        self.write_count += 1
+        self._changed_event.notify(0)
+        if self._posedge_event is not None and not old and new:
+            self._posedge_event.notify(0)
+        if self._negedge_event is not None and old and not new:
+            self._negedge_event.notify(0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Signal({self.name!r}={self._current!r})"
+
+
+class SignalVector:
+    """A fixed-size collection of signals addressed by index.
+
+    Convenient for modelling register files or per-master request lines
+    without creating dozens of attributes by hand.
+    """
+
+    def __init__(self, count: int, initial, name: str = "vec") -> None:
+        if count <= 0:
+            raise ValueError("SignalVector needs at least one element")
+        self.name = name
+        self._signals: List[Signal] = [
+            Signal(initial, name=f"{name}[{i}]") for i in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    def __getitem__(self, index: int) -> Signal:
+        return self._signals[index]
+
+    def __iter__(self):
+        return iter(self._signals)
+
+    def read_all(self) -> list:
+        """Return the committed values of all elements as a list."""
+        return [sig.read() for sig in self._signals]

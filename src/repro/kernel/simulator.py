@@ -1,0 +1,297 @@
+"""The discrete-event scheduler.
+
+The scheduler follows the SystemC reference algorithm:
+
+1. *Evaluation phase*: run every runnable process.  Processes may write
+   signals (staging new values) and notify events.
+2. *Update phase*: commit staged signal values; changed signals issue delta
+   notifications.
+3. *Delta notification phase*: collect processes woken by delta
+   notifications; if any, loop back to the evaluation phase (a new delta
+   cycle at the same time).
+4. *Timed notification phase*: advance time to the earliest pending timed
+   notification and wake its waiters.
+
+Simulation ends when there is nothing left to do, a configured time limit is
+reached, or :meth:`Simulator.stop` is called.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Iterable, List, Optional, Set
+
+from .errors import DeltaCycleLimitExceeded, ProcessError, SchedulerError
+from .event import Event, EventQueue
+from .module import Module
+from .process import (
+    Process,
+    WaitAny,
+    WaitDelta,
+    WaitEvent,
+    WaitRequest,
+    WaitTime,
+    Yieldable,
+)
+from .signal import Signal
+
+
+class SimulationStats:
+    """Counters describing a completed (or in-progress) simulation run."""
+
+    __slots__ = (
+        "delta_cycles",
+        "timed_steps",
+        "process_activations",
+        "events_fired",
+        "wallclock_seconds",
+        "end_time",
+    )
+
+    def __init__(self) -> None:
+        self.delta_cycles = 0
+        self.timed_steps = 0
+        self.process_activations = 0
+        self.events_fired = 0
+        self.wallclock_seconds = 0.0
+        self.end_time = 0
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Simulator:
+    """Owns the module hierarchy and runs the event loop."""
+
+    #: Safety valve against combinational loops.
+    MAX_DELTA_CYCLES_PER_TIMESTEP = 10_000
+
+    def __init__(self, top: Optional[Module] = None) -> None:
+        self._tops: List[Module] = []
+        self.now: int = 0
+        self._elaborated = False
+        self._running = False
+        self._stop_requested = False
+        self._timed_events = EventQueue()
+        self._delta_events: List[Event] = []
+        self._immediate_runnable: List[Process] = []
+        self._pending_signal_updates: List[Signal] = []
+        self._processes: List[Process] = []
+        self.stats = SimulationStats()
+        if top is not None:
+            self.add_top(top)
+
+    # -- construction ---------------------------------------------------------
+    def add_top(self, module: Module) -> None:
+        """Add a top-level module to the simulation."""
+        if self._elaborated:
+            raise SchedulerError("cannot add modules after elaboration")
+        self._tops.append(module)
+
+    @property
+    def top_modules(self) -> List[Module]:
+        """The registered top-level modules."""
+        return list(self._tops)
+
+    def elaborate(self) -> None:
+        """Bind every module, signal, event and process to this simulator."""
+        if self._elaborated:
+            return
+        if not self._tops:
+            raise SchedulerError("no top-level module registered")
+        for top in self._tops:
+            for module in top.descendants():
+                module.elaborate()
+        for top in self._tops:
+            for module in top.descendants():
+                module.check_bindings()
+                for signal in module.signals:
+                    signal._bind(self)
+                for event in module._events:
+                    event._bind(self)
+                for port in module._ports:
+                    if port.bound:
+                        port.signal._bind(self)
+                for process in module.processes:
+                    process._bind(self)
+                    self._processes.append(process)
+        # All processes start runnable, as in SystemC.
+        self._immediate_runnable.extend(
+            p for p in self._processes if not p.is_method or p._static_events == []
+        )
+        # Method processes with sensitivities wait for their first trigger,
+        # except that SystemC runs them once at time zero; mirror that.
+        self._immediate_runnable.extend(
+            p for p in self._processes if p.is_method and p._static_events
+        )
+        self._elaborated = True
+
+    # -- hooks used by events/signals ------------------------------------------
+    def _schedule_timed_event(self, event: Event, when: int) -> None:
+        self._timed_events.push(when, event)
+
+    def _schedule_delta_event(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _trigger_event_now(self, event: Event) -> None:
+        self.stats.events_fired += 1
+        for process in event._collect_triggered():
+            if not process.terminated:
+                self._immediate_runnable.append(process)
+
+    def _schedule_signal_update(self, signal: Signal) -> None:
+        self._pending_signal_updates.append(signal)
+
+    # -- wait-request handling ---------------------------------------------------
+    def _apply_wait(self, process: Process, request: Yieldable) -> None:
+        if isinstance(request, int):
+            request = WaitTime(request)
+        elif isinstance(request, Event):
+            request = WaitEvent(request)
+        if isinstance(request, WaitTime):
+            if request.duration == 0:
+                self._wait_delta(process)
+            else:
+                timer = Event(f"{process.name}.timer")
+                timer._bind(self)
+                process._register_dynamic_wait(timer)
+                timer.notify(request.duration)
+        elif isinstance(request, WaitDelta):
+            self._wait_delta(process)
+        elif isinstance(request, WaitEvent):
+            request.event._bind(self)
+            process._register_dynamic_wait(request.event)
+        elif isinstance(request, WaitAny):
+            for event in request.events:
+                event._bind(self)
+                process._register_dynamic_wait(event)
+        elif isinstance(request, WaitRequest):
+            raise ProcessError(
+                f"process {process.name!r} yielded unsupported wait {request!r}"
+            )
+        else:
+            raise ProcessError(
+                f"process {process.name!r} yielded non-wait object {request!r}"
+            )
+
+    def _wait_delta(self, process: Process) -> None:
+        waker = Event(f"{process.name}.delta")
+        waker._bind(self)
+        process._register_dynamic_wait(waker)
+        waker.notify(0)
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self, duration: Optional[int] = None) -> SimulationStats:
+        """Run the simulation.
+
+        ``duration`` limits how far simulated time may advance (relative to
+        the current time); ``None`` runs until no activity remains or
+        :meth:`stop` is called.  Returns the accumulated statistics.
+        """
+        if self._running:
+            raise SchedulerError("run() re-entered while already running")
+        self.elaborate()
+        self._running = True
+        self._stop_requested = False
+        deadline = None if duration is None else self.now + duration
+        start_wall = _wallclock.perf_counter()
+        try:
+            while not self._stop_requested:
+                self._run_delta_cycles()
+                if self._stop_requested:
+                    break
+                next_time = self._timed_events.next_time()
+                if next_time is None:
+                    break
+                if deadline is not None and next_time > deadline:
+                    self.now = deadline
+                    break
+                self.now = next_time
+                self.stats.timed_steps += 1
+                for event in self._timed_events.pop_until(self.now):
+                    if event._is_pending_for(self.now):
+                        self._trigger_event_now(event)
+                if not self._immediate_runnable and not self._delta_events:
+                    # Every popped notification had been cancelled/overridden.
+                    continue
+        finally:
+            self._running = False
+            self.stats.wallclock_seconds += _wallclock.perf_counter() - start_wall
+            self.stats.end_time = self.now
+        if deadline is not None and not self._stop_requested:
+            self.now = max(self.now, deadline) if self._timed_events else self.now
+        return self.stats
+
+    def _run_delta_cycles(self) -> None:
+        deltas_here = 0
+        while self._immediate_runnable or self._delta_events:
+            # Delta notification phase for events notified with notify(0).
+            pending_delta = self._delta_events
+            self._delta_events = []
+            for event in pending_delta:
+                self._trigger_event_now(event)
+            runnable = self._unique_runnable()
+            if not runnable:
+                if not self._immediate_runnable and not self._delta_events:
+                    break
+                continue
+            self.stats.delta_cycles += 1
+            deltas_here += 1
+            if deltas_here > self.MAX_DELTA_CYCLES_PER_TIMESTEP:
+                raise DeltaCycleLimitExceeded(self.MAX_DELTA_CYCLES_PER_TIMESTEP)
+            # Evaluation phase.
+            for process in runnable:
+                if process.terminated:
+                    continue
+                self.stats.process_activations += 1
+                request = process.run()
+                if self._stop_requested:
+                    return
+                if request is None:
+                    if not process.is_method:
+                        continue  # generator finished
+                    # Method processes simply wait for their next trigger.
+                    continue
+                self._apply_wait(process, request)
+            # Update phase.
+            updates = self._pending_signal_updates
+            self._pending_signal_updates = []
+            for signal in updates:
+                signal._perform_update()
+
+    def _unique_runnable(self) -> List[Process]:
+        runnable = self._immediate_runnable
+        self._immediate_runnable = []
+        seen: Set[int] = set()
+        unique: List[Process] = []
+        for process in runnable:
+            if id(process) not in seen:
+                seen.add(id(process))
+                unique.append(process)
+        return unique
+
+    # -- control -----------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the simulation to stop at the end of the current activation."""
+        self._stop_requested = True
+
+    def finalize(self) -> None:
+        """Invoke every module's ``end_of_simulation`` hook."""
+        for top in self._tops:
+            for module in top.descendants():
+                module.end_of_simulation()
+
+    # -- convenience ---------------------------------------------------------------
+    def run_until(self, absolute_time: int) -> SimulationStats:
+        """Run until simulated time reaches ``absolute_time``."""
+        if absolute_time < self.now:
+            raise SchedulerError("cannot run backwards in time")
+        return self.run(absolute_time - self.now)
+
+    @property
+    def pending_activity(self) -> bool:
+        """True if any timed or delta activity remains scheduled."""
+        return bool(self._timed_events) or bool(self._delta_events) or bool(
+            self._immediate_runnable
+        )

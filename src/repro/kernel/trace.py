@@ -1,0 +1,128 @@
+"""Lightweight signal and transaction tracing.
+
+Two tracers are provided:
+
+* :class:`SignalTracer` samples registered signals whenever their value
+  changes and can dump the history as a value-change list or a simple VCD
+  file (enough for waveform inspection of small runs).
+* :class:`TransactionLog` records arbitrary timestamped records (used by the
+  interconnect monitor and the wrapper to log memory transactions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .signal import Signal
+from .simulator import Simulator
+
+
+@dataclass
+class TraceEntry:
+    """A single recorded value change of one signal."""
+
+    time: int
+    name: str
+    value: Any
+
+
+class SignalTracer:
+    """Records value changes of a chosen set of signals."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self._sim = simulator
+        self._signals: List[Signal] = []
+        self._last_values: Dict[int, Any] = {}
+        self.entries: List[TraceEntry] = []
+
+    def watch(self, signal: Signal) -> None:
+        """Add ``signal`` to the set of traced signals."""
+        self._signals.append(signal)
+        self._last_values[id(signal)] = signal.read()
+        self.entries.append(TraceEntry(self._sim.now, signal.name, signal.read()))
+
+    def sample(self) -> None:
+        """Record any signal whose value changed since the last sample."""
+        for signal in self._signals:
+            value = signal.read()
+            if self._last_values[id(signal)] != value:
+                self._last_values[id(signal)] = value
+                self.entries.append(TraceEntry(self._sim.now, signal.name, value))
+
+    def history(self, name: str) -> List[Tuple[int, Any]]:
+        """Return the ``(time, value)`` history of signal ``name``."""
+        return [(e.time, e.value) for e in self.entries if e.name == name]
+
+    def to_vcd(self) -> str:
+        """Render the trace as a minimal VCD document (text)."""
+        identifiers = {}
+        lines = ["$timescale 1ps $end", "$scope module trace $end"]
+        for index, signal in enumerate(self._signals):
+            ident = chr(33 + index)
+            identifiers[signal.name] = ident
+            lines.append(f"$var wire 64 {ident} {signal.name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        current_time: Optional[int] = None
+        for entry in sorted(self.entries, key=lambda e: e.time):
+            if entry.name not in identifiers:
+                continue
+            if entry.time != current_time:
+                lines.append(f"#{entry.time}")
+                current_time = entry.time
+            value = entry.value
+            if isinstance(value, bool):
+                lines.append(f"{int(value)}{identifiers[entry.name]}")
+            elif isinstance(value, int):
+                lines.append(f"b{value:b} {identifiers[entry.name]}")
+            else:
+                lines.append(f"s{value} {identifiers[entry.name]}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class TransactionRecord:
+    """A timestamped record of one transaction observed somewhere in the SoC."""
+
+    time: int
+    source: str
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class TransactionLog:
+    """An append-only log of :class:`TransactionRecord` entries."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.records: List[TransactionRecord] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time: int, source: str, kind: str, **fields: Any) -> None:
+        """Append a record (dropping it if the capacity limit is reached)."""
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TransactionRecord(time, source, kind, dict(fields)))
+
+    def filter(self, kind: Optional[str] = None, source: Optional[str] = None
+               ) -> List[TransactionRecord]:
+        """Return records matching the given kind and/or source."""
+        result = self.records
+        if kind is not None:
+            result = [r for r in result if r.kind == kind]
+        if source is not None:
+            result = [r for r in result if r.source == source]
+        return list(result)
+
+    def kinds(self) -> Sequence[str]:
+        """Distinct record kinds present in the log, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.kind not in seen:
+                seen.append(record.kind)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,113 @@
+"""Memory subsystem: host layer, static memories, heap, and baselines.
+
+This package provides the memory substrate of the co-simulation framework:
+
+* :class:`HostMemory` / :class:`HostBlock` — the host machine's memory
+  management capabilities (Figure 1's bottom layer) used by the wrapper;
+* :class:`StaticMemory` — the traditional table memory module;
+* :class:`FreeListHeap` — a first-fit allocator with in-memory metadata;
+* :class:`ModeledDynamicMemory` — the fully-modelled dynamic memory baseline;
+* :mod:`repro.memory.protocol` — the transaction protocol shared by every
+  dynamic memory module (opcodes, status codes, register map).
+"""
+
+from .dynamic_base import (
+    DynamicMemorySlave,
+    decode_element,
+    encode_element,
+    to_signed,
+)
+from .heap import (
+    HEADER_BYTES,
+    CountingAccessor,
+    FreeListHeap,
+    HeapError,
+    HeapStats,
+    WordAccessor,
+)
+from .host_memory import (
+    HostAccessError,
+    HostAllocationError,
+    HostBlock,
+    HostMemory,
+    HostMemoryStats,
+)
+from .latency import LatencyModel, make_page_hit_model, sdram_latency, sram_latency
+from .modeled_dynamic_memory import ModeledDynamicMemory
+from .protocol import (
+    DATA_TYPE_SIZES,
+    IO_ARRAY_BASE,
+    IO_ARRAY_BYTES,
+    REG_COMMAND,
+    REG_DATA_IN,
+    REG_DIM,
+    REG_GO,
+    REG_LIVE_COUNT,
+    REG_OFFSET,
+    REG_OPCODE,
+    REG_RESULT,
+    REG_SM_ADDR,
+    REG_STATUS,
+    REG_TYPE,
+    REG_USED_BYTES,
+    REG_VPTR,
+    REGISTER_WINDOW_BYTES,
+    DataType,
+    Endianness,
+    MemCommand,
+    MemOpcode,
+    MemResult,
+    MemStatus,
+    ProtocolError,
+    data_type_size,
+)
+from .static_memory import StaticMemory
+
+__all__ = [
+    "CountingAccessor",
+    "DATA_TYPE_SIZES",
+    "DataType",
+    "DynamicMemorySlave",
+    "Endianness",
+    "FreeListHeap",
+    "HEADER_BYTES",
+    "HeapError",
+    "HeapStats",
+    "HostAccessError",
+    "HostAllocationError",
+    "HostBlock",
+    "HostMemory",
+    "HostMemoryStats",
+    "IO_ARRAY_BASE",
+    "IO_ARRAY_BYTES",
+    "LatencyModel",
+    "MemCommand",
+    "MemOpcode",
+    "MemResult",
+    "MemStatus",
+    "ModeledDynamicMemory",
+    "ProtocolError",
+    "REG_COMMAND",
+    "REG_DATA_IN",
+    "REG_DIM",
+    "REG_GO",
+    "REG_LIVE_COUNT",
+    "REG_OFFSET",
+    "REG_OPCODE",
+    "REG_RESULT",
+    "REG_SM_ADDR",
+    "REG_STATUS",
+    "REG_TYPE",
+    "REG_USED_BYTES",
+    "REG_VPTR",
+    "REGISTER_WINDOW_BYTES",
+    "StaticMemory",
+    "WordAccessor",
+    "data_type_size",
+    "decode_element",
+    "encode_element",
+    "make_page_hit_model",
+    "sdram_latency",
+    "sram_latency",
+    "to_signed",
+]

@@ -1,0 +1,219 @@
+"""A first-fit free-list heap whose metadata lives *inside* a memory.
+
+This is the building block of the traditional, fully-modelled dynamic memory
+baseline: every header word the allocator touches goes through a
+:class:`WordAccessor`, so when the accessor is backed by a simulated memory
+each ``malloc``/``free`` costs a number of (simulated and host) accesses that
+grows with heap fragmentation — exactly the "complex and slow dynamic memory
+models" the paper contrasts its wrapper against.
+
+Block layout (all fields are 32-bit words)::
+
+    +0: block size in bytes, including the 8-byte header
+    +4: status word (0 = free, 1 = allocated)
+    +8: payload ...
+
+The heap is an implicit list: blocks are walked from the region base by
+adding their sizes.  ``free`` coalesces with the *next* block when possible
+and a full :meth:`coalesce` pass merges every adjacent pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+HEADER_BYTES = 8
+_FREE = 0
+_USED = 1
+
+
+class HeapError(Exception):
+    """Raised on invalid heap operations (bad free, corrupted headers...)."""
+
+
+class WordAccessor:
+    """Accessor interface used by the heap to touch memory words."""
+
+    def read_word(self, address: int) -> int:
+        raise NotImplementedError
+
+    def write_word(self, address: int, value: int) -> None:
+        raise NotImplementedError
+
+
+class CountingAccessor(WordAccessor):
+    """Adapter wrapping read/write callables and counting every access."""
+
+    def __init__(self, read: Callable[[int], int],
+                 write: Callable[[int, int], None]) -> None:
+        self._read = read
+        self._write = write
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of word accesses performed through this adapter."""
+        return self.reads + self.writes
+
+    def read_word(self, address: int) -> int:
+        self.reads += 1
+        return self._read(address)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.writes += 1
+        self._write(address, value)
+
+
+@dataclass
+class HeapStats:
+    """Counters describing the work performed by the allocator."""
+
+    malloc_calls: int = 0
+    free_calls: int = 0
+    failed_allocs: int = 0
+    splits: int = 0
+    coalesces: int = 0
+
+
+class FreeListHeap:
+    """First-fit allocator over ``[base, base + size_bytes)`` of an accessor."""
+
+    def __init__(self, accessor: WordAccessor, base: int, size_bytes: int,
+                 alignment: int = 4) -> None:
+        if size_bytes <= HEADER_BYTES:
+            raise ValueError("heap region too small for even one header")
+        if alignment < 4 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two >= 4")
+        self._mem = accessor
+        self.base = base
+        self.size_bytes = size_bytes
+        self.alignment = alignment
+        self.stats = HeapStats()
+        self._initialized = False
+
+    # -- setup ----------------------------------------------------------------
+    def initialize(self) -> None:
+        """Format the region as a single free block."""
+        self._mem.write_word(self.base, self.size_bytes)
+        self._mem.write_word(self.base + 4, _FREE)
+        self._initialized = True
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise HeapError("heap used before initialize()")
+
+    # -- allocation -----------------------------------------------------------
+    def _aligned(self, nbytes: int) -> int:
+        nbytes = max(1, nbytes)
+        mask = self.alignment - 1
+        return (nbytes + mask) & ~mask
+
+    def malloc(self, nbytes: int) -> Optional[int]:
+        """Allocate ``nbytes``; returns the payload address or ``None`` if full."""
+        self._require_init()
+        self.stats.malloc_calls += 1
+        needed = self._aligned(nbytes) + HEADER_BYTES
+        cursor = self.base
+        end = self.base + self.size_bytes
+        while cursor < end:
+            block_size = self._mem.read_word(cursor)
+            status = self._mem.read_word(cursor + 4)
+            if block_size < HEADER_BYTES or cursor + block_size > end:
+                raise HeapError(f"corrupted block header at {cursor:#x}")
+            if status == _FREE and block_size >= needed:
+                remainder = block_size - needed
+                if remainder >= HEADER_BYTES + self.alignment:
+                    # Split: the tail remains free.
+                    self._mem.write_word(cursor, needed)
+                    self._mem.write_word(cursor + needed, remainder)
+                    self._mem.write_word(cursor + needed + 4, _FREE)
+                    self.stats.splits += 1
+                self._mem.write_word(cursor + 4, _USED)
+                return cursor + HEADER_BYTES
+            cursor += block_size
+        self.stats.failed_allocs += 1
+        return None
+
+    def free(self, payload_address: int) -> None:
+        """Release the allocation whose payload starts at ``payload_address``."""
+        self._require_init()
+        header = payload_address - HEADER_BYTES
+        if header < self.base or header >= self.base + self.size_bytes:
+            raise HeapError(f"free of address {payload_address:#x} outside heap")
+        status = self._mem.read_word(header + 4)
+        if status != _USED:
+            raise HeapError(f"double or invalid free at {payload_address:#x}")
+        self.stats.free_calls += 1
+        self._mem.write_word(header + 4, _FREE)
+        # Eagerly coalesce with the following block if it is free.
+        size = self._mem.read_word(header)
+        nxt = header + size
+        if nxt < self.base + self.size_bytes:
+            next_size = self._mem.read_word(nxt)
+            next_status = self._mem.read_word(nxt + 4)
+            if next_status == _FREE:
+                self._mem.write_word(header, size + next_size)
+                self.stats.coalesces += 1
+
+    def coalesce(self) -> int:
+        """Merge every pair of adjacent free blocks; returns the merge count."""
+        self._require_init()
+        merged = 0
+        cursor = self.base
+        end = self.base + self.size_bytes
+        while cursor < end:
+            size = self._mem.read_word(cursor)
+            status = self._mem.read_word(cursor + 4)
+            nxt = cursor + size
+            if nxt >= end:
+                break
+            next_size = self._mem.read_word(nxt)
+            next_status = self._mem.read_word(nxt + 4)
+            if status == _FREE and next_status == _FREE:
+                self._mem.write_word(cursor, size + next_size)
+                merged += 1
+                continue  # re-check the grown block against its new neighbour
+            cursor = nxt
+        self.stats.coalesces += merged
+        return merged
+
+    # -- inspection ------------------------------------------------------------
+    def walk(self) -> List[Tuple[int, int, bool]]:
+        """Return ``(address, size, used)`` for every block, in address order."""
+        self._require_init()
+        blocks = []
+        cursor = self.base
+        end = self.base + self.size_bytes
+        while cursor < end:
+            size = self._mem.read_word(cursor)
+            status = self._mem.read_word(cursor + 4)
+            if size < HEADER_BYTES or cursor + size > end:
+                raise HeapError(f"corrupted block header at {cursor:#x}")
+            blocks.append((cursor, size, status == _USED))
+            cursor += size
+        return blocks
+
+    def used_bytes(self) -> int:
+        """Payload bytes currently allocated."""
+        return sum(size - HEADER_BYTES for _, size, used in self.walk() if used)
+
+    def free_bytes(self) -> int:
+        """Payload bytes available (ignoring fragmentation)."""
+        return sum(size - HEADER_BYTES for _, size, used in self.walk() if not used)
+
+    def live_allocations(self) -> int:
+        """Number of allocated blocks."""
+        return sum(1 for _, _, used in self.walk() if used)
+
+    def check_consistency(self) -> None:
+        """Raise :class:`HeapError` unless the block list tiles the region exactly."""
+        blocks = self.walk()
+        expected = self.base
+        for address, size, _used in blocks:
+            if address != expected:
+                raise HeapError(f"block list has a gap at {expected:#x}")
+            expected += size
+        if expected != self.base + self.size_bytes:
+            raise HeapError("block list does not cover the whole region")

@@ -1,0 +1,234 @@
+"""The dynamic-memory transaction protocol.
+
+This module defines the *contract* between processing elements and any
+dynamic memory module on the interconnect: the paper's host-backed shared
+memory wrapper (:mod:`repro.wrapper`) and the traditional fully-modelled
+baseline (:mod:`repro.memory.modeled_dynamic_memory`) both implement it, so
+software written against the high-level API runs unchanged on either.
+
+Following Figure 2 of the paper, every transaction starts with an *opcode*
+and the *shared-memory address* (``sm_addr``, identifying the memory module)
+followed by the operands.  On our memory-mapped interconnect the command is
+delivered as a burst write to the module's command port; scalar register
+accesses are also supported for ISS-style software that pokes individual
+I/O registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class MemOpcode(enum.IntEnum):
+    """Operation codes understood by dynamic memory modules."""
+
+    NOP = 0x00
+    #: Allocate ``dim`` elements of ``data_type`` (maps to host ``calloc``).
+    ALLOC = 0x01
+    #: Free the allocation identified by a virtual pointer.
+    FREE = 0x02
+    #: Write one element at ``vptr`` (+ element offset).
+    WRITE = 0x03
+    #: Read one element at ``vptr`` (+ element offset).
+    READ = 0x04
+    #: Write ``dim`` elements from the I/O array (indexed structures).
+    WRITE_ARRAY = 0x05
+    #: Read ``dim`` elements into the I/O array (indexed structures).
+    READ_ARRAY = 0x06
+    #: Set the reservation bit (semaphore) of a virtual pointer.
+    RESERVE = 0x07
+    #: Clear the reservation bit of a virtual pointer.
+    RELEASE = 0x08
+    #: Query the size/type of an allocation (diagnostic).
+    QUERY = 0x09
+
+
+class MemStatus(enum.IntEnum):
+    """Completion status codes returned in the status register."""
+
+    OK = 0x0
+    #: The allocation would exceed the configured memory capacity.
+    ERR_FULL = 0x1
+    #: The virtual pointer does not belong to any live allocation.
+    ERR_INVALID_PTR = 0x2
+    #: The pointer is reserved by a different master (coherence conflict).
+    ERR_RESERVED = 0x3
+    #: Unknown opcode.
+    ERR_BAD_OPCODE = 0x4
+    #: The ``sm_addr`` field does not match this memory module.
+    ERR_BAD_SM_ADDR = 0x5
+    #: Access past the end of the addressed allocation.
+    ERR_OUT_OF_RANGE = 0x6
+    #: Malformed command (missing operands, bad data type...).
+    ERR_MALFORMED = 0x7
+
+
+class DataType(enum.IntEnum):
+    """Element data types supported by the translator."""
+
+    UINT8 = 0x0
+    INT8 = 0x1
+    UINT16 = 0x2
+    INT16 = 0x3
+    UINT32 = 0x4
+    INT32 = 0x5
+    FLOAT32 = 0x6
+
+
+#: Element size in bytes for every :class:`DataType`.
+DATA_TYPE_SIZES = {
+    DataType.UINT8: 1,
+    DataType.INT8: 1,
+    DataType.UINT16: 2,
+    DataType.INT16: 2,
+    DataType.UINT32: 4,
+    DataType.INT32: 4,
+    DataType.FLOAT32: 4,
+}
+
+#: True for types interpreted as signed two's-complement integers.
+DATA_TYPE_SIGNED = {
+    DataType.UINT8: False,
+    DataType.INT8: True,
+    DataType.UINT16: False,
+    DataType.INT16: True,
+    DataType.UINT32: False,
+    DataType.INT32: True,
+    DataType.FLOAT32: False,
+}
+
+
+def data_type_size(data_type: "DataType | int") -> int:
+    """Element size in bytes of ``data_type`` (raises on unknown types)."""
+    return DATA_TYPE_SIZES[DataType(data_type)]
+
+
+class Endianness(enum.Enum):
+    """Byte order of the *simulated* architecture."""
+
+    LITTLE = "little"
+    BIG = "big"
+
+
+# --------------------------------------------------------------------------
+# Register map of a dynamic memory module (word-aligned byte offsets).
+# --------------------------------------------------------------------------
+
+#: Burst-write command port: [opcode, sm_addr, operands...] in one transfer.
+REG_COMMAND = 0x00
+#: Individual operand registers (ISS-style register pokes).
+REG_OPCODE = 0x20
+REG_SM_ADDR = 0x24
+REG_VPTR = 0x28
+REG_DIM = 0x2C
+REG_TYPE = 0x30
+REG_DATA_IN = 0x34
+REG_OFFSET = 0x38
+#: Writing any value here launches the operation staged in the registers.
+REG_GO = 0x3C
+#: Read-only: status of the last completed operation.
+REG_STATUS = 0x40
+#: Read-only: primary result of the last completed operation.
+REG_RESULT = 0x44
+#: Read-only: number of live allocations (diagnostic).
+REG_LIVE_COUNT = 0x48
+#: Read-only: bytes currently allocated (diagnostic).
+REG_USED_BYTES = 0x4C
+#: Base of the I/O array window used by burst (indexed-structure) transfers.
+IO_ARRAY_BASE = 0x100
+#: Size of the I/O array window in bytes (256 words).
+IO_ARRAY_BYTES = 0x400
+#: Total size of a dynamic memory module's register window.
+REGISTER_WINDOW_BYTES = IO_ARRAY_BASE + IO_ARRAY_BYTES
+
+
+@dataclass
+class MemCommand:
+    """A decoded dynamic-memory command (opcode + operands)."""
+
+    opcode: MemOpcode
+    sm_addr: int = 0
+    vptr: int = 0
+    dim: int = 0
+    data_type: DataType = DataType.UINT32
+    data: int = 0
+    offset: int = 0
+
+    def to_words(self) -> List[int]:
+        """Encode the command as the word sequence sent to ``REG_COMMAND``.
+
+        Word order matches the paper's transaction format: opcode and
+        sm_addr first, then the operands needed by the opcode.
+        """
+        words = [int(self.opcode), self.sm_addr]
+        if self.opcode == MemOpcode.ALLOC:
+            words += [self.dim, int(self.data_type)]
+        elif self.opcode in (MemOpcode.FREE, MemOpcode.RESERVE, MemOpcode.RELEASE,
+                             MemOpcode.QUERY):
+            words += [self.vptr]
+        elif self.opcode == MemOpcode.WRITE:
+            words += [self.vptr, self.offset, self.data]
+        elif self.opcode == MemOpcode.READ:
+            words += [self.vptr, self.offset]
+        elif self.opcode in (MemOpcode.WRITE_ARRAY, MemOpcode.READ_ARRAY):
+            words += [self.vptr, self.offset, self.dim]
+        return words
+
+    @classmethod
+    def from_words(cls, words: List[int]) -> "MemCommand":
+        """Decode a word sequence received on the command port.
+
+        Raises :class:`ProtocolError` when the sequence is malformed.
+        """
+        if len(words) < 2:
+            raise ProtocolError("command needs at least opcode and sm_addr")
+        try:
+            opcode = MemOpcode(words[0])
+        except ValueError:
+            raise ProtocolError(f"unknown opcode {words[0]:#x}") from None
+        command = cls(opcode=opcode, sm_addr=words[1])
+        operands = words[2:]
+        try:
+            if opcode == MemOpcode.ALLOC:
+                command.dim = operands[0]
+                command.data_type = DataType(operands[1])
+            elif opcode in (MemOpcode.FREE, MemOpcode.RESERVE, MemOpcode.RELEASE,
+                            MemOpcode.QUERY):
+                command.vptr = operands[0]
+            elif opcode == MemOpcode.WRITE:
+                command.vptr, command.offset, command.data = operands[:3]
+                if len(operands) < 3:
+                    raise IndexError
+            elif opcode == MemOpcode.READ:
+                command.vptr, command.offset = operands[:2]
+                if len(operands) < 2:
+                    raise IndexError
+            elif opcode in (MemOpcode.WRITE_ARRAY, MemOpcode.READ_ARRAY):
+                command.vptr, command.offset, command.dim = operands[:3]
+                if len(operands) < 3:
+                    raise IndexError
+        except (IndexError, ValueError):
+            raise ProtocolError(
+                f"malformed operand list {operands!r} for opcode {opcode.name}"
+            ) from None
+        return command
+
+
+@dataclass
+class MemResult:
+    """The outcome of a dynamic-memory operation."""
+
+    status: MemStatus
+    value: int = 0
+    burst: Optional[List[int]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the operation completed with :attr:`MemStatus.OK`."""
+        return self.status is MemStatus.OK
+
+
+class ProtocolError(Exception):
+    """Raised when a command cannot be encoded or decoded."""

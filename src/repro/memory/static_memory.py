@@ -1,0 +1,115 @@
+"""Static table memory module.
+
+This is the traditional memory model the paper starts from: a fixed-size
+table (here a ``bytearray``) mapped on the interconnect.  It supports byte,
+half-word, word and burst accesses with a configurable latency model and
+endianness, and is used for instruction/data memory of the ISSs, for the
+baseline platforms, and as the backing store of the fully-modelled dynamic
+memory baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..interconnect.bus import BusSlave
+from ..interconnect.transaction import BusOp, BusRequest, BusResponse, ResponseStatus
+from .latency import LatencyModel
+from .protocol import Endianness
+
+
+class StaticMemory(BusSlave):
+    """A word-addressable static memory with configurable latency."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        latency: Optional[LatencyModel] = None,
+        endianness: Endianness = Endianness.LITTLE,
+        name: str = "smem",
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.storage = bytearray(size_bytes)
+        self.latency_model = latency if latency is not None else LatencyModel()
+        self.endianness = endianness
+        self.reads = 0
+        self.writes = 0
+
+    # -- direct (debug/loader) access: does not consume simulated time ----------
+    def load_bytes(self, offset: int, payload: bytes) -> None:
+        """Back-door write used by program loaders and test benches."""
+        if offset < 0 or offset + len(payload) > self.size_bytes:
+            raise ValueError("back-door load outside memory bounds")
+        self.storage[offset:offset + len(payload)] = payload
+
+    def dump_bytes(self, offset: int, length: int) -> bytes:
+        """Back-door read used by checkers and test benches."""
+        if offset < 0 or offset + length > self.size_bytes:
+            raise ValueError("back-door dump outside memory bounds")
+        return bytes(self.storage[offset:offset + length])
+
+    def read_word_backdoor(self, offset: int) -> int:
+        """Back-door 32-bit read (no simulated time)."""
+        return int.from_bytes(self.dump_bytes(offset, 4), self.endianness.value)
+
+    def write_word_backdoor(self, offset: int, value: int) -> None:
+        """Back-door 32-bit write (no simulated time)."""
+        self.load_bytes(offset, (value & 0xFFFFFFFF).to_bytes(4, self.endianness.value))
+
+    # -- BusSlave protocol ----------------------------------------------------------
+    def latency(self, request: BusRequest) -> int:
+        if request.is_burst:
+            if request.op is BusOp.READ:
+                return self.latency_model.burst_read(request.word_count,
+                                                     request.word_count * 4)
+            return self.latency_model.burst_write(request.word_count,
+                                                  request.word_count * 4)
+        if request.op is BusOp.READ:
+            return self.latency_model.scalar_read(request.size)
+        return self.latency_model.scalar_write(request.size)
+
+    def access(self, request: BusRequest, offset: int) -> BusResponse:
+        if request.is_burst:
+            return self._burst_access(request, offset)
+        return self._scalar_access(request, offset)
+
+    # -- helpers -----------------------------------------------------------------------
+    def _scalar_access(self, request: BusRequest, offset: int) -> BusResponse:
+        size = request.size
+        if offset < 0 or offset + size > self.size_bytes:
+            return BusResponse(status=ResponseStatus.SLAVE_ERROR)
+        if request.op is BusOp.WRITE:
+            self.writes += 1
+            value = request.data & ((1 << (8 * size)) - 1)
+            self.storage[offset:offset + size] = value.to_bytes(
+                size, self.endianness.value
+            )
+            return BusResponse()
+        self.reads += 1
+        word = int.from_bytes(self.storage[offset:offset + size],
+                              self.endianness.value)
+        return BusResponse(data=word)
+
+    def _burst_access(self, request: BusRequest, offset: int) -> BusResponse:
+        word_count = request.word_count
+        if offset < 0 or offset + 4 * word_count > self.size_bytes:
+            return BusResponse(status=ResponseStatus.SLAVE_ERROR)
+        if request.op is BusOp.WRITE:
+            assert request.burst_data is not None
+            self.writes += word_count
+            for index, word in enumerate(request.burst_data):
+                position = offset + 4 * index
+                self.storage[position:position + 4] = (word & 0xFFFFFFFF).to_bytes(
+                    4, self.endianness.value
+                )
+            return BusResponse()
+        self.reads += word_count
+        words: List[int] = []
+        for index in range(word_count):
+            position = offset + 4 * index
+            words.append(int.from_bytes(self.storage[position:position + 4],
+                                        self.endianness.value))
+        return BusResponse(burst_data=words)

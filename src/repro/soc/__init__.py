@@ -1,0 +1,31 @@
+"""SoC composition: platform configuration, builder and reporting."""
+
+from .config import (
+    ArbitrationKind,
+    InterconnectKind,
+    MemoryKind,
+    PlatformConfig,
+)
+from .platform import MemoryIdleTicker, Platform, run_platform
+from .stats import (
+    SimulationReport,
+    SweepPoint,
+    format_table,
+    speed_degradation,
+    wallclock_overhead,
+)
+
+__all__ = [
+    "ArbitrationKind",
+    "InterconnectKind",
+    "MemoryIdleTicker",
+    "MemoryKind",
+    "Platform",
+    "PlatformConfig",
+    "SimulationReport",
+    "SweepPoint",
+    "format_table",
+    "run_platform",
+    "speed_degradation",
+    "wallclock_overhead",
+]

@@ -1,0 +1,268 @@
+"""Platform builder: assembles PEs, interconnect and shared memories.
+
+:class:`Platform` turns a :class:`~repro.soc.config.PlatformConfig` into a
+ready-to-run module hierarchy:
+
+* one interconnect (shared bus or crossbar),
+* ``num_memories`` dynamic memory modules (host-backed wrappers or the
+  fully-modelled baseline), each mapped in its own address window,
+* ``num_pes`` task processors, each with one master port and one
+  :class:`~repro.wrapper.api.SharedMemoryAPI` per memory,
+* optionally a per-cycle "idle ticker" that evaluates every memory module
+  each clock cycle, reproducing the cost structure of cycle-driven
+  co-simulation kernels.
+
+Typical use::
+
+    config = PlatformConfig(num_pes=4, num_memories=1)
+    platform = Platform(config)
+    platform.add_task(make_fir_task(samples, taps))   # round-robin placement
+    report = platform.run()
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Callable, List, Optional, Union
+
+from ..interconnect.arbiter import make_arbiter
+from ..interconnect.bus import SharedBus
+from ..interconnect.crossbar import Crossbar
+from ..kernel import Event, Module, Simulator
+from ..memory.host_memory import HostMemory
+from ..memory.modeled_dynamic_memory import ModeledDynamicMemory
+from ..memory.protocol import REGISTER_WINDOW_BYTES
+from ..wrapper.api import SharedMemoryAPI
+from ..wrapper.shared_memory import SharedMemoryWrapper
+from ..sw.task import TaskFunction
+from ..sw.task_processor import TaskProcessor
+from .config import ArbitrationKind, InterconnectKind, MemoryKind, PlatformConfig
+from .stats import SimulationReport
+
+DynamicMemory = Union[SharedMemoryWrapper, ModeledDynamicMemory]
+
+
+class MemoryIdleTicker(Module):
+    """Evaluates platform modules once per clock cycle (cycle-driven mode).
+
+    Cycle-driven co-simulation kernels (GEZEL, plain SystemC RTL) evaluate
+    every hardware module on every clock edge whether or not it has work to
+    do.  This module reproduces that cost structure: each simulated cycle it
+    performs ``work_units`` host-work units per memory module (the wrapper
+    FSM input evaluation) and, optionally, ``pe_work_units`` per processing
+    element (the ISS stepping one instruction/cycle).  The paper's
+    "degradation of simulation speed" when adding shared memories comes
+    exactly from the memory part of this per-cycle cost.
+    """
+
+    def __init__(self, name: str, memories: List[DynamicMemory], period: int,
+                 work_units: int, processors: Optional[List[TaskProcessor]] = None,
+                 pe_work_units: int = 0,
+                 parent: Optional[Module] = None) -> None:
+        super().__init__(name, parent)
+        self.memories = memories
+        self.period = period
+        self.work_units = max(0, work_units)
+        self.processors = processors if processors is not None else []
+        self.pe_work_units = max(0, pe_work_units)
+        self.ticks = 0
+        self._sink = 0
+        self.add_process(self._run, name="tick")
+
+    def _spin(self, units: int) -> None:
+        for _ in range(units):
+            self._sink = (self._sink * 33 + 1) & 0xFFFFFFFF
+
+    def _run(self):
+        while True:
+            yield self.period
+            self.ticks += 1
+            if self.pe_work_units:
+                for _processor in self.processors:
+                    self._spin(self.pe_work_units)
+            for memory in self.memories:
+                # Evaluate the wrapper FSM's idle state (or the baseline's
+                # front end): a bounded amount of host work per module per
+                # cycle, as a cycle-driven kernel would perform.
+                self._spin(self.work_units)
+                idle_tick = getattr(memory, "idle_tick", None)
+                if idle_tick is not None:
+                    idle_tick()
+
+
+class Platform:
+    """A complete MPSoC co-simulation platform built from a configuration."""
+
+    def __init__(self, config: PlatformConfig,
+                 host: Optional[HostMemory] = None) -> None:
+        self.config = config
+        self.top = Module(config.name)
+        self.host = host if host is not None else HostMemory()
+        self.interconnect = self._build_interconnect()
+        self.memories: List[DynamicMemory] = [
+            self._build_memory(index) for index in range(config.num_memories)
+        ]
+        for index, memory in enumerate(self.memories):
+            self.interconnect.attach_slave(
+                f"smem{index}", config.memory_base(index), REGISTER_WINDOW_BYTES,
+                memory,
+            )
+        self.processors: List[TaskProcessor] = []
+        self._pending_tasks: List[TaskFunction] = []
+        self.ticker: Optional[MemoryIdleTicker] = None
+        if config.idle_tick_memories:
+            self.ticker = MemoryIdleTicker(
+                "mem_ticker", self.memories, config.clock_period,
+                config.idle_tick_work, processors=self.processors,
+                pe_work_units=config.pe_tick_work, parent=self.top,
+            )
+        self.simulator: Optional[Simulator] = None
+        self._stop_event: Optional[Event] = None
+
+    # -- construction helpers ---------------------------------------------------------
+    def _build_interconnect(self):
+        config = self.config
+        if config.interconnect is InterconnectKind.CROSSBAR:
+            return Crossbar("xbar", period=config.clock_period,
+                            arbitration_cycles=config.arbitration_cycles,
+                            parent=self.top)
+        arbiter = make_arbiter(
+            config.arbitration.value,
+            schedule=list(range(config.num_pes)),
+            priority_order=list(range(config.num_pes)),
+        ) if config.arbitration is not ArbitrationKind.ROUND_ROBIN else None
+        return SharedBus("bus", period=config.clock_period,
+                         arbitration_cycles=config.arbitration_cycles,
+                         arbiter=arbiter, parent=self.top)
+
+    def _build_memory(self, index: int) -> DynamicMemory:
+        config = self.config
+        if config.memory_kind is MemoryKind.WRAPPER:
+            return SharedMemoryWrapper(
+                capacity_bytes=config.memory_capacity_bytes,
+                sm_addr=index,
+                host=self.host,
+                delays=config.wrapper_delays,
+                endianness=config.endianness,
+                base_vptr=0,
+                name=f"smem{index}",
+            )
+        capacity = config.memory_capacity_bytes or (1 << 20)
+        return ModeledDynamicMemory(
+            size_bytes=capacity,
+            sm_addr=index,
+            endianness=config.endianness,
+            latency=config.modeled_latency,
+            name=f"smem{index}",
+        )
+
+    # -- task placement ------------------------------------------------------------------
+    def add_task(self, task: TaskFunction, pe_index: Optional[int] = None,
+                 start_delay_cycles: int = 0, name: Optional[str] = None
+                 ) -> TaskProcessor:
+        """Place ``task`` on a processing element (round-robin by default)."""
+        if pe_index is None:
+            pe_index = len(self.processors)
+        if pe_index >= self.config.num_pes:
+            raise ValueError(
+                f"PE index {pe_index} out of range (platform has "
+                f"{self.config.num_pes} PEs)"
+            )
+        port = self.interconnect.master_port(pe_index, name=f"pe{pe_index}")
+        apis = [
+            SharedMemoryAPI(
+                port,
+                base_address=self.config.memory_base(mem_index),
+                sm_addr=mem_index,
+                tag_prefix=f"pe{pe_index}.smem{mem_index}",
+            )
+            for mem_index in range(self.config.num_memories)
+        ]
+        processor = TaskProcessor(
+            name or f"pe{pe_index}",
+            port,
+            apis,
+            task,
+            clock_period=self.config.clock_period,
+            cost_model=self.config.cost_model,
+            start_delay_cycles=start_delay_cycles,
+            parent=self.top,
+        )
+        self.processors.append(processor)
+        return processor
+
+    def add_tasks(self, tasks: List[TaskFunction]) -> List[TaskProcessor]:
+        """Place one task per PE, in order."""
+        return [self.add_task(task) for task in tasks]
+
+    # -- execution ----------------------------------------------------------------------------
+    def run(self, max_time: Optional[int] = None) -> SimulationReport:
+        """Simulate until every PE finishes (or ``max_time`` elapses)."""
+        if not self.processors:
+            raise RuntimeError("no tasks were added to the platform")
+        self.simulator = Simulator(self.top)
+        wall_start = _wallclock.perf_counter()
+        if self.ticker is None and max_time is None:
+            # Pure event-driven run: ends when no activity remains.
+            self.simulator.run()
+        else:
+            # The ticker keeps the event queue busy forever, so run in slices
+            # until every PE finished (or the optional deadline passes).
+            slice_time = 50_000 * self.config.clock_period
+            deadline = max_time
+            while True:
+                remaining = None if deadline is None else deadline - self.simulator.now
+                if remaining is not None and remaining <= 0:
+                    break
+                step = slice_time if remaining is None else min(slice_time, remaining)
+                self.simulator.run(step)
+                if all(p.finished for p in self.processors):
+                    break
+                if not self.simulator.pending_activity:
+                    break
+        wallclock = _wallclock.perf_counter() - wall_start
+        self.simulator.finalize()
+        return self._build_report(wallclock)
+
+    def _build_report(self, wallclock_seconds: float) -> SimulationReport:
+        assert self.simulator is not None
+        interconnect_stats = {
+            "transactions": self.interconnect.stats.transactions,
+            "busy_cycles": self.interconnect.stats.busy_cycles,
+            "decode_errors": self.interconnect.stats.decode_errors,
+            "utilization": self.interconnect.utilization(self.simulator.now),
+        }
+        memory_reports = []
+        for memory in self.memories:
+            if isinstance(memory, SharedMemoryWrapper):
+                memory_reports.append(memory.report())
+            else:
+                memory_reports.append({
+                    "name": memory.name,
+                    "live_allocations": memory.live_count(),
+                    "used_bytes": memory.used_bytes(),
+                    "heap_accesses": memory.heap_accesses(),
+                    "op_counts": {op.name: count
+                                  for op, count in memory.op_counts.items()},
+                })
+        return SimulationReport(
+            description=self.config.describe(),
+            simulated_time=self.simulator.now,
+            clock_period=self.config.clock_period,
+            wallclock_seconds=wallclock_seconds,
+            kernel_stats=self.simulator.stats.as_dict(),
+            pe_reports=[p.report() for p in self.processors],
+            memory_reports=memory_reports,
+            interconnect_stats=interconnect_stats,
+            results={p.name: p.stats.result for p in self.processors},
+        )
+
+
+def run_platform(config: PlatformConfig, tasks: List[TaskFunction],
+                 max_time: Optional[int] = None,
+                 host: Optional[HostMemory] = None) -> SimulationReport:
+    """Convenience: build a platform, place ``tasks`` and run it."""
+    platform = Platform(config, host=host)
+    platform.add_tasks(tasks)
+    return platform.run(max_time=max_time)

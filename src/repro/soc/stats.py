@@ -1,0 +1,139 @@
+"""Simulation-speed and platform-level statistics.
+
+The paper's evaluation metric is *simulation speed*: how fast the host
+machine advances simulated time (and how much that degrades when the
+platform grows).  :class:`SimulationReport` gathers everything one platform
+run produces — wall-clock time, simulated cycles, per-PE and per-memory
+summaries — and :func:`speed_degradation` compares two runs the way the
+paper's Section 4 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimulationReport:
+    """Results of one platform simulation run."""
+
+    description: str
+    simulated_time: int
+    clock_period: int
+    wallclock_seconds: float
+    kernel_stats: Dict[str, float]
+    pe_reports: List[dict] = field(default_factory=list)
+    memory_reports: List[dict] = field(default_factory=list)
+    interconnect_stats: Dict[str, float] = field(default_factory=dict)
+    results: Dict[str, object] = field(default_factory=dict)
+
+    # -- core metrics -----------------------------------------------------------
+    @property
+    def simulated_cycles(self) -> int:
+        """Simulated clock cycles covered by the run."""
+        return self.simulated_time // self.clock_period
+
+    @property
+    def simulation_speed(self) -> float:
+        """Simulated cycles per host second (the paper's speed metric)."""
+        if self.wallclock_seconds <= 0:
+            return float("inf")
+        return self.simulated_cycles / self.wallclock_seconds
+
+    @property
+    def all_pes_finished(self) -> bool:
+        """True when every processing element ran its task to completion."""
+        return all(report.get("finished") for report in self.pe_reports)
+
+    def total_api_calls(self) -> int:
+        """Total shared-memory API calls issued by all PEs."""
+        return sum(report.get("api_calls", 0) for report in self.pe_reports)
+
+    def total_transactions(self) -> int:
+        """Total interconnect transactions."""
+        return int(self.interconnect_stats.get("transactions", 0))
+
+    # -- formatting ----------------------------------------------------------------
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"platform:        {self.description}",
+            f"simulated time:  {self.simulated_time} ({self.simulated_cycles} cycles)",
+            f"wall clock:      {self.wallclock_seconds:.3f} s",
+            f"speed:           {self.simulation_speed:,.0f} cycles/s",
+            f"transactions:    {self.total_transactions()}",
+            f"API calls:       {self.total_api_calls()}",
+            f"PEs finished:    {sum(1 for r in self.pe_reports if r.get('finished'))}"
+            f"/{len(self.pe_reports)}",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-serialisable) used by the benches."""
+        return {
+            "description": self.description,
+            "simulated_time": self.simulated_time,
+            "simulated_cycles": self.simulated_cycles,
+            "wallclock_seconds": self.wallclock_seconds,
+            "simulation_speed": self.simulation_speed,
+            "kernel_stats": dict(self.kernel_stats),
+            "interconnect_stats": dict(self.interconnect_stats),
+            "pe_reports": list(self.pe_reports),
+            "memory_reports": list(self.memory_reports),
+        }
+
+
+def speed_degradation(reference: SimulationReport, other: SimulationReport) -> float:
+    """Relative simulation-speed degradation of ``other`` vs. ``reference``.
+
+    Returns a fraction: 0.20 means ``other`` simulates 20% slower (the
+    paper's headline number when going from one to four shared memories).
+    Negative values mean ``other`` is faster.
+    """
+    if reference.simulation_speed <= 0:
+        return 0.0
+    return 1.0 - (other.simulation_speed / reference.simulation_speed)
+
+
+def wallclock_overhead(reference: SimulationReport, other: SimulationReport) -> float:
+    """Relative wall-clock increase of ``other`` vs. ``reference`` (same workload)."""
+    if reference.wallclock_seconds <= 0:
+        return 0.0
+    return other.wallclock_seconds / reference.wallclock_seconds - 1.0
+
+
+@dataclass
+class SweepPoint:
+    """One configuration point of a parameter sweep."""
+
+    label: str
+    parameters: Dict[str, object]
+    report: SimulationReport
+
+    def row(self) -> Dict[str, object]:
+        """Flat row used by the bench table printers."""
+        row: Dict[str, object] = {"label": self.label}
+        row.update(self.parameters)
+        row["simulated_cycles"] = self.report.simulated_cycles
+        row["wallclock_seconds"] = round(self.report.wallclock_seconds, 4)
+        row["simulation_speed"] = round(self.report.simulation_speed, 1)
+        return row
+
+
+def format_table(rows: List[Dict[str, object]], columns: Optional[List[str]] = None
+                 ) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: max(len(str(col)), max(len(str(row.get(col, ""))) for row in rows))
+              for col in columns}
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)

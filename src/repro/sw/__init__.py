@@ -1,0 +1,24 @@
+"""Software layer: task programs, processing elements and workloads.
+
+This package plays the role of the paper's "software layer": the programs
+that run on the simulated processors and use the high-level shared-memory
+API.  The :class:`TaskProcessor` is the transaction-accurate processing
+element used by the large workloads; the ARM-like ISS in :mod:`repro.iss`
+is the instruction-accurate alternative.
+"""
+
+from .instruction_costs import ARM7_LIKE, FAST_CORE, CostModel, estimate_loop_cycles
+from .task import TaskContext, TaskError, TaskFunction
+from .task_processor import TaskProcessor, TaskProcessorStats
+
+__all__ = [
+    "ARM7_LIKE",
+    "CostModel",
+    "FAST_CORE",
+    "TaskContext",
+    "TaskError",
+    "TaskFunction",
+    "TaskProcessor",
+    "TaskProcessorStats",
+    "estimate_loop_cycles",
+]

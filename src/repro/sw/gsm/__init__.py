@@ -1,0 +1,102 @@
+"""GSM 06.10 full-rate (RPE-LTP) speech codec — the paper's workload.
+
+A self-contained fixed-point implementation of the encoder and decoder plus
+the task mapping that runs the encoder on the simulated MPSoC platform with
+all dynamic buffers managed through the shared-memory wrapper API.
+"""
+
+from .arith import (
+    MAX_LONGWORD,
+    MAX_WORD,
+    MIN_LONGWORD,
+    MIN_WORD,
+    abs_s,
+    add,
+    asl,
+    asr,
+    gsm_div,
+    l_add,
+    l_asl,
+    l_asr,
+    l_mult,
+    l_sub,
+    mult,
+    mult_r,
+    norm,
+    saturate,
+    sub,
+)
+from .bitstream import (
+    BitstreamError,
+    pack_frame,
+    pack_stream,
+    parameter_bit_widths,
+    unpack_frame,
+    unpack_stream,
+)
+from .codec import (
+    correlation,
+    encode_decode,
+    generate_silence,
+    generate_speech_like,
+    segmental_snr_db,
+    signal_power,
+)
+from .decoder import GsmDecoder, GsmDecoderState
+from .encoder import GsmEncoder, GsmEncoderState, GsmFrameParameters
+from .mapping import (
+    PLACEMENT_DEDICATED,
+    PLACEMENT_STRIPED,
+    build_gsm_tasks,
+    check_platform_results,
+    make_gsm_channels,
+    make_gsm_encoder_task,
+    reference_encode,
+)
+from .tables import (
+    FRAME_BITS,
+    FRAME_SAMPLES,
+    LPC_ORDER,
+    LTP_MAX_LAG,
+    LTP_MIN_LAG,
+    PARAMETERS_PER_FRAME,
+    RPE_PULSES,
+    SUBFRAME_SAMPLES,
+    SUBFRAMES_PER_FRAME,
+)
+
+__all__ = [
+    "BitstreamError",
+    "FRAME_BITS",
+    "FRAME_SAMPLES",
+    "GsmDecoder",
+    "GsmDecoderState",
+    "GsmEncoder",
+    "GsmEncoderState",
+    "GsmFrameParameters",
+    "LPC_ORDER",
+    "LTP_MAX_LAG",
+    "LTP_MIN_LAG",
+    "PARAMETERS_PER_FRAME",
+    "PLACEMENT_DEDICATED",
+    "PLACEMENT_STRIPED",
+    "RPE_PULSES",
+    "SUBFRAME_SAMPLES",
+    "SUBFRAMES_PER_FRAME",
+    "build_gsm_tasks",
+    "check_platform_results",
+    "correlation",
+    "encode_decode",
+    "generate_silence",
+    "generate_speech_like",
+    "make_gsm_channels",
+    "make_gsm_encoder_task",
+    "pack_frame",
+    "pack_stream",
+    "parameter_bit_widths",
+    "reference_encode",
+    "segmental_snr_db",
+    "signal_power",
+    "unpack_frame",
+    "unpack_stream",
+]

@@ -1,0 +1,90 @@
+"""GSM 06.10 frame packing.
+
+An encoded frame carries 260 bits (76 parameters with the bit widths of
+Tables 1.1/1.2 of the recommendation), conventionally stored in 33 bytes
+with the 4-bit ``0xD`` signature used by the common file format.  The packer
+here is used by the workloads to move encoded frames through the shared
+memories as byte arrays and by the tests to check the 260-bit budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .encoder import GsmFrameParameters
+from .tables import FRAME_BITS, LAR_BITS, RPE_PULSES, SUBFRAME_BITS, SUBFRAMES_PER_FRAME
+
+#: Upper nibble of the first byte in the conventional "gsm" file format.
+MAGIC = 0xD
+
+
+class BitstreamError(Exception):
+    """Raised when a packed frame is malformed."""
+
+
+def parameter_bit_widths() -> List[int]:
+    """Bit width of each of the 76 parameters, in transmission order."""
+    widths = list(LAR_BITS)
+    for _ in range(SUBFRAMES_PER_FRAME):
+        widths.extend(SUBFRAME_BITS)
+    return widths
+
+
+def pack_frame(parameters: GsmFrameParameters) -> bytes:
+    """Pack one frame into 33 bytes (4-bit magic + 260 payload bits)."""
+    words = parameters.flatten()
+    widths = parameter_bit_widths()
+    bits: List[int] = []
+    for value, width in zip(words, widths):
+        if value < 0 or value >= (1 << width):
+            raise BitstreamError(
+                f"parameter value {value} does not fit in {width} bits"
+            )
+        for position in range(width - 1, -1, -1):
+            bits.append((value >> position) & 1)
+    if len(bits) != FRAME_BITS:
+        raise BitstreamError(f"expected {FRAME_BITS} bits, built {len(bits)}")
+    # Prepend the 4-bit magic so the total is 264 bits = 33 bytes.
+    all_bits = [(MAGIC >> 3) & 1, (MAGIC >> 2) & 1, (MAGIC >> 1) & 1, MAGIC & 1] + bits
+    payload = bytearray()
+    for byte_index in range(len(all_bits) // 8):
+        value = 0
+        for bit in all_bits[byte_index * 8:(byte_index + 1) * 8]:
+            value = (value << 1) | bit
+        payload.append(value)
+    return bytes(payload)
+
+
+def unpack_frame(payload: bytes) -> GsmFrameParameters:
+    """Unpack 33 bytes into the 76 frame parameters."""
+    if len(payload) != 33:
+        raise BitstreamError(f"a packed GSM frame is 33 bytes, got {len(payload)}")
+    bits: List[int] = []
+    for byte in payload:
+        for position in range(7, -1, -1):
+            bits.append((byte >> position) & 1)
+    magic = (bits[0] << 3) | (bits[1] << 2) | (bits[2] << 1) | bits[3]
+    if magic != MAGIC:
+        raise BitstreamError(f"bad frame signature {magic:#x}")
+    cursor = 4
+    words: List[int] = []
+    for width in parameter_bit_widths():
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | bits[cursor]
+            cursor += 1
+        words.append(value)
+    return GsmFrameParameters.from_words(words)
+
+
+def pack_stream(frames: Sequence[GsmFrameParameters]) -> bytes:
+    """Pack a sequence of frames back to back (the usual ``.gsm`` layout)."""
+    return b"".join(pack_frame(frame) for frame in frames)
+
+
+def unpack_stream(payload: bytes) -> List[GsmFrameParameters]:
+    """Unpack a concatenation of 33-byte frames."""
+    if len(payload) % 33:
+        raise BitstreamError("packed stream length must be a multiple of 33 bytes")
+    return [unpack_frame(payload[start:start + 33])
+            for start in range(0, len(payload), 33)]

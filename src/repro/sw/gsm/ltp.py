@@ -1,0 +1,107 @@
+"""GSM 06.10 section 4.2.11 — long-term predictor (LTP).
+
+For every 40-sample sub-frame the encoder searches the best lag (40..120)
+into the reconstructed short-term residual history, quantises the LTP gain
+against the DLB decision levels, and produces the long-term residual that
+the RPE stage encodes.  The decoder (and the encoder's local feedback loop)
+reconstructs ``dpp`` with the dequantised gain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .arith import abs_s, add, asr, mult, mult_r, norm, saturate, sub
+from .tables import LTP_DLB, LTP_MAX_LAG, LTP_MIN_LAG, LTP_QLB, SUBFRAME_SAMPLES
+
+
+def ltp_parameters(d: Sequence[int], dp_history: Sequence[int]
+                   ) -> Tuple[int, int]:
+    """Search the LTP lag and quantise the gain for one sub-frame.
+
+    ``d`` is the 40-sample short-term residual of the sub-frame;
+    ``dp_history`` holds the last 120 reconstructed residual samples, with
+    ``dp_history[-1]`` being the most recent one.
+
+    Returns ``(Nc, bc)``: the lag (40..120) and the 2-bit coded gain.
+    """
+    if len(d) != SUBFRAME_SAMPLES:
+        raise ValueError("LTP works on 40-sample sub-frames")
+    if len(dp_history) < LTP_MAX_LAG:
+        raise ValueError("LTP history must hold at least 120 samples")
+
+    # Scale d down to avoid overflow in the correlation (spec: based on dmax).
+    dmax = 0
+    for value in d:
+        dmax = max(dmax, abs_s(value))
+    if dmax == 0:
+        scale = 0
+    else:
+        scale = max(0, 6 - norm(dmax << 16))
+    wt = [asr(value, scale) for value in d]
+
+    # Search the lag maximising the cross-correlation.
+    best_lag = LTP_MIN_LAG
+    best_correlation = 0
+    for lag in range(LTP_MIN_LAG, LTP_MAX_LAG + 1):
+        correlation = 0
+        for k in range(SUBFRAME_SAMPLES):
+            correlation += wt[k] * dp_history[-lag + k]
+        if correlation > best_correlation:
+            best_correlation = correlation
+            best_lag = lag
+
+    # Rescale the winning correlation and compute the power of the history
+    # segment, then quantise the gain b = S/R against the DLB table.
+    l_max = best_correlation << 1
+    l_max = l_max >> (6 - scale) if scale <= 6 else l_max
+    l_power = 0
+    for k in range(SUBFRAME_SAMPLES):
+        sample = asr(dp_history[-best_lag + k], 3)
+        l_power += sample * sample
+    l_power <<= 1
+
+    if l_max <= 0:
+        return best_lag, 0
+    if l_max >= l_power:
+        return best_lag, 3
+    # Normalise both and compare S/R with the decision levels.
+    temp = norm(l_power)
+    s = saturate((l_max << temp) >> 16)
+    r = saturate((l_power << temp) >> 16)
+    bc = 0
+    for level in range(3):
+        if r <= mult(s, LTP_DLB[level]):
+            break
+        bc = level + 1
+    return best_lag, bc
+
+
+def ltp_filter(d: Sequence[int], dp_history: Sequence[int], lag: int, bc: int
+               ) -> Tuple[List[int], List[int]]:
+    """Long-term analysis filtering of one sub-frame.
+
+    Returns ``(e, dpp_predicted)``: the long-term residual handed to the RPE
+    encoder and the gain-weighted prediction that the caller combines with
+    the reconstructed residual to update the history.
+    """
+    bp = LTP_QLB[bc]
+    e: List[int] = []
+    predicted: List[int] = []
+    for k in range(SUBFRAME_SAMPLES):
+        drp = mult_r(bp, dp_history[-lag + k])
+        predicted.append(drp)
+        e.append(sub(d[k], drp))
+    return e, predicted
+
+
+def ltp_synthesis(erp: Sequence[int], dp_history: Sequence[int], lag: int, bc: int
+                  ) -> List[int]:
+    """Reconstruct ``drp`` for one sub-frame (decoder side / encoder feedback)."""
+    lag = min(LTP_MAX_LAG, max(LTP_MIN_LAG, lag))
+    bp = LTP_QLB[bc]
+    reconstructed: List[int] = []
+    for k in range(SUBFRAME_SAMPLES):
+        prediction = mult_r(bp, dp_history[-lag + k])
+        reconstructed.append(add(erp[k], prediction))
+    return reconstructed

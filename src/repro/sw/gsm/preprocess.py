@@ -1,0 +1,60 @@
+"""GSM 06.10 section 4.2.0 — preprocessing.
+
+Downscaling of the 16-bit input samples, DC offset compensation (a first
+order high-pass with a 32-bit accumulator) and pre-emphasis filtering.
+The filter state lives in :class:`PreprocessState` so that consecutive
+frames of one channel are processed continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .arith import add, l_add, mult_r, saturate
+from .tables import FRAME_SAMPLES
+
+
+@dataclass
+class PreprocessState:
+    """Persistent state of the offset-compensation and pre-emphasis filters."""
+
+    z1: int = 0
+    l_z2: int = 0
+    mp: int = 0
+
+
+def preprocess_frame(state: PreprocessState, samples: Sequence[int]) -> List[int]:
+    """Preprocess one frame of 160 samples, updating ``state`` in place."""
+    if len(samples) != FRAME_SAMPLES:
+        raise ValueError(f"a GSM frame has {FRAME_SAMPLES} samples")
+    output: List[int] = []
+    z1 = state.z1
+    l_z2 = state.l_z2
+    mp = state.mp
+    for sample in samples:
+        # 4.2.0.1: downscale to 13 bits and shift back up by two.
+        so = (saturate(sample) >> 3) << 2
+        # 4.2.0.2: offset compensation (high-pass with alpha = 32735/32768).
+        s1 = so - z1
+        z1 = so
+        l_s2 = s1 << 15
+        msp = l_z2 >> 15
+        lsp = l_z2 - (msp << 15)
+        temp = mult_r(lsp, 32736)
+        l_s2 = l_add(l_s2, temp)
+        l_z2 = l_add(_msp_term(msp), l_s2)
+        sof = saturate((l_z2 + 16384) >> 15)
+        # 4.2.0.3: pre-emphasis with beta = 28180/32768.
+        s = add(sof, mult_r(mp, -28180))
+        mp = sof
+        output.append(s)
+    state.z1 = z1
+    state.l_z2 = l_z2
+    state.mp = mp
+    return output
+
+
+def _msp_term(msp: int) -> int:
+    """The ``L_MULT(msp, 32735) >> 1`` term of the offset compensation."""
+    return (msp * 32735 * 2) >> 1

@@ -1,0 +1,152 @@
+"""GSM 06.10 section 4.2.13-4.2.17 — regular pulse excitation (RPE) coding.
+
+The 40-sample long-term residual of each sub-frame is weighted, decimated
+onto one of four interleaved grids of 13 pulses, block-quantised with an
+adaptive PCM scheme (6-bit block maximum + 3-bit pulses) and reconstructed
+for the encoder's local feedback loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .arith import abs_s, add, asl, asr, l_add, mult, mult_r, norm, saturate, sub
+from .tables import RPE_FAC, RPE_H, RPE_NRFAC, RPE_PULSES, SUBFRAME_SAMPLES
+
+
+def weighting_filter(e: Sequence[int]) -> List[int]:
+    """FIR weighting of the 40-sample long-term residual (impulse response H)."""
+    if len(e) != SUBFRAME_SAMPLES:
+        raise ValueError("the weighting filter works on 40-sample sub-frames")
+    # The reference implementation zero-pads the signal by 5 samples on both
+    # sides and keeps the central 40 outputs.
+    padded = [0] * 5 + list(e) + [0] * 5
+    output: List[int] = []
+    for k in range(SUBFRAME_SAMPLES):
+        accumulator = 8192  # rounding constant (0.5 in the chosen format)
+        for i in range(11):
+            accumulator += RPE_H[i] * padded[k + 10 - i]
+        accumulator = saturate_long_shift(accumulator)
+        output.append(accumulator)
+    return output
+
+
+def saturate_long_shift(accumulator: int) -> int:
+    """Scale the 32-bit weighted sum back to a 16-bit sample (>> 14, saturated)."""
+    value = accumulator >> 14
+    return saturate(value)
+
+
+def grid_selection(x: Sequence[int]) -> Tuple[int, List[int]]:
+    """Choose the interleaved grid with maximum energy.
+
+    Returns ``(mc, xm)`` where ``mc`` is the 2-bit grid index and ``xm`` the
+    13 selected samples.
+    """
+    best_grid = 0
+    best_energy = -1
+    for grid in range(4):
+        energy = 0
+        for pulse in range(RPE_PULSES):
+            sample = asr(x[grid + 3 * pulse], 2)
+            energy += sample * sample
+        if energy > best_energy:
+            best_energy = energy
+            best_grid = grid
+    xm = [x[best_grid + 3 * pulse] for pulse in range(RPE_PULSES)]
+    return best_grid, xm
+
+
+def quantize_xmax(xmax: int) -> Tuple[int, int, int]:
+    """Quantise the block maximum to 6 bits.
+
+    Returns ``(xmaxc, exponent, mantissa)``; exponent/mantissa are reused by
+    the APCM quantisation of the pulses.
+    """
+    exponent = 0
+    temp = asr(xmax, 9)
+    while temp > 0 and exponent < 6:
+        exponent += 1
+        temp = asr(temp, 1)
+    xmaxc = add(asr(xmax, exponent + 5), exponent << 3)
+    xmaxc = max(0, min(63, xmaxc))
+    exponent, mantissa = decode_xmaxc(xmaxc)
+    return xmaxc, exponent, mantissa
+
+
+def decode_xmaxc(xmaxc: int) -> Tuple[int, int]:
+    """Split the coded block maximum into (exponent, mantissa) per the spec."""
+    exponent = 0
+    if xmaxc > 15:
+        exponent = asr(xmaxc, 3) - 1
+    mantissa = xmaxc - (exponent << 3)
+    if mantissa == 0:
+        exponent = -4
+        mantissa = 7
+    else:
+        while mantissa <= 7:
+            mantissa = (mantissa << 1) | 1
+            exponent -= 1
+        mantissa -= 8
+    return exponent, mantissa
+
+
+def apcm_quantize(xm: Sequence[int], exponent: int, mantissa: int) -> List[int]:
+    """Quantise the 13 grid pulses to 3 bits each."""
+    temp1 = 6 - exponent
+    temp2 = RPE_NRFAC[mantissa]
+    xmc: List[int] = []
+    for sample in xm:
+        value = asl(sample, temp1)
+        value = mult(value, temp2)
+        value = asr(value, 12)
+        xmc.append(max(0, min(7, value + 4)))
+    return xmc
+
+
+def apcm_dequantize(xmc: Sequence[int], exponent: int, mantissa: int) -> List[int]:
+    """Inverse APCM: reconstruct the 13 pulses."""
+    temp1 = RPE_FAC[mantissa]
+    temp2 = sub(6, exponent)
+    temp3 = asl(1, sub(temp2, 1))
+    xmp: List[int] = []
+    for coded in xmc:
+        value = (coded << 1) - 7          # back to the symmetric range
+        value = asl(value, 12)
+        value = mult_r(temp1, value)
+        value = add(value, temp3)
+        xmp.append(asr(value, temp2))
+    return xmp
+
+
+def grid_position(mc: int, xmp: Sequence[int]) -> List[int]:
+    """Re-expand 13 pulses onto the 40-sample grid ``mc``."""
+    ep = [0] * SUBFRAME_SAMPLES
+    for pulse, value in enumerate(xmp):
+        ep[mc + 3 * pulse] = value
+    return ep
+
+
+def rpe_encode(e: Sequence[int]) -> Tuple[int, int, List[int], List[int]]:
+    """Full RPE encoding of one sub-frame residual.
+
+    Returns ``(mc, xmaxc, xmc, ep)`` where ``ep`` is the locally
+    reconstructed excitation used for the encoder's feedback loop.
+    """
+    weighted = weighting_filter(e)
+    mc, xm = grid_selection(weighted)
+    xmax = 0
+    for sample in xm:
+        xmax = max(xmax, abs_s(sample))
+    xmaxc, exponent, mantissa = quantize_xmax(xmax)
+    xmc = apcm_quantize(xm, exponent, mantissa)
+    xmp = apcm_dequantize(xmc, exponent, mantissa)
+    ep = grid_position(mc, xmp)
+    return mc, xmaxc, xmc, ep
+
+
+def rpe_decode(mc: int, xmaxc: int, xmc: Sequence[int]) -> List[int]:
+    """Reconstruct the 40-sample excitation from the coded RPE parameters."""
+    exponent, mantissa = decode_xmaxc(xmaxc)
+    xmp = apcm_dequantize(xmc, exponent, mantissa)
+    return grid_position(mc, xmp)

@@ -1,0 +1,62 @@
+"""GSM 06.10 constant tables.
+
+Quantisation/dequantisation constants for the log-area ratios (LAR), the
+LTP gain quantiser levels and the RPE APCM tables, as defined in the ETSI
+GSM 06.10 full-rate specification (Tables 4.1-4.6 of the recommendation).
+"""
+
+from __future__ import annotations
+
+#: Frame geometry.
+FRAME_SAMPLES = 160
+SUBFRAME_SAMPLES = 40
+SUBFRAMES_PER_FRAME = 4
+LPC_ORDER = 8
+RPE_PULSES = 13
+
+#: Number of parameters in one encoded frame:
+#: 8 LARs + 4 * (lag, gain, grid, xmax, 13 pulses).
+PARAMETERS_PER_FRAME = LPC_ORDER + SUBFRAMES_PER_FRAME * (4 + RPE_PULSES)
+
+#: Table 4.1 — A[i]: inverse of the LAR quantiser step size.
+LAR_A = [20480, 20480, 20480, 20480, 13964, 15360, 8534, 9036]
+
+#: Table 4.1 — B[i]: LAR quantiser offset.
+LAR_B = [0, 0, 2048, -2560, 94, -1792, -341, -1144]
+
+#: Table 4.1 — MIC[i]: minimum quantised LAR value.
+LAR_MIC = [-32, -32, -16, -16, -8, -8, -4, -4]
+
+#: Table 4.1 — MAC[i]: maximum quantised LAR value.
+LAR_MAC = [31, 31, 15, 15, 7, 7, 3, 3]
+
+#: Table 4.2 — INVA[i]: inverse of A[i] used by the decoder.
+LAR_INVA = [13107, 13107, 13107, 13107, 19223, 17476, 31454, 29708]
+
+#: Table 4.3a — DLB[i]: LTP gain quantiser decision levels.
+LTP_DLB = [6554, 16384, 26214, 32767]
+
+#: Table 4.3b — QLB[i]: LTP gain dequantiser levels.
+LTP_QLB = [3277, 11469, 21299, 32767]
+
+#: Table 4.4 — H[i]: weighting filter impulse response for the RPE grid.
+RPE_H = [-134, -374, 0, 2054, 5741, 8192, 5741, 2054, 0, -374, -134]
+
+#: Table 4.5 — NRFAC[i]: normalised reciprocal factors for APCM quantisation.
+RPE_NRFAC = [29128, 26215, 23832, 21846, 20165, 18725, 17476, 16384]
+
+#: Table 4.6 — FAC[i]: normalisation factors for APCM dequantisation.
+RPE_FAC = [18431, 20479, 22527, 24575, 26623, 28671, 30719, 32767]
+
+#: Limits of the LTP lag search.
+LTP_MIN_LAG = 40
+LTP_MAX_LAG = 120
+
+#: Bit widths of the encoded parameters, in transmission order
+#: (used by the bit-stream packer): 8 LARs then per sub-frame
+#: lag(7) gain(2) grid(2) xmax(6) 13 x pulse(3).
+LAR_BITS = [6, 6, 5, 5, 4, 4, 3, 3]
+SUBFRAME_BITS = [7, 2, 2, 6] + [3] * RPE_PULSES
+
+#: Total number of bits in one encoded frame (the classic 260 bits / 33 bytes).
+FRAME_BITS = sum(LAR_BITS) + SUBFRAMES_PER_FRAME * sum(SUBFRAME_BITS)

@@ -1,0 +1,56 @@
+"""Instruction-cost annotations for transaction-accurate processing elements.
+
+The :class:`~repro.sw.task_processor.TaskProcessor` executes the workload's
+computation natively (in Python) and charges simulated cycles according to a
+:class:`CostModel`, in the spirit of annotation-based co-simulation: the
+memory traffic is cycle-accurate on the interconnect, the local computation
+is advanced in bulk.  The default numbers approximate a simple in-order
+ARM7-class integer pipeline, which is what the paper's SimIt-ARM models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle cost of abstract operations executed locally on a PE."""
+
+    #: Simple ALU operation (add, sub, logical, compare).
+    alu: int = 1
+    #: Integer multiply / multiply-accumulate.
+    mul: int = 2
+    #: Integer division (iterative).
+    div: int = 20
+    #: Local (scratchpad) load or store.
+    local_access: int = 1
+    #: Taken branch / call overhead.
+    branch: int = 2
+
+    def ops(self, alu: int = 0, mul: int = 0, div: int = 0, local: int = 0,
+            branch: int = 0) -> int:
+        """Total cycles of a mix of abstract operations."""
+        return (alu * self.alu + mul * self.mul + div * self.div
+                + local * self.local_access + branch * self.branch)
+
+
+#: Default cost model used when a platform does not override it.
+ARM7_LIKE = CostModel()
+
+#: A faster superscalar-ish model used in sweeps and ablations.
+FAST_CORE = CostModel(alu=1, mul=1, div=8, local_access=1, branch=1)
+
+
+def estimate_loop_cycles(iterations: int, body_alu: int = 1, body_mul: int = 0,
+                         body_local: int = 2,
+                         model: CostModel = ARM7_LIKE) -> int:
+    """Cycle estimate for a counted loop with the given per-iteration mix.
+
+    Convenience used by the workloads to annotate their inner loops without
+    scattering arithmetic through the task code.
+    """
+    if iterations <= 0:
+        return 0
+    per_iteration = model.ops(alu=body_alu, mul=body_mul, local=body_local, branch=1)
+    return iterations * per_iteration

@@ -1,0 +1,139 @@
+"""Task context: the software-visible view of a processing element.
+
+A *task* is a Python generator function ``task(ctx)`` representing the
+embedded program a processing element runs.  Through the :class:`TaskContext`
+the task can:
+
+* reach every dynamic shared memory of the platform through the high-level
+  API (``ctx.smem(i)``), exactly like the paper's ISS software does through
+  the C-formalism API;
+* account for local computation with ``yield from ctx.compute(cycles)``;
+* synchronise with other processing elements using shared-memory flags
+  (spin-wait with a configurable polling back-off).
+
+Everything that touches the interconnect must be driven with ``yield from``
+so that the kernel can interleave the processing elements cycle-accurately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..wrapper.api import SharedMemoryAPI
+from .instruction_costs import ARM7_LIKE, CostModel
+
+
+class TaskError(Exception):
+    """Raised when a task misuses its context (bad memory index, etc.)."""
+
+
+class TaskContext:
+    """Execution context handed to a task generator."""
+
+    def __init__(
+        self,
+        pe_id: int,
+        apis: List[SharedMemoryAPI],
+        clock_period: int,
+        cost_model: CostModel = ARM7_LIKE,
+        poll_interval_cycles: int = 8,
+        name: str = "",
+    ) -> None:
+        if not apis:
+            raise TaskError("a task context needs at least one shared memory API")
+        self.pe_id = pe_id
+        self.name = name or f"pe{pe_id}"
+        self._apis = apis
+        self.clock_period = clock_period
+        self.cost_model = cost_model
+        self.poll_interval_cycles = max(1, poll_interval_cycles)
+        #: Simulated cycles charged for local computation so far.
+        self.compute_cycles = 0
+        #: Number of compute() calls (handy to sanity-check annotations).
+        self.compute_calls = 0
+        #: Free-form log a task may append progress records to.
+        self.log: List[str] = []
+
+    # -- shared memory access ------------------------------------------------------
+    def smem(self, index: int = 0) -> SharedMemoryAPI:
+        """The API bound to shared memory ``index`` (in platform order)."""
+        try:
+            return self._apis[index]
+        except IndexError:
+            raise TaskError(
+                f"{self.name}: no shared memory with index {index} "
+                f"(platform has {len(self._apis)})"
+            ) from None
+
+    @property
+    def memory_count(self) -> int:
+        """Number of dynamic shared memories visible to this PE."""
+        return len(self._apis)
+
+    def memory_for(self, key: int) -> SharedMemoryAPI:
+        """Deterministically spread ``key`` over the available memories."""
+        return self._apis[key % len(self._apis)]
+
+    # -- computation accounting -------------------------------------------------------
+    def compute(self, cycles: int) -> Generator[object, None, None]:
+        """Advance simulated time by ``cycles`` of local computation."""
+        if cycles < 0:
+            raise TaskError("compute cycles must be >= 0")
+        self.compute_calls += 1
+        if cycles == 0:
+            return
+        self.compute_cycles += cycles
+        yield cycles * self.clock_period
+
+    def compute_ops(self, **op_mix: int) -> Generator[object, None, None]:
+        """Charge a mix of abstract operations (see :class:`CostModel`)."""
+        yield from self.compute(self.cost_model.ops(**op_mix))
+
+    # -- synchronisation helpers ---------------------------------------------------------
+    def set_flag(self, vptr: int, offset: int = 0, value: int = 1,
+                 memory: int = 0) -> Generator[object, None, None]:
+        """Write a synchronisation word into a shared allocation."""
+        yield from self.smem(memory).write(vptr, value, offset=offset)
+
+    def wait_flag(self, vptr: int, offset: int = 0, expected: int = 1,
+                  memory: int = 0, max_polls: Optional[int] = None
+                  ) -> Generator[object, None, int]:
+        """Spin until a shared word equals ``expected``; returns the poll count."""
+        polls = 0
+        while True:
+            value = yield from self.smem(memory).read(vptr, offset=offset)
+            polls += 1
+            if value == expected:
+                return polls
+            if max_polls is not None and polls >= max_polls:
+                raise TaskError(
+                    f"{self.name}: flag at {vptr:#x}[{offset}] never became "
+                    f"{expected} after {polls} polls"
+                )
+            yield self.poll_interval_cycles * self.clock_period
+
+    def barrier(self, vptr: int, participants: int, my_index: int,
+                memory: int = 0) -> Generator[object, None, None]:
+        """A simple sense-less barrier built on a shared counter word.
+
+        Each participant atomically-ish increments the counter guarded by the
+        reservation bit, then waits until it reaches ``participants``.
+        """
+        api = self.smem(memory)
+        while True:
+            acquired = yield from api.try_reserve(vptr)
+            if acquired:
+                break
+            yield self.poll_interval_cycles * self.clock_period
+        count = yield from api.read(vptr)
+        yield from api.write(vptr, count + 1)
+        yield from api.release(vptr)
+        yield from self.wait_flag(vptr, expected=participants, memory=memory)
+
+    def note(self, message: str) -> None:
+        """Append a progress note to the task log (no simulated time)."""
+        self.log.append(message)
+
+
+#: Type of a task body: a generator function taking the context.
+TaskFunction = Callable[[TaskContext], Generator[object, None, object]]

@@ -1,0 +1,38 @@
+"""Synthetic and DSP workloads for the co-simulation platform.
+
+Each workload module provides ``make_*_task`` factories producing task
+generators (run on :class:`~repro.sw.task_processor.TaskProcessor`) plus a
+pure-Python reference implementation used by the tests to check that the
+simulated execution computes the right answer.
+"""
+
+from .fir import fir_reference, make_fir_task
+from .matmul import (
+    flatten,
+    make_matmul_producer_task,
+    make_matmul_worker_task,
+    matmul_reference,
+)
+from .producer_consumer import (
+    CTRL_DONE,
+    CTRL_HEAD,
+    CTRL_TAIL,
+    CTRL_WORDS,
+    make_consumer_task,
+    make_producer_task,
+)
+
+__all__ = [
+    "CTRL_DONE",
+    "CTRL_HEAD",
+    "CTRL_TAIL",
+    "CTRL_WORDS",
+    "fir_reference",
+    "flatten",
+    "make_consumer_task",
+    "make_fir_task",
+    "make_matmul_producer_task",
+    "make_matmul_worker_task",
+    "make_producer_task",
+    "matmul_reference",
+]

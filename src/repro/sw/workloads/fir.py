@@ -1,0 +1,75 @@
+"""FIR filter workload.
+
+A classic streaming DSP kernel: each processing element filters its own
+block of samples with a small FIR, keeping input, coefficients and output in
+dynamically allocated shared memory.  The workload exercises ALLOC, array
+transfers in both directions, scalar accesses for the filter state and FREE,
+with a computation phase annotated per output sample.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence
+
+from ...memory.protocol import DataType
+from ..instruction_costs import estimate_loop_cycles
+from ..task import TaskContext
+
+
+def fir_reference(samples: Sequence[int], taps: Sequence[int]) -> List[int]:
+    """Pure-Python reference used to check the simulated result."""
+    output = []
+    for index in range(len(samples)):
+        accumulator = 0
+        for tap_index, tap in enumerate(taps):
+            if index - tap_index >= 0:
+                accumulator += tap * samples[index - tap_index]
+        output.append(accumulator & 0xFFFFFFFF)
+    return output
+
+
+def make_fir_task(samples: Sequence[int], taps: Sequence[int], memory_index: int = 0):
+    """Build a task that filters ``samples`` with ``taps`` on one PE.
+
+    The task returns the output vector read back from shared memory, so the
+    caller can compare it against :func:`fir_reference`.
+    """
+    samples = [s & 0xFFFFFFFF for s in samples]
+    taps = list(taps)
+
+    def task(ctx: TaskContext) -> Generator[object, None, List[int]]:
+        smem = ctx.smem(memory_index)
+        input_vptr = yield from smem.alloc(len(samples), DataType.UINT32)
+        coeff_vptr = yield from smem.alloc(len(taps), DataType.UINT32)
+        output_vptr = yield from smem.alloc(len(samples), DataType.UINT32)
+        yield from smem.write_array(input_vptr, samples)
+        yield from smem.write_array(coeff_vptr, [t & 0xFFFFFFFF for t in taps])
+
+        # Fetch the whole input and the coefficients into local storage
+        # (the usual DMA-in / compute / DMA-out structure of DSP firmware).
+        local_input = yield from smem.read_array(input_vptr, len(samples))
+        local_taps = yield from smem.read_array(coeff_vptr, len(taps))
+        local_taps = [t if t < 0x80000000 else t - (1 << 32) for t in local_taps]
+
+        output: List[int] = []
+        for index in range(len(local_input)):
+            accumulator = 0
+            for tap_index, tap in enumerate(local_taps):
+                if index - tap_index >= 0:
+                    accumulator += tap * local_input[index - tap_index]
+            output.append(accumulator & 0xFFFFFFFF)
+        yield from ctx.compute(
+            estimate_loop_cycles(len(local_input) * len(local_taps),
+                                 body_alu=1, body_mul=1, body_local=2,
+                                 model=ctx.cost_model)
+        )
+
+        yield from smem.write_array(output_vptr, output)
+        result = yield from smem.read_array(output_vptr, len(samples))
+        yield from smem.free(input_vptr)
+        yield from smem.free(coeff_vptr)
+        yield from smem.free(output_vptr)
+        ctx.note(f"fir: filtered {len(samples)} samples with {len(taps)} taps")
+        return result
+
+    return task

@@ -1,0 +1,57 @@
+"""The dynamic shared memory wrapper (the paper's contribution).
+
+The wrapper lets simulated software allocate, access and free dynamic data
+that physically lives in *host* memory, while a cycle-true FSM keeps the
+simulated timing accurate.  See :class:`SharedMemoryWrapper` for the bus
+slave, :class:`SharedMemoryAPI` for the software-side API, and DESIGN.md for
+how the pieces map onto Figure 2 of the paper.
+"""
+
+from .api import IO_ARRAY_WORDS, SharedMemoryAPI
+from .delays import WrapperDelays
+from .errors import (
+    ApiError,
+    CapacityError,
+    PointerTableError,
+    ReservationError,
+    TranslationError,
+    WrapperError,
+)
+from .pointer_table import PointerEntry, PointerTable
+from .shared_memory import SharedMemoryWrapper
+from .translator import Translator, TranslatorStats
+from .wrapper_fsm import (
+    S_ACCESS,
+    S_DECODE,
+    S_HOST_CALL,
+    S_IDLE,
+    S_RESPOND,
+    S_TABLE,
+    S_TRANSFER,
+    WrapperFsm,
+)
+
+__all__ = [
+    "ApiError",
+    "CapacityError",
+    "IO_ARRAY_WORDS",
+    "PointerEntry",
+    "PointerTable",
+    "PointerTableError",
+    "ReservationError",
+    "S_ACCESS",
+    "S_DECODE",
+    "S_HOST_CALL",
+    "S_IDLE",
+    "S_RESPOND",
+    "S_TABLE",
+    "S_TRANSFER",
+    "SharedMemoryAPI",
+    "SharedMemoryWrapper",
+    "TranslationError",
+    "Translator",
+    "TranslatorStats",
+    "WrapperDelays",
+    "WrapperError",
+    "WrapperFsm",
+]

@@ -1,0 +1,236 @@
+"""High-level software API for the dynamic shared memories.
+
+The paper provides the ISSs with "high level APIs very similar to the host
+machine functions ... using a C formalism".  :class:`SharedMemoryAPI` is
+that layer: a thin, allocation-aware client bound to one master port and one
+dynamic memory's bus window.  All methods are generators meant to be driven
+with ``yield from`` inside a kernel process (ISS or task processor), because
+every call turns into interconnect transactions::
+
+    vptr = yield from smem.alloc(160, DataType.INT16)   # sm_calloc()
+    yield from smem.write(vptr, sample, offset=i)       # *(ptr + i) = sample
+    value = yield from smem.read(vptr, offset=i)        # sample = *(ptr + i)
+    yield from smem.free(vptr)                          # sm_free()
+
+The same API drives both the host-backed wrapper and the fully-modelled
+baseline, since they share the protocol of :mod:`repro.memory.protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..interconnect.bus import MasterPort
+from ..interconnect.transaction import BusResponse
+from ..memory.dynamic_base import to_signed
+from ..memory.protocol import (
+    IO_ARRAY_BASE,
+    IO_ARRAY_BYTES,
+    REG_COMMAND,
+    REG_STATUS,
+    DataType,
+    MemCommand,
+    MemOpcode,
+    MemStatus,
+)
+from .errors import ApiError
+
+#: Maximum number of words one I/O-array transfer can stage.
+IO_ARRAY_WORDS = IO_ARRAY_BYTES // 4
+
+
+class SharedMemoryAPI:
+    """C-formalism dynamic memory API bound to one memory module's window."""
+
+    def __init__(
+        self,
+        port: MasterPort,
+        base_address: int,
+        sm_addr: int = 0,
+        raise_on_error: bool = True,
+        tag_prefix: str = "smem",
+    ) -> None:
+        self.port = port
+        self.base_address = base_address
+        self.sm_addr = sm_addr
+        self.raise_on_error = raise_on_error
+        self.tag_prefix = tag_prefix
+        #: Status of the most recent operation (updated on every call).
+        self.last_status: MemStatus = MemStatus.OK
+        #: Count of API calls issued, for reports.
+        self.calls = 0
+
+    # -- low-level helpers ------------------------------------------------------------
+    def _command_address(self) -> int:
+        return self.base_address + REG_COMMAND
+
+    def _io_array_address(self) -> int:
+        return self.base_address + IO_ARRAY_BASE
+
+    def _send(self, command: MemCommand, tag: str
+              ) -> Generator[object, None, BusResponse]:
+        self.calls += 1
+        command.sm_addr = self.sm_addr
+        response = yield from self.port.burst_write(
+            self._command_address(), command.to_words(),
+            tag=f"{self.tag_prefix}.{tag}",
+        )
+        yield from self._update_status(response, tag)
+        return response
+
+    def _update_status(self, response: BusResponse, tag: str
+                       ) -> Generator[object, None, None]:
+        if response.ok:
+            self.last_status = MemStatus.OK
+            return
+        status_response = yield from self.port.read(
+            self.base_address + REG_STATUS, tag=f"{self.tag_prefix}.status"
+        )
+        try:
+            self.last_status = MemStatus(status_response.data)
+        except ValueError:
+            self.last_status = MemStatus.ERR_MALFORMED
+        if self.raise_on_error:
+            raise ApiError(
+                f"shared-memory operation {tag!r} failed with "
+                f"{self.last_status.name}", int(self.last_status)
+            )
+
+    # -- management calls ---------------------------------------------------------------
+    def alloc(self, dim: int, data_type: DataType = DataType.UINT32
+              ) -> Generator[object, None, Optional[int]]:
+        """``sm_calloc(dim, type)`` — returns the new Vptr (None on failure)."""
+        response = yield from self._send(
+            MemCommand(MemOpcode.ALLOC, dim=dim, data_type=data_type), "alloc"
+        )
+        return response.data if response.ok else None
+
+    def free(self, vptr: int) -> Generator[object, None, bool]:
+        """``sm_free(vptr)`` — returns True on success."""
+        response = yield from self._send(MemCommand(MemOpcode.FREE, vptr=vptr), "free")
+        return response.ok
+
+    def query(self, vptr: int) -> Generator[object, None, Optional[int]]:
+        """Size in bytes of the allocation holding ``vptr`` (None if unknown)."""
+        response = yield from self._send(MemCommand(MemOpcode.QUERY, vptr=vptr), "query")
+        return response.data if response.ok else None
+
+    # -- scalar accesses -----------------------------------------------------------------
+    def write(self, vptr: int, value: int, offset: int = 0
+              ) -> Generator[object, None, bool]:
+        """Store one element at ``vptr[offset]``."""
+        response = yield from self._send(
+            MemCommand(MemOpcode.WRITE, vptr=vptr, offset=offset,
+                       data=value & 0xFFFFFFFF), "write"
+        )
+        return response.ok
+
+    def read(self, vptr: int, offset: int = 0
+             ) -> Generator[object, None, Optional[int]]:
+        """Load one element from ``vptr[offset]`` as a raw unsigned word."""
+        response = yield from self._send(
+            MemCommand(MemOpcode.READ, vptr=vptr, offset=offset), "read"
+        )
+        return response.data if response.ok else None
+
+    def read_signed(self, vptr: int, data_type: DataType, offset: int = 0
+                    ) -> Generator[object, None, Optional[int]]:
+        """Load one element and sign-extend it according to ``data_type``."""
+        raw = yield from self.read(vptr, offset=offset)
+        if raw is None:
+            return None
+        return to_signed(raw, data_type)
+
+    # -- indexed structure (array) transfers ------------------------------------------------
+    def write_array(self, vptr: int, values: List[int], offset: int = 0
+                    ) -> Generator[object, None, bool]:
+        """Store a whole array, chunked through the I/O array window."""
+        position = 0
+        while position < len(values):
+            chunk = values[position:position + IO_ARRAY_WORDS]
+            yield from self.port.burst_write(
+                self._io_array_address(), [v & 0xFFFFFFFF for v in chunk],
+                tag=f"{self.tag_prefix}.io_stage",
+            )
+            response = yield from self._send(
+                MemCommand(MemOpcode.WRITE_ARRAY, vptr=vptr,
+                           offset=offset + position, dim=len(chunk)),
+                "write_array",
+            )
+            if not response.ok:
+                return False
+            position += len(chunk)
+        return True
+
+    def read_array(self, vptr: int, dim: int, offset: int = 0
+                   ) -> Generator[object, None, Optional[List[int]]]:
+        """Load ``dim`` elements, chunked through the I/O array window."""
+        values: List[int] = []
+        position = 0
+        while position < dim:
+            chunk_len = min(IO_ARRAY_WORDS, dim - position)
+            response = yield from self._send(
+                MemCommand(MemOpcode.READ_ARRAY, vptr=vptr,
+                           offset=offset + position, dim=chunk_len),
+                "read_array",
+            )
+            if not response.ok:
+                return None
+            data = yield from self.port.burst_read(
+                self._io_array_address(), chunk_len,
+                tag=f"{self.tag_prefix}.io_fetch",
+            )
+            values.extend(data.burst_data)
+            position += chunk_len
+        return values
+
+    def read_array_signed(self, vptr: int, dim: int, data_type: DataType,
+                          offset: int = 0
+                          ) -> Generator[object, None, Optional[List[int]]]:
+        """Load ``dim`` elements and sign-extend each according to ``data_type``."""
+        raw = yield from self.read_array(vptr, dim, offset=offset)
+        if raw is None:
+            return None
+        return [to_signed(word, data_type) for word in raw]
+
+    # -- coherence -----------------------------------------------------------------------------
+    def reserve(self, vptr: int) -> Generator[object, None, bool]:
+        """Set the reservation bit of ``vptr`` (semaphore acquire)."""
+        response = yield from self._send(MemCommand(MemOpcode.RESERVE, vptr=vptr),
+                                         "reserve")
+        return response.ok
+
+    def release(self, vptr: int) -> Generator[object, None, bool]:
+        """Clear the reservation bit of ``vptr`` (semaphore release)."""
+        response = yield from self._send(MemCommand(MemOpcode.RELEASE, vptr=vptr),
+                                         "release")
+        return response.ok
+
+    def try_reserve(self, vptr: int) -> Generator[object, None, bool]:
+        """Non-raising reserve; returns False when another master holds it."""
+        saved = self.raise_on_error
+        self.raise_on_error = False
+        try:
+            ok = yield from self.reserve(vptr)
+        finally:
+            self.raise_on_error = saved
+        return ok
+
+    # -- convenience --------------------------------------------------------------------------------
+    def memcpy(self, dst_vptr: int, src_vptr: int, dim: int,
+               dst_offset: int = 0, src_offset: int = 0
+               ) -> Generator[object, None, bool]:
+        """Copy ``dim`` elements between two allocations (possibly on one memory)."""
+        data = yield from self.read_array(src_vptr, dim, offset=src_offset)
+        if data is None:
+            return False
+        return (yield from self.write_array(dst_vptr, data, offset=dst_offset))
+
+    def status(self) -> Generator[object, None, MemStatus]:
+        """Read the memory module's status register."""
+        response = yield from self.port.read(self.base_address + REG_STATUS,
+                                             tag=f"{self.tag_prefix}.status")
+        try:
+            return MemStatus(response.data)
+        except ValueError:
+            return MemStatus.ERR_MALFORMED

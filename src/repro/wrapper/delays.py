@@ -1,0 +1,90 @@
+"""Delay parameters of the wrapper's cycle-true FSM.
+
+The paper states that "the wrapper guarantees the simulation accuracy using
+parameters of delays which can be dynamic and data dependent".
+:class:`WrapperDelays` gathers those parameters: every FSM phase has a
+configurable cycle cost, data transfers add a per-word cost, and an optional
+hook makes the total data dependent (e.g. to model a DRAM-backed shared
+memory instead of an SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..memory.protocol import MemOpcode
+
+#: Signature of the data-dependent hook: ``hook(opcode, byte_count) -> cycles``.
+DelayHook = Callable[[MemOpcode, int], int]
+
+
+@dataclass
+class WrapperDelays:
+    """Cycle costs of the wrapper FSM phases.
+
+    Attributes
+    ----------
+    decode_cycles:
+        Cycles spent decoding the opcode/sm_addr head of a transaction.
+    table_cycles:
+        Cycles per pointer-table operation (lookup, insert, remove).
+    host_call_cycles:
+        Cycles modelling the latency hidden behind a host management call
+        (the simulated memory controller doing the allocate/free work).
+    access_cycles:
+        Cycles for a scalar data access once the host pointer is known.
+    per_word_cycles:
+        Additional cycles per word moved through the I/O arrays.
+    respond_cycles:
+        Cycles spent driving the response/ack back to the master.
+    data_dependent:
+        Optional hook adding cycles as a function of opcode and byte count.
+    """
+
+    decode_cycles: int = 1
+    table_cycles: int = 1
+    host_call_cycles: int = 2
+    access_cycles: int = 1
+    per_word_cycles: int = 1
+    respond_cycles: int = 1
+    data_dependent: Optional[DelayHook] = None
+
+    def __post_init__(self) -> None:
+        for name in ("decode_cycles", "table_cycles", "host_call_cycles",
+                     "access_cycles", "per_word_cycles", "respond_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def extra(self, opcode: MemOpcode, byte_count: int) -> int:
+        """Data-dependent extra cycles for an operation (0 without a hook)."""
+        if self.data_dependent is None:
+            return 0
+        value = self.data_dependent(opcode, byte_count)
+        if value < 0:
+            raise ValueError("data-dependent delay hook returned a negative value")
+        return value
+
+    # -- canned configurations ------------------------------------------------------
+    @classmethod
+    def sram_like(cls) -> "WrapperDelays":
+        """Fast on-chip shared memory (single-cycle phases)."""
+        return cls(decode_cycles=1, table_cycles=1, host_call_cycles=1,
+                   access_cycles=1, per_word_cycles=1, respond_cycles=1)
+
+    @classmethod
+    def sdram_like(cls) -> "WrapperDelays":
+        """Off-chip shared memory: slower management and first access."""
+        return cls(decode_cycles=1, table_cycles=2, host_call_cycles=6,
+                   access_cycles=4, per_word_cycles=1, respond_cycles=1)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the static parameters (for reports)."""
+        return {
+            "decode_cycles": self.decode_cycles,
+            "table_cycles": self.table_cycles,
+            "host_call_cycles": self.host_call_cycles,
+            "access_cycles": self.access_cycles,
+            "per_word_cycles": self.per_word_cycles,
+            "respond_cycles": self.respond_cycles,
+        }

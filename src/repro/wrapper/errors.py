@@ -1,0 +1,31 @@
+"""Exception types raised by the dynamic shared-memory wrapper."""
+
+from __future__ import annotations
+
+
+class WrapperError(Exception):
+    """Base class for wrapper-side errors."""
+
+
+class PointerTableError(WrapperError):
+    """An invalid pointer-table operation (unknown Vptr, duplicate entry...)."""
+
+
+class CapacityError(WrapperError):
+    """An allocation would exceed the simulated memory's configured capacity."""
+
+
+class ReservationError(WrapperError):
+    """A master touched a pointer reserved by another master."""
+
+
+class TranslationError(WrapperError):
+    """The translator could not convert a value or perform a host call."""
+
+
+class ApiError(WrapperError):
+    """A high-level API call failed (carries the returned status code)."""
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,217 @@
+"""The wrapper's pointer table.
+
+Figure 2 of the paper shows the table at the heart of the wrapper's
+functional part.  Each live allocation has one entry holding:
+
+* the **virtual pointer** (Vptr) handed to the simulated software,
+* the **host pointer** (Hptr) — here a :class:`~repro.memory.HostBlock`,
+* the element **type** and **dimension** of the allocation,
+* the **reservation bit** used as a semaphore for data coherence.
+
+Virtual pointers are generated exactly as described in the paper: every new
+Vptr is the previous entry's Vptr plus the previous allocation's size in
+bytes, and the very first Vptr is zero (an optional ``base_vptr`` shifts the
+whole virtual range, which platforms use to give every shared memory its own
+virtual window).  On deallocation the entry is removed and the table is
+re-compacted; surviving Vptrs never change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..memory.host_memory import HostBlock
+from ..memory.protocol import DATA_TYPE_SIZES, DataType
+from .errors import PointerTableError
+
+
+@dataclass
+class PointerEntry:
+    """One row of the pointer table."""
+
+    vptr: int
+    hptr: HostBlock
+    dim: int
+    data_type: DataType
+    reserved_by: Optional[int] = None
+
+    @property
+    def element_size(self) -> int:
+        """Size in bytes of one element of this allocation."""
+        return DATA_TYPE_SIZES[self.data_type]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload size of the allocation in bytes."""
+        return self.dim * self.element_size
+
+    @property
+    def end_vptr(self) -> int:
+        """First virtual address *after* this allocation."""
+        return self.vptr + self.size_bytes
+
+    @property
+    def reserved(self) -> bool:
+        """True when some master holds the reservation bit."""
+        return self.reserved_by is not None
+
+    def contains(self, vptr: int) -> bool:
+        """True when ``vptr`` points inside this allocation."""
+        return self.vptr <= vptr < self.end_vptr
+
+
+class PointerTable:
+    """Ordered table of live allocations with paper-faithful Vptr generation."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None, base_vptr: int = 0) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity must be positive (or None for unlimited)")
+        self.capacity_bytes = capacity_bytes
+        self.base_vptr = base_vptr
+        self._entries: List[PointerEntry] = []
+        #: Running counters used by the evaluation benches.
+        self.total_allocations = 0
+        self.total_frees = 0
+        self.peak_entries = 0
+        self.peak_used_bytes = 0
+
+    # -- size accounting -----------------------------------------------------------
+    def used_bytes(self) -> int:
+        """Sum of the live allocations' sizes."""
+        return sum(entry.size_bytes for entry in self._entries)
+
+    def free_bytes(self) -> Optional[int]:
+        """Remaining capacity, or ``None`` when the table is unlimited."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self.used_bytes()
+
+    def would_fit(self, size_bytes: int) -> bool:
+        """True if an allocation of ``size_bytes`` respects the capacity limit."""
+        if self.capacity_bytes is None:
+            return True
+        return self.used_bytes() + size_bytes <= self.capacity_bytes
+
+    # -- Vptr generation ---------------------------------------------------------------
+    def next_vptr(self) -> int:
+        """The Vptr the next allocation will receive.
+
+        Paper rule: previous entry's Vptr plus previous allocation's size;
+        zero (plus the configured base) for the first entry.
+        """
+        if not self._entries:
+            return self.base_vptr
+        last = self._entries[-1]
+        return last.vptr + last.size_bytes
+
+    # -- table operations ------------------------------------------------------------------
+    def insert(self, hptr: HostBlock, dim: int, data_type: DataType) -> PointerEntry:
+        """Add a new allocation and return its entry (Vptr already assigned)."""
+        if dim <= 0:
+            raise PointerTableError("allocation dimension must be positive")
+        size_bytes = dim * DATA_TYPE_SIZES[data_type]
+        if not self.would_fit(size_bytes):
+            raise PointerTableError(
+                f"allocation of {size_bytes} bytes exceeds capacity "
+                f"{self.capacity_bytes}"
+            )
+        entry = PointerEntry(self.next_vptr(), hptr, dim, data_type)
+        self._entries.append(entry)
+        self.total_allocations += 1
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes())
+        return entry
+
+    def remove(self, vptr: int) -> PointerEntry:
+        """Remove the entry whose Vptr is exactly ``vptr`` and re-compact.
+
+        Re-compaction preserves the order and the Vptrs of the surviving
+        entries (only the list is compacted, as in the paper); the freed
+        bytes are subtracted from the used total implicitly.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.vptr == vptr:
+                del self._entries[index]
+                self.total_frees += 1
+                return entry
+        raise PointerTableError(f"no allocation with Vptr {vptr:#x}")
+
+    def lookup(self, vptr: int) -> PointerEntry:
+        """Find the entry whose Vptr is exactly ``vptr``."""
+        for entry in self._entries:
+            if entry.vptr == vptr:
+                return entry
+        raise PointerTableError(f"no allocation with Vptr {vptr:#x}")
+
+    def resolve(self, vptr: int) -> Tuple[PointerEntry, int]:
+        """Resolve a possibly-interior pointer to ``(entry, byte_offset)``.
+
+        This implements the paper's pointer-arithmetic support: a Vptr that
+        is not in the table is matched against the allocation that contains
+        it, and the host pointer is later offset accordingly.
+        """
+        for entry in self._entries:
+            if entry.contains(vptr):
+                return entry, vptr - entry.vptr
+        raise PointerTableError(f"Vptr {vptr:#x} does not fall in any allocation")
+
+    def try_resolve(self, vptr: int) -> Optional[Tuple[PointerEntry, int]]:
+        """Like :meth:`resolve` but returns ``None`` instead of raising."""
+        try:
+            return self.resolve(vptr)
+        except PointerTableError:
+            return None
+
+    # -- reservation bits --------------------------------------------------------------------
+    def reserve(self, vptr: int, master_id: int) -> PointerEntry:
+        """Set the reservation bit of ``vptr`` on behalf of ``master_id``."""
+        entry = self.lookup(vptr)
+        if entry.reserved and entry.reserved_by != master_id:
+            raise PointerTableError(
+                f"Vptr {vptr:#x} already reserved by master {entry.reserved_by}"
+            )
+        entry.reserved_by = master_id
+        return entry
+
+    def release(self, vptr: int, master_id: int) -> PointerEntry:
+        """Clear the reservation bit (only the holder may clear it)."""
+        entry = self.lookup(vptr)
+        if entry.reserved and entry.reserved_by != master_id:
+            raise PointerTableError(
+                f"Vptr {vptr:#x} is reserved by master {entry.reserved_by}"
+            )
+        entry.reserved_by = None
+        return entry
+
+    def check_access(self, entry: PointerEntry, master_id: int) -> bool:
+        """True when ``master_id`` may modify ``entry`` (reservation honoured)."""
+        return not entry.reserved or entry.reserved_by == master_id
+
+    # -- inspection ---------------------------------------------------------------------------
+    @property
+    def entries(self) -> List[PointerEntry]:
+        """Live entries in table order (oldest first)."""
+        return list(self._entries)
+
+    def live_count(self) -> int:
+        """Number of live allocations."""
+        return len(self._entries)
+
+    def check_consistency(self) -> None:
+        """Verify the table invariants (disjoint ranges, capacity respected).
+
+        Note that Vptr ranges may legitimately be *reused* after frees (the
+        paper's cumulative generation rule restarts from the last surviving
+        entry), so disjointness is only required among live entries.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.dim <= 0:
+                raise PointerTableError("entry with non-positive dimension")
+            for other in self._entries[index + 1:]:
+                if entry.vptr < other.end_vptr and other.vptr < entry.end_vptr:
+                    raise PointerTableError(
+                        f"overlapping virtual ranges {entry.vptr:#x} and {other.vptr:#x}"
+                    )
+        if self.capacity_bytes is not None and self.used_bytes() > self.capacity_bytes:
+            raise PointerTableError("capacity limit exceeded")

@@ -1,0 +1,121 @@
+"""The wrapper's cycle-true FSM.
+
+The FSM is the cycle-true part of the wrapper: it receives the transaction
+head (opcode + sm_addr), drives the functional part (pointer table and
+translator) and paces the whole operation according to the configured delay
+parameters.  :class:`WrapperFsm` builds the per-operation *cycle schedule* —
+the exact sequence of states the FSM traverses — and steps an underlying
+:class:`~repro.kernel.fsm.CycleTrueFsm` through it so that state-occupancy
+statistics (how many cycles were spent decoding, calling the host,
+transferring data, responding) are available to the evaluation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..kernel.fsm import CycleTrueFsm
+from ..memory.protocol import MemOpcode
+from .delays import WrapperDelays
+
+#: FSM state names (Figure 2: Idle, Address/decode, Functional, Write/Read
+#: transfer, respond).
+S_IDLE = "IDLE"
+S_DECODE = "DECODE"
+S_TABLE = "TABLE"
+S_HOST_CALL = "HOST_CALL"
+S_ACCESS = "ACCESS"
+S_TRANSFER = "TRANSFER"
+S_RESPOND = "RESPOND"
+
+ALL_STATES = (S_IDLE, S_DECODE, S_TABLE, S_HOST_CALL, S_ACCESS, S_TRANSFER, S_RESPOND)
+
+
+class WrapperFsm:
+    """Builds and replays the cycle schedule of every wrapper operation."""
+
+    def __init__(self, delays: WrapperDelays) -> None:
+        self.delays = delays
+        self._fsm = CycleTrueFsm(S_IDLE)
+        self._schedule: List[str] = []
+        self._cursor = 0
+        for state in ALL_STATES:
+            self._fsm.state(state, self._advance)
+        #: Number of operations processed, by opcode name.
+        self.operations: Dict[str, int] = {}
+
+    # -- schedule construction --------------------------------------------------------
+    def schedule_for(self, opcode: MemOpcode, words: int, byte_count: int
+                     ) -> List[str]:
+        """Return the state sequence for one operation.
+
+        ``words`` is the number of data words moved through the I/O arrays
+        (0 for scalar operations), ``byte_count`` the payload size used for
+        the data-dependent hook.
+        """
+        d = self.delays
+        schedule: List[str] = [S_DECODE] * max(1, d.decode_cycles)
+        if opcode == MemOpcode.ALLOC:
+            schedule += [S_TABLE] * d.table_cycles
+            schedule += [S_HOST_CALL] * d.host_call_cycles
+        elif opcode == MemOpcode.FREE:
+            schedule += [S_TABLE] * d.table_cycles
+            schedule += [S_HOST_CALL] * d.host_call_cycles
+            # Re-compaction of the pointer table happens in the table state.
+            schedule += [S_TABLE] * d.table_cycles
+        elif opcode in (MemOpcode.READ, MemOpcode.WRITE):
+            schedule += [S_TABLE] * d.table_cycles
+            schedule += [S_ACCESS] * d.access_cycles
+        elif opcode in (MemOpcode.READ_ARRAY, MemOpcode.WRITE_ARRAY):
+            schedule += [S_TABLE] * d.table_cycles
+            schedule += [S_ACCESS] * d.access_cycles
+            schedule += [S_TRANSFER] * (d.per_word_cycles * max(0, words))
+        elif opcode in (MemOpcode.RESERVE, MemOpcode.RELEASE, MemOpcode.QUERY):
+            schedule += [S_TABLE] * d.table_cycles
+        extra = self.delays.extra(opcode, byte_count)
+        if extra:
+            schedule += [S_ACCESS] * extra
+        schedule += [S_RESPOND] * max(1, d.respond_cycles)
+        return schedule
+
+    # -- execution ----------------------------------------------------------------------
+    def run_operation(self, opcode: MemOpcode, words: int = 0,
+                      byte_count: int = 0) -> int:
+        """Step the FSM through one operation; returns the cycle count."""
+        schedule = self.schedule_for(opcode, words, byte_count)
+        self._schedule = schedule
+        self._cursor = 0
+        # The request arrival edge moves the FSM out of IDLE; each scheduled
+        # state is then occupied for exactly one stepped cycle.
+        self._fsm.current_state = schedule[0]
+        for _ in schedule:
+            self._fsm.step()
+        self.operations[opcode.name] = self.operations.get(opcode.name, 0) + 1
+        return len(schedule)
+
+    def _advance(self) -> str:
+        self._cursor += 1
+        if self._cursor < len(self._schedule):
+            return self._schedule[self._cursor]
+        return S_IDLE
+
+    # -- statistics -----------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Total cycles stepped (including idle returns)."""
+        return self._fsm.cycles
+
+    def occupancy(self) -> Dict[str, int]:
+        """Cycles spent in each state since construction."""
+        return dict(self._fsm.occupancy)
+
+    def busy_fraction(self) -> float:
+        """Fraction of stepped cycles spent outside the idle state."""
+        if self._fsm.cycles == 0:
+            return 0.0
+        return 1.0 - self._fsm.occupancy[S_IDLE] / self._fsm.cycles
+
+    @property
+    def state(self) -> str:
+        """The FSM's current state name."""
+        return self._fsm.current_state

@@ -1,0 +1,13 @@
+"""Pytest configuration: make the in-tree ``src`` layout importable.
+
+The project is normally installed with ``pip install -e .``; this fallback
+keeps the test suite runnable straight from a source checkout (and on hosts
+where editable installs are unavailable, e.g. offline CI images).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

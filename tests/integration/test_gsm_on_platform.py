@@ -1,0 +1,100 @@
+"""Integration tests: the GSM workload running on the simulated MPSoC.
+
+These are the closest analogue of the paper's experiment: processing
+elements encode GSM channels with every dynamic buffer managed through the
+shared-memory wrapper, and the encoded parameters must match the pure-Python
+reference encoder bit for bit.
+"""
+
+import pytest
+
+from repro.soc import MemoryKind, Platform, PlatformConfig
+from repro.sw.gsm import (
+    PARAMETERS_PER_FRAME,
+    PLACEMENT_STRIPED,
+    build_gsm_tasks,
+    check_platform_results,
+    make_gsm_channels,
+    reference_encode,
+)
+
+
+def run_gsm(num_pes, num_memories, frames=1, memory_kind=MemoryKind.WRAPPER,
+            placement=None, idle_tick=False):
+    channels = make_gsm_channels(num_pes, frames, seed=42)
+    reference = reference_encode(channels)
+    config = PlatformConfig(
+        num_pes=num_pes,
+        num_memories=num_memories,
+        memory_kind=memory_kind,
+        memory_capacity_bytes=1 << 20,
+        idle_tick_memories=idle_tick,
+        idle_tick_work=1,
+    )
+    tasks = (build_gsm_tasks(channels, placement=placement) if placement
+             else build_gsm_tasks(channels))
+    platform = Platform(config)
+    platform.add_tasks(tasks)
+    report = platform.run()
+    return report, reference
+
+
+class TestSinglePe:
+    def test_one_frame_matches_reference(self):
+        report, reference = run_gsm(num_pes=1, num_memories=1, frames=1)
+        assert report.all_pes_finished
+        assert check_platform_results(report.results, reference)
+        frames = report.results["pe0"]
+        assert len(frames) == 1
+        assert len(frames[0]) == PARAMETERS_PER_FRAME
+
+    def test_memory_is_clean_after_run(self):
+        report, _ = run_gsm(num_pes=1, num_memories=1, frames=2)
+        memory = report.memory_reports[0]
+        assert memory["live_allocations"] == 0
+        assert memory["total_allocations"] == 2 * 2  # input + output per frame
+        assert memory["total_frees"] == memory["total_allocations"]
+
+
+class TestMultiPe:
+    def test_two_pes_one_memory(self):
+        report, reference = run_gsm(num_pes=2, num_memories=1, frames=1)
+        assert report.all_pes_finished
+        assert check_platform_results(report.results, reference)
+
+    def test_two_pes_two_memories_dedicated(self):
+        report, reference = run_gsm(num_pes=2, num_memories=2, frames=1)
+        assert check_platform_results(report.results, reference)
+        # Dedicated placement: each memory served one PE's allocations.
+        for memory in report.memory_reports:
+            assert memory["total_allocations"] == 2
+
+    def test_striped_placement_touches_every_memory(self):
+        report, reference = run_gsm(num_pes=1, num_memories=2, frames=2,
+                                    placement=PLACEMENT_STRIPED)
+        assert check_platform_results(report.results, reference)
+        for memory in report.memory_reports:
+            assert memory["total_allocations"] == 2
+
+    def test_gsm_on_modeled_baseline_matches_reference(self):
+        report, reference = run_gsm(num_pes=1, num_memories=1, frames=1,
+                                    memory_kind=MemoryKind.MODELED)
+        assert check_platform_results(report.results, reference)
+
+    def test_cycle_driven_mode_still_correct(self):
+        report, reference = run_gsm(num_pes=1, num_memories=2, frames=1,
+                                    idle_tick=True)
+        assert check_platform_results(report.results, reference)
+
+
+class TestPlatformMetrics:
+    def test_gsm_traffic_shape(self):
+        report, _ = run_gsm(num_pes=2, num_memories=1, frames=1)
+        # Per frame and per PE: 2 ALLOC, 2 FREE, array writes/reads.
+        ops = report.memory_reports[0]["op_counts"]
+        assert ops["ALLOC"] == 4
+        assert ops["FREE"] == 4
+        assert ops["WRITE_ARRAY"] >= 4
+        assert ops["READ_ARRAY"] >= 4
+        assert report.total_transactions() > 20
+        assert report.simulation_speed > 0

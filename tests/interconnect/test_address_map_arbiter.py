@@ -1,0 +1,192 @@
+"""Tests for address decoding and arbitration policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect import (
+    AddressDecodeError,
+    AddressMap,
+    AddressMapConflict,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+
+
+class TestAddressMap:
+    def make_map(self):
+        amap = AddressMap()
+        amap.add_region("mem0", 0x0000, 0x1000, "slave0")
+        amap.add_region("mem1", 0x2000, 0x800, "slave1")
+        return amap
+
+    def test_decode_inside_region(self):
+        amap = self.make_map()
+        slave, offset, region = amap.decode(0x10)
+        assert slave == "slave0"
+        assert offset == 0x10
+        assert region.name == "mem0"
+
+    def test_decode_offset_is_relative(self):
+        amap = self.make_map()
+        slave, offset, _ = amap.decode(0x2004)
+        assert slave == "slave1"
+        assert offset == 4
+
+    def test_decode_unmapped_raises(self):
+        amap = self.make_map()
+        with pytest.raises(AddressDecodeError):
+            amap.decode(0x1800)
+
+    def test_overlap_rejected(self):
+        amap = self.make_map()
+        with pytest.raises(AddressMapConflict):
+            amap.add_region("bad", 0x0800, 0x1000, "slave2")
+
+    def test_duplicate_name_rejected(self):
+        amap = self.make_map()
+        with pytest.raises(AddressMapConflict):
+            amap.add_region("mem0", 0x8000, 0x100, "slave2")
+
+    def test_adjacent_regions_allowed(self):
+        amap = self.make_map()
+        amap.add_region("mem2", 0x1000, 0x1000, "slave2")
+        assert amap.decode(0x1000)[0] == "slave2"
+
+    def test_region_by_name_and_base_of(self):
+        amap = self.make_map()
+        assert amap.region_by_name("mem1").base == 0x2000
+        assert amap.base_of("slave1") == 0x2000
+        with pytest.raises(KeyError):
+            amap.region_by_name("ghost")
+        with pytest.raises(KeyError):
+            amap.base_of("ghost")
+
+    def test_slaves_and_totals(self):
+        amap = self.make_map()
+        assert amap.slaves() == ["slave0", "slave1"]
+        assert amap.total_mapped_bytes() == 0x1800
+        assert len(amap) == 2
+
+    def test_invalid_region_parameters(self):
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.add_region("neg", -4, 16, "s")
+        with pytest.raises(ValueError):
+            amap.add_region("empty", 0, 0, "s")
+
+    @given(st.integers(min_value=0, max_value=0x2FFF))
+    def test_decode_matches_contains(self, address):
+        amap = self.make_map()
+        region = amap.find_region(address)
+        if region is None:
+            with pytest.raises(AddressDecodeError):
+                amap.decode(address)
+        else:
+            slave, offset, found = amap.decode(address)
+            assert found is region
+            assert 0 <= offset < region.size
+
+
+class TestRoundRobinArbiter:
+    def test_rotation(self):
+        arb = RoundRobinArbiter()
+        grants = [arb.grant([0, 1, 2]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_idle_masters(self):
+        arb = RoundRobinArbiter()
+        assert arb.grant([1, 3]) == 1
+        assert arb.grant([1, 3]) == 3
+        assert arb.grant([1, 3]) == 1
+
+    def test_empty_requesters(self):
+        arb = RoundRobinArbiter()
+        assert arb.grant([]) is None
+
+    def test_reset(self):
+        arb = RoundRobinArbiter()
+        arb.grant([0, 1])
+        arb.reset()
+        assert arb.grant([0, 1]) == 0
+        assert arb.grant_counts == {0: 1}
+
+    def test_fairness_over_many_rounds(self):
+        arb = RoundRobinArbiter()
+        for _ in range(300):
+            arb.grant([0, 1, 2])
+        counts = arb.grant_counts
+        assert counts[0] == counts[1] == counts[2] == 100
+
+    @given(st.lists(st.sets(st.integers(0, 7), min_size=1), min_size=1, max_size=50))
+    def test_grant_always_a_requester(self, rounds):
+        arb = RoundRobinArbiter()
+        for requesters in rounds:
+            winner = arb.grant(sorted(requesters))
+            assert winner in requesters
+
+
+class TestFixedPriorityArbiter:
+    def test_lowest_id_wins_by_default(self):
+        arb = FixedPriorityArbiter()
+        assert arb.grant([3, 1, 2]) == 1
+
+    def test_explicit_priority_order(self):
+        arb = FixedPriorityArbiter(priority_order=[2, 0, 1])
+        assert arb.grant([0, 1, 2]) == 2
+        assert arb.grant([0, 1]) == 0
+
+    def test_requester_not_in_order_falls_back(self):
+        arb = FixedPriorityArbiter(priority_order=[5])
+        assert arb.grant([7, 9]) == 7
+
+    def test_starvation_is_possible(self):
+        arb = FixedPriorityArbiter()
+        for _ in range(10):
+            assert arb.grant([0, 1]) == 0
+        assert 1 not in arb.grant_counts
+
+
+class TestTdmaArbiter:
+    def test_slot_owner_wins(self):
+        arb = TdmaArbiter(schedule=[0, 1])
+        assert arb.grant([0, 1]) == 0
+        assert arb.grant([0, 1]) == 1
+        assert arb.grant([0, 1]) == 0
+
+    def test_fallback_when_owner_idle(self):
+        arb = TdmaArbiter(schedule=[0, 1])
+        assert arb.grant([1]) == 1  # slot 0's owner idle → fallback
+        assert arb.slot_misses == 1
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            TdmaArbiter(schedule=[])
+
+    def test_empty_requesters_advances_slot(self):
+        arb = TdmaArbiter(schedule=[0, 1])
+        assert arb.grant([]) is None
+        assert arb.grant([1]) == 1  # now slot 1
+
+    def test_reset(self):
+        arb = TdmaArbiter(schedule=[0, 1, 2])
+        arb.grant([0])
+        arb.reset()
+        assert arb.grant([0, 1, 2]) == 0
+
+
+class TestFactory:
+    def test_make_round_robin(self):
+        assert isinstance(make_arbiter("round_robin"), RoundRobinArbiter)
+
+    def test_make_fixed_priority(self):
+        arb = make_arbiter("fixed_priority", priority_order=[1, 0])
+        assert isinstance(arb, FixedPriorityArbiter)
+
+    def test_make_tdma(self):
+        assert isinstance(make_arbiter("tdma", schedule=[0, 1]), TdmaArbiter)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_arbiter("magic")

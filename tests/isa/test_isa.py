@@ -1,0 +1,177 @@
+"""Tests for the ALM ISA: encoding round trips and the assembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AssemblerError,
+    BranchOp,
+    Cond,
+    DpOp,
+    EncodingError,
+    InsnClass,
+    Instruction,
+    MemOp,
+    SysOp,
+    assemble,
+    condition_passed,
+    decode,
+    disassemble,
+    encode,
+    sign_extend,
+)
+
+
+class TestEncoding:
+    def test_dp_imm_roundtrip(self):
+        insn = Instruction(Cond.AL, InsnClass.DP_IMM, DpOp.ADD, rd=1, rn=2, imm=100,
+                           uses_imm=True)
+        decoded = decode(encode(insn))
+        assert decoded.klass == InsnClass.DP_IMM
+        assert (decoded.rd, decoded.rn, decoded.imm) == (1, 2, 100)
+
+    def test_dp_reg_roundtrip(self):
+        insn = Instruction(Cond.NE, InsnClass.DP_REG, DpOp.SUB, rd=3, rn=4, rm=5)
+        decoded = decode(encode(insn))
+        assert decoded.cond == Cond.NE
+        assert (decoded.rd, decoded.rn, decoded.rm) == (3, 4, 5)
+
+    def test_mem_negative_offset(self):
+        insn = Instruction(Cond.AL, InsnClass.MEM, MemOp.LDR, rd=0, rn=13, imm=-8,
+                           uses_imm=True)
+        decoded = decode(encode(insn))
+        assert decoded.imm == -8
+
+    def test_branch_negative_offset(self):
+        insn = Instruction(Cond.AL, InsnClass.BRANCH, BranchOp.B, imm=-5,
+                           uses_imm=True)
+        assert decode(encode(insn)).imm == -5
+
+    def test_swi_number(self):
+        insn = Instruction(Cond.AL, InsnClass.SYS, SysOp.SWI, imm=42, uses_imm=True)
+        assert decode(encode(insn)).imm == 42
+
+    def test_out_of_range_immediates(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Cond.AL, InsnClass.DP_IMM, DpOp.MOV, rd=0, imm=5000,
+                               uses_imm=True))
+        with pytest.raises(EncodingError):
+            encode(Instruction(Cond.AL, InsnClass.MEM, MemOp.LDR, rd=0, rn=0,
+                               imm=4000, uses_imm=True))
+
+    def test_invalid_register(self):
+        with pytest.raises(ValueError):
+            Instruction(Cond.AL, InsnClass.DP_REG, DpOp.MOV, rd=16)
+
+    def test_decode_garbage(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+
+    def test_disassemble(self):
+        word = encode(Instruction(Cond.EQ, InsnClass.DP_IMM, DpOp.ADD, rd=1, rn=1,
+                                  imm=4, uses_imm=True))
+        assert disassemble(word) == "ADDEQ r1, r1, #4"
+
+    @given(st.sampled_from(list(DpOp)), st.integers(0, 15), st.integers(0, 15),
+           st.integers(0, 15), st.sampled_from(list(Cond)))
+    def test_dp_reg_roundtrip_property(self, op, rd, rn, rm, cond):
+        insn = Instruction(cond, InsnClass.DP_REG, op, rd=rd, rn=rn, rm=rm)
+        decoded = decode(encode(insn))
+        assert (decoded.cond, decoded.op, decoded.rd, decoded.rn, decoded.rm) == (
+            cond, op, rd, rn, rm)
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x7FF, 12) == 2047
+        assert sign_extend(5, 12) == 5
+
+
+class TestConditionCodes:
+    def test_basic_conditions(self):
+        assert condition_passed(Cond.AL, False, False, False, False)
+        assert condition_passed(Cond.EQ, False, True, False, False)
+        assert not condition_passed(Cond.NE, False, True, False, False)
+        assert condition_passed(Cond.GE, True, False, False, True)
+        assert condition_passed(Cond.LT, True, False, False, False)
+        assert condition_passed(Cond.GT, False, False, False, False)
+        assert condition_passed(Cond.LE, False, True, False, False)
+        assert condition_passed(Cond.CS, False, False, True, False)
+        assert condition_passed(Cond.CC, False, False, False, False)
+        assert condition_passed(Cond.MI, True, False, False, False)
+        assert condition_passed(Cond.PL, False, False, False, False)
+        assert condition_passed(Cond.HI, False, False, True, False)
+        assert condition_passed(Cond.LS, False, True, False, False)
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble("""
+            MOV r0, #1
+            ADD r0, r0, #2
+            HALT
+        """)
+        assert len(program) == 3
+        assert decode(program.words[0]).mnemonic == "MOV"
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        start:  MOV r0, #0
+        loop:   ADD r0, r0, #1
+                CMP r0, #5
+                BNE loop
+                HALT
+        """)
+        assert program.labels["start"] == 0
+        assert program.labels["loop"] == 1
+        branch = decode(program.words[3])
+        assert branch.cond == Cond.NE
+        assert branch.imm == 1 - 4  # back to 'loop' relative to the next insn
+
+    def test_memory_operands(self):
+        program = assemble("""
+            LDR r1, [r2, #8]
+            STR r1, [r2]
+            LDRB r3, [sp, #-4]
+        """)
+        first = decode(program.words[0])
+        assert first.mnemonic == "LDR" and first.imm == 8
+        second = decode(program.words[1])
+        assert second.mnemonic == "STR" and second.imm == 0
+        third = decode(program.words[2])
+        assert third.rn == 13 and third.imm == -4
+
+    def test_word_directive_and_comments(self):
+        program = assemble("""
+            ; a data table
+            table: .word 1, 2, 0xFF   ; three words
+            MOV r0, #0                @ trailing comment
+        """)
+        assert program.words[:3] == [1, 2, 0xFF]
+        assert program.labels["table"] == 0
+
+    def test_register_aliases(self):
+        program = assemble("MOV sp, #128\nMOV lr, #0\nBX lr")
+        assert decode(program.words[0]).rd == 13
+        assert decode(program.words[1]).rd == 14
+        assert decode(program.words[2]).rn == 14
+
+    def test_mul_and_swi(self):
+        program = assemble("MUL r0, r1, r2\nSWI #3")
+        assert decode(program.words[0]).mnemonic == "MUL"
+        assert decode(program.words[1]).imm == 3
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble("FROB r0, r1")
+        with pytest.raises(AssemblerError):
+            assemble("ADD r0, r1")
+        with pytest.raises(AssemblerError):
+            assemble("B nowhere")
+        with pytest.raises(AssemblerError):
+            assemble("MOV r99, #1")
+        with pytest.raises(AssemblerError):
+            assemble("x: MOV r0, #0\nx: MOV r0, #1")
+
+    def test_to_bytes(self):
+        program = assemble("MOV r0, #1")
+        assert len(program.to_bytes()) == 4

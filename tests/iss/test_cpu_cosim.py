@@ -1,0 +1,215 @@
+"""Tests for the ALM CPU core and the bus-attached ISS processing element."""
+
+import pytest
+
+from repro.interconnect import SharedBus
+from repro.isa import assemble
+from repro.iss import ActionKind, Cpu, CpuError, IssProcessor
+from repro.kernel import Module, Simulator
+from repro.memory import REGISTER_WINDOW_BYTES, StaticMemory
+from repro.wrapper import SharedMemoryAPI, SharedMemoryWrapper
+
+
+def run_cpu(source, max_instructions=10_000):
+    cpu = Cpu(assemble(source).words)
+    cpu.run(max_instructions=max_instructions)
+    return cpu
+
+
+class TestCpuCore:
+    def test_arithmetic_loop(self):
+        cpu = run_cpu("""
+                MOV r0, #0
+                MOV r1, #0
+        loop:   ADD r0, r0, #3
+                ADD r1, r1, #1
+                CMP r1, #10
+                BNE loop
+                HALT
+        """)
+        assert cpu.read_register(0) == 30
+        assert cpu.halted
+        assert cpu.stats.instructions > 40
+
+    def test_conditional_execution_skips(self):
+        cpu = run_cpu("""
+                MOV r0, #5
+                CMP r0, #5
+                MOVEQ r1, #1
+                MOVNE r2, #1
+                HALT
+        """)
+        assert cpu.read_register(1) == 1
+        assert cpu.read_register(2) == 0
+        assert cpu.stats.skipped == 1
+
+    def test_signed_comparison(self):
+        cpu = run_cpu("""
+                MOV r0, #0
+                SUB r0, r0, #5      ; r0 = -5
+                CMP r0, #3
+                MOVLT r1, #1        ; signed less-than must trigger
+                MOVGE r2, #1
+                HALT
+        """)
+        assert cpu.read_register(1) == 1
+        assert cpu.read_register(2) == 0
+        assert cpu.read_register(0) == (-5) & 0xFFFFFFFF
+
+    def test_mul_and_shifts(self):
+        cpu = run_cpu("""
+                MOV r1, #6
+                MOV r2, #7
+                MUL r0, r1, r2
+                LSL r3, r0, #2
+                LSR r4, r3, #1
+                ASR r5, r3, #1
+                HALT
+        """)
+        assert cpu.read_register(0) == 42
+        assert cpu.read_register(3) == 168
+        assert cpu.read_register(4) == 84
+        assert cpu.read_register(5) == 84
+
+    def test_scratchpad_load_store(self):
+        cpu = run_cpu("""
+                MOV r1, #64
+                MOV r0, #123
+                STR r0, [r1, #4]
+                LDR r2, [r1, #4]
+                LDRB r3, [r1, #4]
+                HALT
+        """)
+        assert cpu.read_register(2) == 123
+        assert cpu.read_register(3) == 123
+
+    def test_function_call_with_bl(self):
+        cpu = run_cpu("""
+                MOV r0, #5
+                BL double
+                HALT
+        double: ADD r0, r0, r0
+                BX lr
+        """)
+        assert cpu.read_register(0) == 10
+
+    def test_data_table_access(self):
+        cpu = run_cpu("""
+                B start
+        table:  .word 11, 22, 33
+        start:  MOV r1, #4          ; byte address of 'table'
+                LDR r0, [r1, #8]    ; third entry
+                HALT
+        """)
+        # The program words are not in the scratchpad; loads from the program
+        # region fall outside the scratchpad only if addresses collide --
+        # here address 12 is inside the scratchpad, so it reads zeros unless
+        # the program was also copied there.  Verify the load happened from
+        # the scratchpad (zero), documenting the Harvard-style split.
+        assert cpu.read_register(0) == 0
+
+    def test_external_access_rejected_standalone(self):
+        cpu = Cpu(assemble("""
+                MOV r1, #0
+                SUB r1, r1, #4      ; address 0xFFFFFFFC, outside scratchpad
+                LDR r0, [r1]
+                HALT
+        """).words)
+        with pytest.raises(CpuError):
+            cpu.run()
+
+    def test_swi_handler_callback(self):
+        calls = []
+        cpu = Cpu(assemble("SWI #9\nHALT").words)
+        cpu.run(swi_handler=lambda number, core: calls.append(number))
+        assert calls == [9]
+
+    def test_step_returns_actions(self):
+        cpu = Cpu(assemble("SWI #1\nHALT").words)
+        result = cpu.step()
+        assert result.action.kind is ActionKind.SWI
+        assert result.action.swi_number == 1
+
+    def test_bad_pc(self):
+        cpu = Cpu(assemble("MOV r0, #1").words)
+        cpu.step()
+        with pytest.raises(CpuError):
+            cpu.step()  # ran off the end of the program
+
+
+#: Assembly program exercising the dynamic-memory SWI API:
+#: allocate 8 words, write 7 at offset 2, read it back, query the size,
+#: free the allocation and exit with r0 = value + size.
+SWI_PROGRAM = """
+        MOV r0, #8          ; dim
+        MOV r1, #4          ; DataType.UINT32
+        MOV r3, #0          ; memory index 0
+        SWI #1              ; r0 = alloc(8, u32)
+        MOV r4, r0          ; keep vptr
+        MOV r1, #2          ; offset
+        MOV r2, #7          ; value
+        SWI #3              ; write(vptr, 2, 7)
+        MOV r0, r4
+        MOV r1, #2
+        SWI #4              ; r0 = read(vptr, 2)
+        MOV r5, r0
+        MOV r0, r4
+        SWI #7              ; r0 = query(vptr) -> 32 bytes
+        ADD r5, r5, r0
+        MOV r0, r4
+        SWI #2              ; free(vptr)
+        MOV r0, r5
+        SWI #0              ; exit(r0)
+"""
+
+
+class TestIssProcessorOnPlatform:
+    def build_platform(self, source, extra_static=False):
+        top = Module("top")
+        bus = SharedBus("bus", period=10, parent=top)
+        wrapper = SharedMemoryWrapper(name="smem0")
+        bus.attach_slave("smem0", 0x1000_0000, REGISTER_WINDOW_BYTES, wrapper)
+        static = None
+        if extra_static:
+            static = StaticMemory(0x1000)
+            bus.attach_slave("sram", 0x2000_0000, 0x1000, static)
+        port = bus.master_port(0, name="iss0")
+        api = SharedMemoryAPI(port, base_address=0x1000_0000, sm_addr=0)
+        processor = IssProcessor("iss0", port, [api], assemble(source).words,
+                                 clock_period=10, parent=top)
+        simulator = Simulator(top)
+        return simulator, processor, wrapper, static
+
+    def test_swi_dynamic_memory_program(self):
+        simulator, processor, wrapper, _ = self.build_platform(SWI_PROGRAM)
+        simulator.run()
+        assert processor.finished
+        assert processor.exit_code == 7 + 32
+        assert wrapper.live_count() == 0
+        report = processor.report()
+        assert report["swi_calls"] == 6
+        assert report["instructions"] > 10
+
+    def test_external_load_store_over_bus(self):
+        source = """
+                MOV r1, #1
+                LSL r1, r1, #29     ; r1 = 0x2000_0000 (static RAM window)
+                MOV r0, #77
+                STR r0, [r1, #16]
+                LDR r2, [r1, #16]
+                MOV r0, r2
+                SWI #0
+        """
+        simulator, processor, _, static = self.build_platform(source,
+                                                              extra_static=True)
+        simulator.run()
+        assert processor.finished
+        assert processor.exit_code == 77
+        assert static.read_word_backdoor(16) == 77
+        assert processor.bus_accesses == 2
+
+    def test_simulated_time_advances_with_instruction_cycles(self):
+        simulator, processor, _, _ = self.build_platform("MOV r0, #0\nSWI #0")
+        simulator.run()
+        assert processor.finished
+        assert simulator.now >= processor.cpu.stats.cycles * 10

@@ -1,0 +1,134 @@
+"""Tests for the cycle-true FSM helper and the tracing utilities."""
+
+import pytest
+
+from repro.kernel import CycleTrueFsm, FsmStateError, Module, Signal, Simulator
+from repro.kernel.trace import SignalTracer, TransactionLog
+
+
+class TestCycleTrueFsm:
+    def make_counter_fsm(self, threshold=3):
+        state = {"count": 0}
+        fsm = CycleTrueFsm("IDLE")
+
+        def idle():
+            state["count"] = 0
+            return "COUNTING"
+
+        def counting():
+            state["count"] += 1
+            if state["count"] >= threshold:
+                return "DONE"
+            return None
+
+        def done():
+            return "IDLE"
+
+        fsm.state("IDLE", idle)
+        fsm.state("COUNTING", counting)
+        fsm.state("DONE", done)
+        return fsm, state
+
+    def test_transitions(self):
+        fsm, _ = self.make_counter_fsm()
+        seq = [fsm.step() for _ in range(6)]
+        assert seq == ["COUNTING", "COUNTING", "COUNTING", "DONE", "IDLE", "COUNTING"]
+
+    def test_occupancy_counts(self):
+        fsm, _ = self.make_counter_fsm()
+        for _ in range(10):
+            fsm.step()
+        assert fsm.cycles == 10
+        assert sum(fsm.occupancy.values()) == 10
+        assert fsm.occupancy["COUNTING"] > fsm.occupancy["IDLE"]
+
+    def test_occupancy_fraction(self):
+        fsm, _ = self.make_counter_fsm()
+        assert fsm.occupancy_fraction("IDLE") == 0.0
+        for _ in range(5):
+            fsm.step()
+        assert 0.0 <= fsm.occupancy_fraction("COUNTING") <= 1.0
+
+    def test_duplicate_state_rejected(self):
+        fsm = CycleTrueFsm("A")
+        fsm.state("A", lambda: None)
+        with pytest.raises(FsmStateError):
+            fsm.state("A", lambda: None)
+
+    def test_unknown_next_state_rejected(self):
+        fsm = CycleTrueFsm("A")
+        fsm.state("A", lambda: "GHOST")
+        with pytest.raises(FsmStateError):
+            fsm.step()
+
+    def test_unregistered_current_state_rejected(self):
+        fsm = CycleTrueFsm("MISSING")
+        with pytest.raises(FsmStateError):
+            fsm.step()
+
+    def test_reset_returns_to_initial(self):
+        fsm, _ = self.make_counter_fsm()
+        fsm.step()
+        assert fsm.current_state != "IDLE"
+        fsm.reset()
+        assert fsm.current_state == "IDLE"
+
+    def test_transition_counter(self):
+        fsm, _ = self.make_counter_fsm()
+        for _ in range(8):
+            fsm.step()
+        assert fsm.transitions[("IDLE", "COUNTING")] >= 1
+        assert fsm.transitions[("COUNTING", "DONE")] >= 1
+
+
+class TestSignalTracer:
+    def test_records_changes(self):
+        top = Module("top")
+        mod = Module("m", parent=top)
+        sig = mod.add_signal(Signal(0, name="s"))
+
+        def writer():
+            for value in (1, 2, 3):
+                yield 10
+                sig.write(value)
+                yield 0
+                tracer.sample()
+
+        mod.add_process(writer)
+        sim = Simulator(top)
+        tracer = SignalTracer(sim)
+        tracer.watch(sig)
+        sim.run()
+        history = tracer.history("s")
+        assert [v for _, v in history] == [0, 1, 2, 3]
+
+    def test_vcd_output_contains_definitions(self):
+        top = Module("top")
+        mod = Module("m", parent=top)
+        sig = mod.add_signal(Signal(False, name="flag"))
+        sim = Simulator(top)
+        tracer = SignalTracer(sim)
+        tracer.watch(sig)
+        text = tracer.to_vcd()
+        assert "$enddefinitions" in text
+        assert "flag" in text
+
+
+class TestTransactionLog:
+    def test_record_and_filter(self):
+        log = TransactionLog()
+        log.record(10, "bus", "read", addr=4)
+        log.record(20, "bus", "write", addr=8)
+        log.record(30, "mem", "read", addr=4)
+        assert len(log) == 3
+        assert len(log.filter(kind="read")) == 2
+        assert len(log.filter(source="bus")) == 2
+        assert len(log.filter(kind="read", source="mem")) == 1
+        assert log.kinds() == ["read", "write"]
+
+    def test_capacity_limit(self):
+        log = TransactionLog(capacity=2)
+        for i in range(5):
+            log.record(i, "x", "k")
+        assert len(log) == 2
+        assert log.dropped == 3

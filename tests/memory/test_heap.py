@@ -1,0 +1,184 @@
+"""Tests for the in-memory first-fit heap (metadata inside the memory)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import CountingAccessor, FreeListHeap, HeapError, HEADER_BYTES
+
+
+class ArrayBackedMemory:
+    """A simple word store for exercising the heap without a simulator."""
+
+    def __init__(self, size_bytes):
+        self.data = bytearray(size_bytes)
+
+    def read(self, address):
+        return int.from_bytes(self.data[address:address + 4], "little")
+
+    def write(self, address, value):
+        self.data[address:address + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def make_heap(size_bytes=1024, base=0):
+    memory = ArrayBackedMemory(base + size_bytes)
+    accessor = CountingAccessor(memory.read, memory.write)
+    heap = FreeListHeap(accessor, base=base, size_bytes=size_bytes)
+    heap.initialize()
+    return heap, accessor
+
+
+class TestBasicAllocation:
+    def test_malloc_returns_payload_after_header(self):
+        heap, _ = make_heap()
+        address = heap.malloc(16)
+        assert address == HEADER_BYTES
+
+    def test_two_allocations_do_not_overlap(self):
+        heap, _ = make_heap()
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        assert b >= a + 16
+
+    def test_allocation_failure_returns_none(self):
+        heap, _ = make_heap(size_bytes=64)
+        assert heap.malloc(1024) is None
+        assert heap.stats.failed_allocs == 1
+
+    def test_free_then_reuse(self):
+        heap, _ = make_heap(size_bytes=128)
+        a = heap.malloc(32)
+        heap.free(a)
+        b = heap.malloc(32)
+        assert b == a
+
+    def test_used_and_free_bytes(self):
+        heap, _ = make_heap(size_bytes=256)
+        heap.malloc(32)
+        assert heap.used_bytes() >= 32
+        assert heap.free_bytes() > 0
+        assert heap.live_allocations() == 1
+
+    def test_alignment(self):
+        heap, _ = make_heap()
+        first = heap.malloc(5)
+        second = heap.malloc(5)
+        assert first % 4 == 0 and second % 4 == 0
+
+    def test_requires_initialize(self):
+        memory = ArrayBackedMemory(256)
+        accessor = CountingAccessor(memory.read, memory.write)
+        heap = FreeListHeap(accessor, base=0, size_bytes=256)
+        with pytest.raises(HeapError):
+            heap.malloc(8)
+
+    def test_constructor_validation(self):
+        memory = ArrayBackedMemory(64)
+        accessor = CountingAccessor(memory.read, memory.write)
+        with pytest.raises(ValueError):
+            FreeListHeap(accessor, base=0, size_bytes=4)
+        with pytest.raises(ValueError):
+            FreeListHeap(accessor, base=0, size_bytes=64, alignment=3)
+
+
+class TestFreeAndCoalesce:
+    def test_double_free_rejected(self):
+        heap, _ = make_heap()
+        address = heap.malloc(16)
+        heap.free(address)
+        with pytest.raises(HeapError):
+            heap.free(address)
+
+    def test_free_of_garbage_rejected(self):
+        heap, _ = make_heap()
+        with pytest.raises(HeapError):
+            heap.free(4096)
+
+    def test_eager_forward_coalesce(self):
+        heap, _ = make_heap(size_bytes=256)
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(b)
+        heap.free(a)  # coalesces with the free block after it
+        big = heap.malloc(64)
+        assert big == a
+
+    def test_full_coalesce_pass(self):
+        heap, _ = make_heap(size_bytes=512)
+        blocks = [heap.malloc(32) for _ in range(4)]
+        for address in blocks:
+            heap.free(address)
+        heap.coalesce()
+        assert len(heap.walk()) == 1
+        assert heap.live_allocations() == 0
+
+    def test_fragmentation_prevents_large_alloc_until_coalesce(self):
+        heap, _ = make_heap(size_bytes=4096 + HEADER_BYTES)
+        blocks = [heap.malloc(256) for _ in range(8)]
+        assert all(b is not None for b in blocks)
+        for address in blocks:
+            heap.free(address)
+        heap.coalesce()
+        assert heap.malloc(2048) is not None
+
+
+class TestAccessorAccounting:
+    def test_malloc_costs_accesses(self):
+        heap, accessor = make_heap()
+        before = accessor.accesses
+        heap.malloc(16)
+        assert accessor.accesses > before
+
+    def test_walk_cost_grows_with_blocks(self):
+        heap, accessor = make_heap(size_bytes=4096)
+        for _ in range(8):
+            heap.malloc(16)
+        before = accessor.accesses
+        heap.malloc(16)
+        cost_late = accessor.accesses - before
+        fresh_heap, fresh_accessor = make_heap(size_bytes=4096)
+        before = fresh_accessor.accesses
+        fresh_heap.malloc(16)
+        cost_early = fresh_accessor.accesses - before
+        assert cost_late > cost_early  # first-fit walks past used blocks
+
+
+class TestConsistency:
+    def test_check_consistency_on_fresh_heap(self):
+        heap, _ = make_heap()
+        heap.check_consistency()
+
+    def test_blocks_tile_the_region(self):
+        heap, _ = make_heap(size_bytes=1024)
+        for size in (16, 64, 32, 128):
+            heap.malloc(size)
+        heap.check_consistency()
+        blocks = heap.walk()
+        assert blocks[0][0] == 0
+        assert sum(size for _, size, _ in blocks) == 1024
+
+    def test_nonzero_base(self):
+        heap, _ = make_heap(size_bytes=512, base=256)
+        address = heap.malloc(16)
+        assert address >= 256 + HEADER_BYTES
+        heap.check_consistency()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                              st.integers(min_value=1, max_value=96)),
+                    min_size=1, max_size=60))
+    def test_random_workload_invariants(self, operations):
+        heap, _ = make_heap(size_bytes=2048)
+        live = []
+        for kind, size in operations:
+            if kind == "alloc" or not live:
+                address = heap.malloc(size)
+                if address is not None:
+                    live.append((address, size))
+            else:
+                address, _ = live.pop(size % len(live))
+                heap.free(address)
+            heap.check_consistency()
+        # Every live allocation's payload stays within the region.
+        for address, size in live:
+            assert 0 < address < 2048
+        assert heap.live_allocations() == len(live)

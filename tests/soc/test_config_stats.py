@@ -1,0 +1,119 @@
+"""Tests for platform configuration and the reporting/statistics helpers."""
+
+import pytest
+
+from repro.soc import (
+    ArbitrationKind,
+    InterconnectKind,
+    MemoryKind,
+    PlatformConfig,
+    SimulationReport,
+    SweepPoint,
+    format_table,
+    speed_degradation,
+    wallclock_overhead,
+)
+
+
+def make_report(cycles=1000, wall=0.5, period=10, finished=True):
+    return SimulationReport(
+        description="test",
+        simulated_time=cycles * period,
+        clock_period=period,
+        wallclock_seconds=wall,
+        kernel_stats={},
+        pe_reports=[{"finished": finished, "api_calls": 7}],
+        memory_reports=[],
+        interconnect_stats={"transactions": 42},
+    )
+
+
+class TestPlatformConfig:
+    def test_defaults_match_paper_platform(self):
+        config = PlatformConfig()
+        assert config.num_pes == 4
+        assert config.num_memories == 1
+        assert config.memory_kind is MemoryKind.WRAPPER
+        assert config.interconnect is InterconnectKind.SHARED_BUS
+        assert config.arbitration is ArbitrationKind.ROUND_ROBIN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(num_memories=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(clock_period=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(idle_tick_work=-1)
+
+    def test_memory_base_addresses_are_disjoint_windows(self):
+        config = PlatformConfig(num_memories=4)
+        bases = [config.memory_base(i) for i in range(4)]
+        assert len(set(bases)) == 4
+        assert all(b2 - b1 >= 0x1000 for b1, b2 in zip(bases, bases[1:]))
+        with pytest.raises(ValueError):
+            config.memory_base(4)
+
+    def test_describe_mentions_key_parameters(self):
+        text = PlatformConfig(num_pes=2, num_memories=3).describe()
+        assert "2 PE" in text and "3 x" in text
+
+
+class TestSimulationReport:
+    def test_speed_metric(self):
+        report = make_report(cycles=2000, wall=2.0)
+        assert report.simulated_cycles == 2000
+        assert report.simulation_speed == pytest.approx(1000.0)
+
+    def test_summary_and_dict(self):
+        report = make_report()
+        text = report.summary()
+        assert "cycles/s" in text
+        data = report.as_dict()
+        assert data["simulated_cycles"] == 1000
+        assert report.all_pes_finished
+        assert report.total_api_calls() == 7
+        assert report.total_transactions() == 42
+
+    def test_unfinished_pe_detected(self):
+        assert not make_report(finished=False).all_pes_finished
+
+    def test_degradation_20_percent(self):
+        fast = make_report(cycles=1000, wall=1.0)     # 1000 cycles/s
+        slow = make_report(cycles=1000, wall=1.25)    # 800 cycles/s
+        assert speed_degradation(fast, slow) == pytest.approx(0.20)
+
+    def test_degradation_negative_when_faster(self):
+        fast = make_report(cycles=1000, wall=1.0)
+        faster = make_report(cycles=1000, wall=0.5)
+        assert speed_degradation(fast, faster) < 0
+
+    def test_wallclock_overhead(self):
+        base = make_report(wall=1.0)
+        heavier = make_report(wall=1.3)
+        assert wallclock_overhead(base, heavier) == pytest.approx(0.3)
+
+
+class TestSweepAndTable:
+    def test_sweep_point_row(self):
+        point = SweepPoint("4pe", {"pes": 4}, make_report())
+        row = point.row()
+        assert row["label"] == "4pe"
+        assert row["pes"] == 4
+        assert "simulation_speed" in row
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,269 @@
+"""Tests for the GSM 06.10 codec blocks and the encoder/decoder round trip."""
+
+import pytest
+
+from repro.sw.gsm import (
+    FRAME_BITS,
+    FRAME_SAMPLES,
+    GsmDecoder,
+    GsmEncoder,
+    GsmFrameParameters,
+    LPC_ORDER,
+    LTP_MAX_LAG,
+    LTP_MIN_LAG,
+    PARAMETERS_PER_FRAME,
+    RPE_PULSES,
+    SUBFRAMES_PER_FRAME,
+    correlation,
+    encode_decode,
+    generate_silence,
+    generate_speech_like,
+    pack_frame,
+    parameter_bit_widths,
+    segmental_snr_db,
+    unpack_frame,
+)
+from repro.sw.gsm.lpc import (
+    ShortTermState,
+    autocorrelation,
+    decode_lar,
+    quantize_lar,
+    reflection_to_lar,
+    schur,
+    short_term_analysis,
+    short_term_synthesis,
+)
+from repro.sw.gsm.ltp import ltp_filter, ltp_parameters, ltp_synthesis
+from repro.sw.gsm.preprocess import PreprocessState, preprocess_frame
+from repro.sw.gsm.rpe import rpe_decode, rpe_encode
+from repro.sw.gsm.tables import LAR_MAC, LAR_MIC
+
+
+def speech_frame(seed=5):
+    return generate_speech_like(1, seed=seed)
+
+
+class TestPreprocess:
+    def test_output_length_and_range(self):
+        state = PreprocessState()
+        output = preprocess_frame(state, speech_frame())
+        assert len(output) == FRAME_SAMPLES
+        assert all(-32768 <= v <= 32767 for v in output)
+
+    def test_silence_stays_small(self):
+        state = PreprocessState()
+        output = preprocess_frame(state, [0] * FRAME_SAMPLES)
+        assert max(abs(v) for v in output) < 16
+
+    def test_state_carries_across_frames(self):
+        state = PreprocessState()
+        preprocess_frame(state, speech_frame())
+        assert (state.z1, state.l_z2, state.mp) != (0, 0, 0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            preprocess_frame(PreprocessState(), [0] * 10)
+
+
+class TestLpc:
+    def test_autocorrelation_shape(self):
+        acf = autocorrelation(speech_frame())
+        assert len(acf) == LPC_ORDER + 1
+        assert acf[0] >= 0
+        assert acf[0] >= max(abs(v) for v in acf[1:])
+
+    def test_autocorrelation_of_silence(self):
+        acf = autocorrelation([0] * FRAME_SAMPLES)
+        assert acf == [0] * 9
+
+    def test_schur_reflection_in_range(self):
+        acf = autocorrelation(speech_frame())
+        reflection = schur(acf)
+        assert len(reflection) == LPC_ORDER
+        assert all(-32768 <= r <= 32767 for r in reflection)
+
+    def test_schur_of_silence_is_zero(self):
+        assert schur([0] * 9) == [0] * LPC_ORDER
+
+    def test_lar_quantisation_in_coded_range(self):
+        acf = autocorrelation(speech_frame())
+        lars = reflection_to_lar(schur(acf))
+        larc = quantize_lar(lars)
+        for index, coded in enumerate(larc):
+            assert 0 <= coded <= LAR_MAC[index] - LAR_MIC[index]
+
+    def test_decode_lar_shape(self):
+        larc = [31, 30, 15, 14, 7, 6, 3, 2]
+        larpp = decode_lar(larc)
+        assert len(larpp) == LPC_ORDER
+
+    def test_short_term_analysis_then_synthesis_roundtrip(self):
+        """Analysis followed by synthesis with the same LARs ~ identity."""
+        frame = preprocess_frame(PreprocessState(), speech_frame())
+        acf = autocorrelation(frame)
+        larc = quantize_lar(reflection_to_lar(schur(acf)))
+        residual = short_term_analysis(ShortTermState(), larc, frame)
+        rebuilt = short_term_synthesis(ShortTermState(), larc, residual)
+        assert len(residual) == FRAME_SAMPLES
+        assert correlation(frame, rebuilt) > 0.9
+
+
+class TestLtp:
+    def make_residual(self):
+        frame = preprocess_frame(PreprocessState(), speech_frame())
+        acf = autocorrelation(frame)
+        larc = quantize_lar(reflection_to_lar(schur(acf)))
+        return short_term_analysis(ShortTermState(), larc, frame)
+
+    def test_lag_in_legal_range(self):
+        residual = self.make_residual()
+        history = residual[:120]
+        lag, gain = ltp_parameters(residual[120:160], history)
+        assert LTP_MIN_LAG <= lag <= LTP_MAX_LAG
+        assert 0 <= gain <= 3
+
+    def test_periodic_signal_finds_its_period(self):
+        period = 60
+        history = [int(8000 * ((k % period) < period // 2) - 4000) for k in range(120)]
+        subframe = [history[(120 + k) % period + (period * ((120 + k) // period)) % 1]
+                    if False else history[(120 + k) % period] for k in range(40)]
+        # Build the subframe so it continues the periodic pattern.
+        subframe = [history[(120 + k) % period] for k in range(40)]
+        lag, gain = ltp_parameters(subframe, history)
+        assert lag % period in (0, period - 1, 1) or gain > 0
+
+    def test_filter_and_synthesis_are_inverse(self):
+        residual = self.make_residual()
+        history = residual[:120]
+        subframe = residual[120:160]
+        lag, gain = ltp_parameters(subframe, history)
+        e, predicted = ltp_filter(subframe, history, lag, gain)
+        rebuilt = ltp_synthesis(e, history, lag, gain)
+        # e + prediction reproduces the original subframe (up to saturation).
+        assert max(abs(a - b) for a, b in zip(rebuilt, subframe)) <= 1
+
+    def test_silence(self):
+        lag, gain = ltp_parameters([0] * 40, [0] * 120)
+        assert LTP_MIN_LAG <= lag <= LTP_MAX_LAG
+        assert gain == 0
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ltp_parameters([0] * 10, [0] * 120)
+        with pytest.raises(ValueError):
+            ltp_parameters([0] * 40, [0] * 50)
+
+
+class TestRpe:
+    def test_encode_shapes_and_ranges(self):
+        e = [((-1) ** k) * (k * 100 % 3000) for k in range(40)]
+        grid, xmaxc, xmc, ep = rpe_encode(e)
+        assert 0 <= grid <= 3
+        assert 0 <= xmaxc <= 63
+        assert len(xmc) == RPE_PULSES
+        assert all(0 <= pulse <= 7 for pulse in xmc)
+        assert len(ep) == 40
+
+    def test_decode_places_pulses_on_grid(self):
+        e = [1000] * 40
+        grid, xmaxc, xmc, _ = rpe_encode(e)
+        ep = rpe_decode(grid, xmaxc, xmc)
+        nonzero = [k for k, v in enumerate(ep) if v != 0]
+        assert all((position - grid) % 3 == 0 for position in nonzero)
+
+    def test_silence_encodes_to_small_excitation(self):
+        grid, xmaxc, xmc, ep = rpe_encode([0] * 40)
+        assert xmaxc <= 1
+        assert max(abs(v) for v in ep) <= 200
+
+    def test_reconstruction_tracks_amplitude(self):
+        small = rpe_encode([100] * 40)
+        large = rpe_encode([20000] * 40)
+        assert large[1] > small[1]  # larger block maximum
+
+
+class TestEncoderDecoder:
+    def test_frame_parameter_counts(self):
+        encoder = GsmEncoder()
+        parameters = encoder.encode_frame(speech_frame())
+        words = parameters.flatten()
+        assert len(words) == PARAMETERS_PER_FRAME
+        assert len(parameters.larc) == LPC_ORDER
+        assert len(parameters.pulses) == SUBFRAMES_PER_FRAME
+
+    def test_parameters_fit_their_bit_widths(self):
+        encoder = GsmEncoder()
+        frames = encoder.encode_stream(generate_speech_like(4, seed=7))
+        widths = parameter_bit_widths()
+        for frame in frames:
+            for value, width in zip(frame.flatten(), widths):
+                assert 0 <= value < (1 << width)
+
+    def test_structured_roundtrip(self):
+        encoder = GsmEncoder()
+        parameters = encoder.encode_frame(speech_frame())
+        rebuilt = GsmFrameParameters.from_words(parameters.flatten())
+        assert rebuilt.flatten() == parameters.flatten()
+
+    def test_wrong_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            GsmEncoder().encode_frame([0] * 100)
+        with pytest.raises(ValueError):
+            GsmEncoder().encode_stream([0] * 170)
+        with pytest.raises(ValueError):
+            GsmFrameParameters.from_words([0] * 10)
+
+    def test_decoder_output_shape(self):
+        frames, reconstructed = encode_decode(generate_speech_like(2))
+        assert len(frames) == 2
+        assert len(reconstructed) == 2 * FRAME_SAMPLES
+        assert all(-32768 <= v <= 32767 for v in reconstructed)
+
+    def test_silence_roundtrip_is_quiet(self):
+        _, reconstructed = encode_decode(generate_silence(3))
+        assert max(abs(v) for v in reconstructed) < 1024
+
+    def test_speech_roundtrip_preserves_signal(self):
+        original = generate_speech_like(6, seed=3)
+        _, reconstructed = encode_decode(original)
+        assert correlation(original[FRAME_SAMPLES:], reconstructed[FRAME_SAMPLES:]) > 0.5
+        assert segmental_snr_db(original, reconstructed) > 0.0
+
+    def test_encoder_is_deterministic(self):
+        samples = generate_speech_like(2, seed=11)
+        first = GsmEncoder().encode_stream(samples)
+        second = GsmEncoder().encode_stream(samples)
+        assert [f.flatten() for f in first] == [f.flatten() for f in second]
+
+    def test_decoder_state_matters(self):
+        """Decoding the same frame twice with one decoder gives different output
+        (the LTP history differs), confirming state is carried along."""
+        samples = generate_speech_like(1, seed=2)
+        frame = GsmEncoder().encode_frame(samples)
+        decoder = GsmDecoder()
+        first = decoder.decode_frame(frame)
+        second = decoder.decode_frame(frame)
+        assert first != second
+
+
+class TestBitstream:
+    def test_pack_unpack_roundtrip(self):
+        encoder = GsmEncoder()
+        frames = encoder.encode_stream(generate_speech_like(3, seed=21))
+        for frame in frames:
+            packed = pack_frame(frame)
+            assert len(packed) == 33
+            assert packed[0] >> 4 == 0xD
+            unpacked = unpack_frame(packed)
+            assert unpacked.flatten() == frame.flatten()
+
+    def test_frame_bit_budget_is_260(self):
+        assert FRAME_BITS == 260
+        assert sum(parameter_bit_widths()) == 260
+
+    def test_bad_payloads_rejected(self):
+        from repro.sw.gsm import BitstreamError
+        with pytest.raises(BitstreamError):
+            unpack_frame(b"\x00" * 10)
+        with pytest.raises(BitstreamError):
+            unpack_frame(b"\x00" * 33)  # wrong magic

@@ -1,0 +1,178 @@
+"""Tests for the task context, task processor and workload reference functions."""
+
+import pytest
+
+from repro.soc import PlatformConfig, Platform, run_platform
+from repro.sw import ARM7_LIKE, FAST_CORE, CostModel, TaskError, estimate_loop_cycles
+from repro.sw.workloads import fir_reference, matmul_reference
+from repro.wrapper import ApiError
+
+
+class TestCostModel:
+    def test_ops_mix(self):
+        model = CostModel(alu=1, mul=2, div=20, local_access=1, branch=2)
+        assert model.ops(alu=3, mul=2, branch=1) == 3 + 4 + 2
+
+    def test_estimate_loop_cycles(self):
+        assert estimate_loop_cycles(0) == 0
+        ten = estimate_loop_cycles(10, body_alu=1, body_mul=1, body_local=2)
+        assert ten == 10 * ARM7_LIKE.ops(alu=1, mul=1, local=2, branch=1)
+
+    def test_fast_core_is_faster(self):
+        assert FAST_CORE.ops(div=1) < ARM7_LIKE.ops(div=1)
+
+
+class TestReferenceKernels:
+    def test_fir_reference_impulse(self):
+        taps = [2, 3, 4]
+        impulse = [1, 0, 0, 0]
+        assert fir_reference(impulse, taps) == [2, 3, 4, 0]
+
+    def test_matmul_reference_identity(self):
+        a = [[1, 2], [3, 4]]
+        identity = [[1, 0], [0, 1]]
+        assert matmul_reference(a, identity) == a
+
+
+class TestTaskContext:
+    def run_probe(self, probe, num_memories=1):
+        config = PlatformConfig(num_pes=1, num_memories=num_memories)
+        return run_platform(config, [probe])
+
+    def test_compute_advances_time(self):
+        def probe(ctx):
+            before = ctx.compute_cycles
+            yield from ctx.compute(500)
+            return ctx.compute_cycles - before
+
+        report = self.run_probe(probe)
+        assert report.results["pe0"] == 500
+        assert report.simulated_cycles >= 500
+
+    def test_compute_rejects_negative(self):
+        def probe(ctx):
+            yield from ctx.compute(-1)
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        platform.add_task(probe)
+        with pytest.raises(Exception):
+            platform.run()
+
+    def test_bad_memory_index(self):
+        def probe(ctx):
+            yield from ctx.smem(5).alloc(4)
+
+        config = PlatformConfig(num_pes=1, num_memories=1)
+        platform = Platform(config)
+        platform.add_task(probe)
+        with pytest.raises(Exception):
+            platform.run()
+        assert platform.processors[0].stats.failed
+
+    def test_memory_for_spreads_keys(self):
+        def probe(ctx):
+            picks = [ctx.memory_for(key) is ctx.smem(key % ctx.memory_count)
+                     for key in range(6)]
+            yield from ctx.compute(1)
+            return all(picks)
+
+        report = self.run_probe(probe, num_memories=3)
+        assert report.results["pe0"] is True
+
+    def test_flag_synchronisation(self):
+        shared = {}
+
+        def setter(ctx):
+            vptr = yield from ctx.smem(0).alloc(4)
+            shared["vptr"] = vptr
+            yield from ctx.compute(2000)
+            yield from ctx.set_flag(vptr, offset=1, value=7)
+            return "set"
+
+        def waiter(ctx):
+            while "vptr" not in shared:
+                yield 32 * ctx.clock_period
+            polls = yield from ctx.wait_flag(shared["vptr"], offset=1, expected=7)
+            return polls
+
+        config = PlatformConfig(num_pes=2, num_memories=1)
+        report = run_platform(config, [setter, waiter])
+        assert report.results["pe0"] == "set"
+        assert report.results["pe1"] >= 1
+
+    def test_wait_flag_poll_limit(self):
+        def prober(ctx):
+            vptr = yield from ctx.smem(0).alloc(4)
+            yield from ctx.wait_flag(vptr, expected=9, max_polls=3)
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        platform.add_task(prober)
+        with pytest.raises(Exception):
+            platform.run()
+
+    def test_barrier_releases_all_participants(self):
+        shared = {}
+
+        def coordinator(ctx):
+            vptr = yield from ctx.smem(0).alloc(4)
+            shared["vptr"] = vptr
+            yield from ctx.barrier(vptr, participants=3, my_index=0)
+            return "done"
+
+        def participant(index):
+            def task(ctx):
+                while "vptr" not in shared:
+                    yield 16 * ctx.clock_period
+                yield from ctx.compute(100 * index)
+                yield from ctx.barrier(shared["vptr"], participants=3, my_index=index)
+                return "done"
+            return task
+
+        config = PlatformConfig(num_pes=3, num_memories=1)
+        report = run_platform(config, [coordinator, participant(1), participant(2)])
+        assert all(report.results[f"pe{i}"] == "done" for i in range(3))
+
+
+class TestTaskProcessorStats:
+    def test_report_fields(self):
+        def probe(ctx):
+            vptr = yield from ctx.smem(0).alloc(4)
+            yield from ctx.smem(0).write(vptr, 1)
+            yield from ctx.compute(100)
+            return 42
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        processor = platform.add_task(probe)
+        platform.run()
+        report = processor.report()
+        assert report["finished"] and not report["failed"]
+        assert report["compute_cycles"] == 100
+        assert report["api_calls"] == 2
+        assert report["elapsed_cycles"] > 0
+        assert processor.stats.result == 42
+
+    def test_failure_is_recorded(self):
+        def bad(ctx):
+            yield from ctx.smem(0).free(0x9999)  # invalid pointer → ApiError
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        processor = platform.add_task(bad)
+        with pytest.raises(Exception):
+            platform.run()
+        assert processor.stats.failed
+        assert "ApiError" in processor.stats.error
+
+    def test_start_delay(self):
+        def probe(ctx):
+            yield from ctx.compute(1)
+            return "ok"
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        processor = platform.add_task(probe, start_delay_cycles=250)
+        platform.run()
+        assert processor.stats.started_at >= 250 * config.clock_period

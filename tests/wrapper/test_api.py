@@ -1,0 +1,219 @@
+"""Tests for the high-level shared-memory API driven over a real bus."""
+
+import pytest
+
+from repro.interconnect import SharedBus
+from repro.kernel import Module, Simulator
+from repro.memory import DataType, MemStatus, ModeledDynamicMemory, REGISTER_WINDOW_BYTES
+from repro.wrapper import ApiError, SharedMemoryAPI, SharedMemoryWrapper
+
+
+class ApiDriver(Module):
+    """Runs a scripted coroutine against a SharedMemoryAPI instance."""
+
+    def __init__(self, name, api, script, parent=None):
+        super().__init__(name, parent)
+        self.api = api
+        self.script = script
+        self.result = None
+        self.error = None
+        self.add_process(self._run, name="driver")
+
+    def _run(self):
+        try:
+            self.result = yield from self.script(self.api)
+        except ApiError as exc:
+            self.error = exc
+
+
+def run_api_script(script, slave_factory=SharedMemoryWrapper, raise_on_error=True):
+    top = Module("top")
+    bus = SharedBus("bus", period=10, parent=top)
+    memory = slave_factory()
+    bus.attach_slave("smem", 0x1000, REGISTER_WINDOW_BYTES, memory)
+    port = bus.master_port(0)
+    api = SharedMemoryAPI(port, base_address=0x1000, raise_on_error=raise_on_error)
+    driver = ApiDriver("pe0", api, script, parent=top)
+    sim = Simulator(top)
+    sim.run()
+    return driver, memory, sim
+
+
+class TestScalarApi:
+    def test_alloc_write_read_free(self):
+        def script(api):
+            vptr = yield from api.alloc(8, DataType.UINT32)
+            yield from api.write(vptr, 123, offset=3)
+            value = yield from api.read(vptr, offset=3)
+            ok = yield from api.free(vptr)
+            return vptr, value, ok
+
+        driver, memory, _ = run_api_script(script)
+        vptr, value, ok = driver.result
+        assert vptr == 0
+        assert value == 123
+        assert ok
+        assert memory.live_count() == 0
+
+    def test_signed_read(self):
+        def script(api):
+            vptr = yield from api.alloc(4, DataType.INT16)
+            yield from api.write(vptr, -500, offset=1)
+            return (yield from api.read_signed(vptr, DataType.INT16, offset=1))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == -500
+
+    def test_query(self):
+        def script(api):
+            vptr = yield from api.alloc(10, DataType.INT16)
+            return (yield from api.query(vptr))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == 20
+
+    def test_error_raises_api_error(self):
+        def script(api):
+            yield from api.free(0x1234)
+
+        driver, _, _ = run_api_script(script)
+        assert driver.error is not None
+        assert driver.error.status == int(MemStatus.ERR_INVALID_PTR)
+
+    def test_error_without_raise(self):
+        def script(api):
+            value = yield from api.read(0x1234)
+            return value, api.last_status
+
+        driver, _, _ = run_api_script(script, raise_on_error=False)
+        value, status = driver.result
+        assert value is None
+        assert status == MemStatus.ERR_INVALID_PTR
+
+    def test_status_register(self):
+        def script(api):
+            yield from api.alloc(4)
+            return (yield from api.status())
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == MemStatus.OK
+
+
+class TestArrayApi:
+    def test_array_roundtrip(self):
+        payload = list(range(40))
+
+        def script(api):
+            vptr = yield from api.alloc(40, DataType.UINT32)
+            yield from api.write_array(vptr, payload)
+            return (yield from api.read_array(vptr, 40))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == payload
+
+    def test_array_chunks_beyond_io_window(self):
+        payload = [i & 0xFFFF for i in range(600)]  # > 256-word I/O array
+
+        def script(api):
+            vptr = yield from api.alloc(600, DataType.UINT32)
+            yield from api.write_array(vptr, payload)
+            return (yield from api.read_array(vptr, 600))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == payload
+
+    def test_signed_array(self):
+        payload = [-1, -2, 3, -40000]
+
+        def script(api):
+            vptr = yield from api.alloc(4, DataType.INT32)
+            yield from api.write_array(vptr, [v & 0xFFFFFFFF for v in payload])
+            return (yield from api.read_array_signed(vptr, 4, DataType.INT32))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == payload
+
+    def test_memcpy(self):
+        def script(api):
+            src = yield from api.alloc(8, DataType.UINT32)
+            dst = yield from api.alloc(8, DataType.UINT32)
+            yield from api.write_array(src, [7] * 8)
+            yield from api.memcpy(dst, src, 8)
+            return (yield from api.read_array(dst, 8))
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == [7] * 8
+
+
+class TestCoherenceApi:
+    def test_reserve_release(self):
+        def script(api):
+            vptr = yield from api.alloc(4)
+            ok_reserve = yield from api.reserve(vptr)
+            ok_release = yield from api.release(vptr)
+            return ok_reserve, ok_release
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == (True, True)
+
+    def test_try_reserve_does_not_raise(self):
+        def script(api):
+            ok = yield from api.try_reserve(0x5555)
+            return ok, api.last_status
+
+        driver, _, _ = run_api_script(script)
+        ok, status = driver.result
+        assert not ok
+        assert status == MemStatus.ERR_INVALID_PTR
+
+
+class TestApiAgainstBaseline:
+    """The same API must work against the fully-modelled baseline memory."""
+
+    def test_scalar_roundtrip_on_baseline(self):
+        def script(api):
+            vptr = yield from api.alloc(8, DataType.UINT32)
+            yield from api.write(vptr, 99, offset=2)
+            return (yield from api.read(vptr, offset=2))
+
+        driver, memory, _ = run_api_script(
+            script, slave_factory=lambda: ModeledDynamicMemory(64 * 1024)
+        )
+        assert driver.result == 99
+        assert isinstance(memory, ModeledDynamicMemory)
+
+    def test_array_roundtrip_on_baseline(self):
+        payload = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def script(api):
+            vptr = yield from api.alloc(8, DataType.UINT32)
+            yield from api.write_array(vptr, payload)
+            return (yield from api.read_array(vptr, 8))
+
+        driver, _, _ = run_api_script(
+            script, slave_factory=lambda: ModeledDynamicMemory(64 * 1024)
+        )
+        assert driver.result == payload
+
+    def test_baseline_takes_more_simulated_time(self):
+        def script(api):
+            for _ in range(10):
+                vptr = yield from api.alloc(16, DataType.UINT32)
+                yield from api.write(vptr, 1)
+            return True
+
+        _, _, sim_wrapper = run_api_script(script)
+        _, _, sim_baseline = run_api_script(
+            script, slave_factory=lambda: ModeledDynamicMemory(1 << 20)
+        )
+        assert sim_baseline.now > sim_wrapper.now
+
+    def test_api_call_counter(self):
+        def script(api):
+            vptr = yield from api.alloc(4)
+            yield from api.write(vptr, 5)
+            yield from api.read(vptr)
+            return api.calls
+
+        driver, _, _ = run_api_script(script)
+        assert driver.result == 3

@@ -1,0 +1,211 @@
+"""Tests for the pointer table: Vptr generation, lookup, reservation, capacity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import DataType, HostMemory
+from repro.wrapper import PointerTable, PointerTableError
+
+
+def make_table(capacity=None, base_vptr=0):
+    host = HostMemory()
+    table = PointerTable(capacity_bytes=capacity, base_vptr=base_vptr)
+    return table, host
+
+
+def insert(table, host, dim, data_type=DataType.UINT32):
+    block = host.calloc(dim, 4)
+    return table.insert(block, dim, data_type)
+
+
+class TestVptrGeneration:
+    def test_first_vptr_is_zero(self):
+        table, host = make_table()
+        entry = insert(table, host, 10)
+        assert entry.vptr == 0
+
+    def test_vptr_is_cumulative_sum(self):
+        table, host = make_table()
+        first = insert(table, host, 10)          # 40 bytes
+        second = insert(table, host, 3)          # 12 bytes
+        third = insert(table, host, 1)
+        assert first.vptr == 0
+        assert second.vptr == 40
+        assert third.vptr == 52
+
+    def test_element_size_affects_vptr(self):
+        table, host = make_table()
+        first = table.insert(host.calloc(10, 2), 10, DataType.INT16)   # 20 bytes
+        second = insert(table, host, 1)
+        assert second.vptr == first.vptr + 20
+
+    def test_base_vptr_offsets_the_window(self):
+        table, host = make_table(base_vptr=0x1000)
+        entry = insert(table, host, 4)
+        assert entry.vptr == 0x1000
+
+    def test_vptr_restarts_from_last_survivor_after_free(self):
+        table, host = make_table()
+        insert(table, host, 10)                  # vptr 0
+        b = insert(table, host, 10)              # vptr 40
+        table.remove(b.vptr)
+        c = insert(table, host, 2)
+        assert c.vptr == 40  # last survivor ends at 40
+
+    def test_vptr_zero_after_all_freed(self):
+        table, host = make_table()
+        a = insert(table, host, 10)
+        table.remove(a.vptr)
+        b = insert(table, host, 1)
+        assert b.vptr == 0
+
+
+class TestLookupAndResolve:
+    def test_exact_lookup(self):
+        table, host = make_table()
+        entry = insert(table, host, 8)
+        assert table.lookup(entry.vptr) is entry
+
+    def test_lookup_unknown_raises(self):
+        table, _ = make_table()
+        with pytest.raises(PointerTableError):
+            table.lookup(0x40)
+
+    def test_resolve_interior_pointer(self):
+        table, host = make_table()
+        insert(table, host, 10)                  # [0, 40)
+        entry = insert(table, host, 10)          # [40, 80)
+        found, offset = table.resolve(52)
+        assert found is entry
+        assert offset == 12
+
+    def test_resolve_out_of_range_raises(self):
+        table, host = make_table()
+        insert(table, host, 4)
+        with pytest.raises(PointerTableError):
+            table.resolve(100)
+        assert table.try_resolve(100) is None
+
+    def test_remove_keeps_other_vptrs(self):
+        table, host = make_table()
+        a = insert(table, host, 4)
+        b = insert(table, host, 4)
+        c = insert(table, host, 4)
+        table.remove(b.vptr)
+        assert table.lookup(a.vptr).vptr == a.vptr
+        assert table.lookup(c.vptr).vptr == c.vptr
+        with pytest.raises(PointerTableError):
+            table.lookup(b.vptr)
+
+    def test_remove_unknown_raises(self):
+        table, _ = make_table()
+        with pytest.raises(PointerTableError):
+            table.remove(0)
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        table, host = make_table(capacity=100)
+        insert(table, host, 20)                  # 80 bytes
+        assert not table.would_fit(40)
+        with pytest.raises(PointerTableError):
+            insert(table, host, 10)
+
+    def test_free_restores_capacity(self):
+        table, host = make_table(capacity=100)
+        entry = insert(table, host, 20)
+        table.remove(entry.vptr)
+        assert table.would_fit(80)
+        insert(table, host, 20)
+
+    def test_unlimited_capacity(self):
+        table, host = make_table(capacity=None)
+        assert table.free_bytes() is None
+        insert(table, host, 10_000)
+
+    def test_used_and_free_bytes(self):
+        table, host = make_table(capacity=200)
+        insert(table, host, 10)
+        assert table.used_bytes() == 40
+        assert table.free_bytes() == 160
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PointerTable(capacity_bytes=0)
+
+    def test_invalid_dimension(self):
+        table, host = make_table()
+        block = host.calloc(1, 4)
+        with pytest.raises(PointerTableError):
+            table.insert(block, 0, DataType.UINT32)
+
+
+class TestReservation:
+    def test_reserve_and_release(self):
+        table, host = make_table()
+        entry = insert(table, host, 4)
+        table.reserve(entry.vptr, master_id=1)
+        assert entry.reserved and entry.reserved_by == 1
+        assert table.check_access(entry, 1)
+        assert not table.check_access(entry, 2)
+        table.release(entry.vptr, master_id=1)
+        assert not entry.reserved
+        assert table.check_access(entry, 2)
+
+    def test_reserve_conflict(self):
+        table, host = make_table()
+        entry = insert(table, host, 4)
+        table.reserve(entry.vptr, master_id=1)
+        with pytest.raises(PointerTableError):
+            table.reserve(entry.vptr, master_id=2)
+        with pytest.raises(PointerTableError):
+            table.release(entry.vptr, master_id=2)
+
+    def test_reserve_is_idempotent_for_holder(self):
+        table, host = make_table()
+        entry = insert(table, host, 4)
+        table.reserve(entry.vptr, master_id=1)
+        table.reserve(entry.vptr, master_id=1)
+        assert entry.reserved_by == 1
+
+
+class TestStatsAndConsistency:
+    def test_counters(self):
+        table, host = make_table()
+        a = insert(table, host, 4)
+        insert(table, host, 4)
+        table.remove(a.vptr)
+        assert table.total_allocations == 2
+        assert table.total_frees == 1
+        assert table.peak_entries == 2
+        assert table.peak_used_bytes == 32
+        assert table.live_count() == 1
+        assert len(table.entries) == 1
+
+    def test_consistency_check_passes(self):
+        table, host = make_table(capacity=1024)
+        for dim in (3, 7, 1, 12):
+            insert(table, host, dim)
+        table.check_consistency()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=64)),
+                    min_size=1, max_size=80))
+    def test_live_ranges_never_overlap(self, operations):
+        """Property: the paper's Vptr generation never overlaps live allocations."""
+        table, host = make_table()
+        live = []
+        for is_alloc, dim in operations:
+            if is_alloc or not live:
+                entry = insert(table, host, dim)
+                live.append(entry)
+            else:
+                victim = live.pop(dim % len(live))
+                table.remove(victim.vptr)
+            table.check_consistency()
+        # Used bytes equals the sum of live allocation sizes.
+        assert table.used_bytes() == sum(e.size_bytes for e in live)
+        # Every live entry can be found back through resolve().
+        for entry in live:
+            found, offset = table.resolve(entry.vptr)
+            assert found is entry and offset == 0

@@ -1,0 +1,149 @@
+"""Tests for the translator, the delay parameters and the cycle-true FSM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import DataType, Endianness, HostMemory, MemOpcode
+from repro.wrapper import (
+    S_DECODE,
+    S_HOST_CALL,
+    S_RESPOND,
+    S_TABLE,
+    S_TRANSFER,
+    TranslationError,
+    Translator,
+    WrapperDelays,
+    WrapperFsm,
+)
+
+
+class TestTranslator:
+    def test_calloc_and_free(self):
+        host = HostMemory()
+        translator = Translator(host)
+        block = translator.host_calloc(16, DataType.UINT32)
+        assert block.size == 64
+        translator.host_free(block)
+        assert host.check_all_freed()
+        assert translator.stats.host_allocs == 1
+        assert translator.stats.host_frees == 1
+
+    def test_invalid_calloc(self):
+        translator = Translator(HostMemory())
+        with pytest.raises(TranslationError):
+            translator.host_calloc(0, DataType.UINT32)
+
+    def test_host_limit_surfaces_as_translation_error(self):
+        translator = Translator(HostMemory(limit_bytes=16))
+        with pytest.raises(TranslationError):
+            translator.host_calloc(100, DataType.UINT32)
+
+    def test_scalar_element_roundtrip(self):
+        translator = Translator(HostMemory())
+        block = translator.host_calloc(8, DataType.INT16)
+        translator.store_element(block, 4, -321, DataType.INT16)
+        assert translator.load_element(block, 4, DataType.INT16) == -321
+
+    def test_endianness_changes_host_bytes(self):
+        little = Translator(HostMemory(), Endianness.LITTLE)
+        big = Translator(HostMemory(), Endianness.BIG)
+        block_l = little.host_calloc(1, DataType.UINT32)
+        block_b = big.host_calloc(1, DataType.UINT32)
+        little.store_element(block_l, 0, 0x11223344, DataType.UINT32)
+        big.store_element(block_b, 0, 0x11223344, DataType.UINT32)
+        assert block_l.read_bytes(0, 4) == b"\x44\x33\x22\x11"
+        assert block_b.read_bytes(0, 4) == b"\x11\x22\x33\x44"
+
+    def test_array_roundtrip(self):
+        translator = Translator(HostMemory())
+        block = translator.host_calloc(16, DataType.UINT16)
+        values = [1, 2, 70000 & 0xFFFF, 9]
+        translator.store_array(block, 0, values, DataType.UINT16)
+        assert translator.load_array(block, 0, 4, DataType.UINT16) == values
+        assert translator.stats.array_elements_moved == 8
+
+    def test_as_signed(self):
+        assert Translator.as_signed(0xFFFE, DataType.INT16) == -2
+
+    @given(st.lists(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+                    min_size=1, max_size=32))
+    def test_int32_array_property(self, values):
+        translator = Translator(HostMemory())
+        block = translator.host_calloc(len(values), DataType.INT32)
+        translator.store_array(block, 0, [v & 0xFFFFFFFF for v in values],
+                               DataType.INT32)
+        loaded = translator.load_array(block, 0, len(values), DataType.INT32)
+        assert [Translator.as_signed(v, DataType.INT32) for v in loaded] == values
+
+
+class TestWrapperDelays:
+    def test_defaults_are_positive(self):
+        delays = WrapperDelays()
+        assert delays.decode_cycles >= 1
+        assert delays.as_dict()["host_call_cycles"] == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WrapperDelays(table_cycles=-1)
+
+    def test_extra_hook(self):
+        delays = WrapperDelays(data_dependent=lambda op, nbytes: nbytes // 8)
+        assert delays.extra(MemOpcode.ALLOC, 64) == 8
+        assert WrapperDelays().extra(MemOpcode.ALLOC, 64) == 0
+
+    def test_negative_hook_rejected(self):
+        delays = WrapperDelays(data_dependent=lambda op, nbytes: -5)
+        with pytest.raises(ValueError):
+            delays.extra(MemOpcode.READ, 4)
+
+    def test_presets_ordering(self):
+        assert (WrapperDelays.sdram_like().host_call_cycles
+                > WrapperDelays.sram_like().host_call_cycles)
+
+
+class TestWrapperFsm:
+    def test_alloc_schedule_contents(self):
+        fsm = WrapperFsm(WrapperDelays())
+        schedule = fsm.schedule_for(MemOpcode.ALLOC, words=0, byte_count=64)
+        assert schedule[0] == S_DECODE
+        assert S_HOST_CALL in schedule
+        assert schedule[-1] == S_RESPOND
+
+    def test_array_schedule_scales_with_words(self):
+        fsm = WrapperFsm(WrapperDelays())
+        short = fsm.schedule_for(MemOpcode.READ_ARRAY, words=2, byte_count=8)
+        long = fsm.schedule_for(MemOpcode.READ_ARRAY, words=32, byte_count=128)
+        assert len(long) - len(short) == 30
+        assert long.count(S_TRANSFER) == 32
+
+    def test_scalar_schedule_has_no_transfer_state(self):
+        fsm = WrapperFsm(WrapperDelays())
+        schedule = fsm.schedule_for(MemOpcode.READ, words=0, byte_count=4)
+        assert S_TRANSFER not in schedule
+
+    def test_free_recompacts_in_table_state(self):
+        fsm = WrapperFsm(WrapperDelays(table_cycles=2))
+        schedule = fsm.schedule_for(MemOpcode.FREE, words=0, byte_count=0)
+        assert schedule.count(S_TABLE) == 4  # lookup + re-compaction
+
+    def test_run_operation_counts_cycles_and_occupancy(self):
+        fsm = WrapperFsm(WrapperDelays())
+        cycles = fsm.run_operation(MemOpcode.ALLOC, byte_count=64)
+        assert cycles == len(fsm.schedule_for(MemOpcode.ALLOC, 0, 64))
+        occupancy = fsm.occupancy()
+        assert occupancy[S_DECODE] == WrapperDelays().decode_cycles
+        assert fsm.cycles == cycles
+        assert fsm.operations["ALLOC"] == 1
+        assert fsm.state == S_RESPOND or fsm.state == "IDLE"
+
+    def test_data_dependent_hook_lengthens_schedule(self):
+        base = WrapperFsm(WrapperDelays())
+        hooked = WrapperFsm(WrapperDelays(data_dependent=lambda op, n: 5))
+        assert (len(hooked.schedule_for(MemOpcode.READ, 0, 4))
+                == len(base.schedule_for(MemOpcode.READ, 0, 4)) + 5)
+
+    def test_busy_fraction(self):
+        fsm = WrapperFsm(WrapperDelays())
+        assert fsm.busy_fraction() == 0.0
+        fsm.run_operation(MemOpcode.READ)
+        assert fsm.busy_fraction() == 1.0
