@@ -2,7 +2,7 @@
 
 Compares three ways of giving the simulated software dynamic data, running
 the *same* allocation-heavy workload (GSM frame buffers plus an
-allocate/copy/free churn loop):
+allocate/copy/free churn loop — the ``alloc_churn`` registry workload):
 
 * ``wrapper``  — the paper's host-backed dynamic shared memory wrapper;
 * ``modeled``  — the traditional fully-modelled dynamic memory (allocator
@@ -10,26 +10,22 @@ allocate/copy/free churn loop):
 * ``static``   — a lower bound: the same data movement against a plain
   static memory with pre-allocated buffers (no dynamic management at all).
 
-Reported: host wall-clock, simulated cycles and simulation speed.  The shape
-the paper claims: wrapper ≈ static (low overhead), modeled clearly slower.
+The two dynamic variants are one scenario grid over ``memory_kind``; the
+static lower bound has no dynamic memory to model, so it stays a bare
+kernel-level testbench.  Reported: host wall-clock, simulated cycles and
+simulation speed.  The shape the paper claims: wrapper ≈ static (low
+overhead), modeled clearly slower.
 """
 
 from __future__ import annotations
 
 import time
 
-import pytest
-
+from repro.api import ExperimentRunner, PlatformBuilder, scenario_grid
 from repro.interconnect import SharedBus
 from repro.kernel import Module, Simulator
-from repro.memory import (
-    DataType,
-    LatencyModel,
-    MemStatus,
-    REGISTER_WINDOW_BYTES,
-    StaticMemory,
-)
-from repro.soc import MemoryKind, Platform, PlatformConfig
+from repro.memory import LatencyModel, StaticMemory
+from repro.soc import MemoryKind
 from repro.sw.gsm import FRAME_SAMPLES, PARAMETERS_PER_FRAME, generate_speech_like
 
 from common import emit, format_rows
@@ -37,63 +33,37 @@ from common import emit, format_rows
 CHURN_ITERATIONS = 40
 CHURN_BLOCK_WORDS = 64
 GSM_FRAMES = 2
+CHURN_SEED = 9
 
 
-def make_dynamic_workload():
-    """Task: GSM-like frame buffer management plus an alloc/copy/free churn."""
-    samples = generate_speech_like(GSM_FRAMES, seed=9)
-
-    def task(ctx):
-        smem = ctx.smem(0)
-        # Frame-buffer phase (the GSM traffic pattern without the codec math,
-        # so the measurement isolates the memory-model cost).
-        for frame in range(GSM_FRAMES):
-            start = frame * FRAME_SAMPLES
-            frame_samples = [v & 0xFFFF for v in samples[start:start + FRAME_SAMPLES]]
-            input_vptr = yield from smem.alloc(FRAME_SAMPLES, DataType.INT16)
-            output_vptr = yield from smem.alloc(PARAMETERS_PER_FRAME, DataType.UINT16)
-            yield from smem.write_array(input_vptr, frame_samples)
-            fetched = yield from smem.read_array(input_vptr, FRAME_SAMPLES)
-            yield from smem.write_array(output_vptr, fetched[:PARAMETERS_PER_FRAME])
-            yield from smem.free(input_vptr)
-            yield from smem.free(output_vptr)
-        # Churn phase: repeated allocate / scatter writes / copy / free.
-        survivors = []
-        for iteration in range(CHURN_ITERATIONS):
-            vptr = yield from smem.alloc(CHURN_BLOCK_WORDS, DataType.UINT32)
-            yield from smem.write(vptr, iteration, offset=iteration % CHURN_BLOCK_WORDS)
-            if iteration % 3 == 2 and survivors:
-                victim = survivors.pop(0)
-                yield from smem.memcpy(vptr, victim, 8)
-                yield from smem.free(victim)
-            survivors.append(vptr)
-        for vptr in survivors:
-            yield from smem.free(vptr)
-        return ctx.smem(0).calls
-
-    return task
-
-
-def run_dynamic(memory_kind: MemoryKind):
-    config = PlatformConfig(num_pes=1, num_memories=1, memory_kind=memory_kind,
-                            memory_capacity_bytes=1 << 20)
-    platform = Platform(config)
-    platform.add_task(make_dynamic_workload())
-    return platform.run()
+def make_dynamic_scenarios(iterations: int):
+    """One scenario per dynamic-memory model, same ``alloc_churn`` workload."""
+    base = (PlatformBuilder()
+            .pes(1)
+            .wrapper_memories(1)
+            .capacity(1 << 20)
+            .build())
+    return scenario_grid(
+        "churn", base, "alloc_churn",
+        config_grid={"memory_kind": [MemoryKind.WRAPPER, MemoryKind.MODELED]},
+        params={"iterations": iterations, "block_words": CHURN_BLOCK_WORDS,
+                "gsm_frames": GSM_FRAMES, "seed": CHURN_SEED},
+    )
 
 
 class StaticWorkloadPe(Module):
     """The same data movement against a pre-allocated static memory."""
 
-    def __init__(self, name, port, base, parent=None):
+    def __init__(self, name, port, base, iterations, parent=None):
         super().__init__(name, parent)
         self.port = port
         self.base = base
+        self.iterations = iterations
         self.finished = False
         self.add_process(self._run, name="program")
 
     def _run(self):
-        samples = generate_speech_like(GSM_FRAMES, seed=9)
+        samples = generate_speech_like(GSM_FRAMES, seed=CHURN_SEED)
         for frame in range(GSM_FRAMES):
             start = frame * FRAME_SAMPLES
             payload = [v & 0xFFFF for v in samples[start:start + FRAME_SAMPLES]]
@@ -104,7 +74,7 @@ class StaticWorkloadPe(Module):
                 fetched.burst_data[:PARAMETERS_PER_FRAME],
             )
         scratch = self.base + 0x2000
-        for iteration in range(CHURN_ITERATIONS):
+        for iteration in range(self.iterations):
             address = scratch + 4 * (iteration % CHURN_BLOCK_WORDS)
             yield from self.port.write(address, iteration)
             if iteration % 3 == 2:
@@ -113,12 +83,13 @@ class StaticWorkloadPe(Module):
         self.finished = True
 
 
-def run_static():
+def run_static(iterations: int):
     top = Module("static_top")
     bus = SharedBus("bus", period=10, parent=top)
     memory = StaticMemory(1 << 16, latency=LatencyModel())
     bus.attach_slave("ram", 0x1000_0000, 1 << 16, memory)
-    pe = StaticWorkloadPe("pe0", bus.master_port(0), 0x1000_0000, parent=top)
+    pe = StaticWorkloadPe("pe0", bus.master_port(0), 0x1000_0000, iterations,
+                          parent=top)
     sim = Simulator(top)
     wall_start = time.perf_counter()
     sim.run()
@@ -127,13 +98,17 @@ def run_static():
     return {"wall": wall, "cycles": sim.now // 10}
 
 
-def test_e2_overhead_vs_baselines(benchmark):
+def test_e2_overhead_vs_baselines(benchmark, request):
+    iterations = 10 if request.config.getoption("--quick") else CHURN_ITERATIONS
+    scenarios = make_dynamic_scenarios(iterations)
     results = {}
 
     def run_all():
-        results["wrapper"] = run_dynamic(MemoryKind.WRAPPER)
-        results["modeled"] = run_dynamic(MemoryKind.MODELED)
-        results["static"] = run_static()
+        dynamic = ExperimentRunner(scenarios).run()
+        for result in dynamic:
+            result.raise_for_status()
+        results["wrapper"], results["modeled"] = [r.report for r in dynamic]
+        results["static"] = run_static(iterations)
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

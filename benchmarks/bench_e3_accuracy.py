@@ -4,7 +4,8 @@ The wrapper models timing with configurable delay parameters ("which can be
 dynamic and data dependent").  This bench checks that the simulated cycle
 counts are *exactly* the ones the delay parameters prescribe:
 
-* per-operation slave cycles observed on the bus match the FSM schedule
+* per-operation slave cycles observed on the bus (via the
+  :func:`repro.api.drive` micro-bench helper) match the FSM schedule
   computed from the ``WrapperDelays`` for every opcode and transfer length;
 * the same transaction trace replayed with SRAM-like and SDRAM-like delay
   sets scales exactly with the parameter difference;
@@ -14,27 +15,11 @@ counts are *exactly* the ones the delay parameters prescribe:
 
 from __future__ import annotations
 
-import pytest
-
-from repro.interconnect import BusOp, BusRequest
-from repro.memory import DataType, MemCommand, MemOpcode
+from repro.api import drive
+from repro.memory import MemCommand, MemOpcode
 from repro.wrapper import SharedMemoryWrapper, WrapperDelays, WrapperFsm
 
 from common import emit, format_rows
-
-
-def drive(wrapper, command, master_id=0):
-    """Send one packed command and return (response, observed slave cycles)."""
-    request = BusRequest(master_id, BusOp.WRITE, 0, burst_data=command.to_words())
-    generator = wrapper.serve(request, 0)
-    cycles = 0
-    while True:
-        try:
-            next(generator)
-            cycles += 1
-        except StopIteration as stop:
-            cycles += 1
-            return stop.value, cycles
 
 
 def expected_cycles(delays, command, words=0, byte_count=0):
@@ -62,7 +47,7 @@ def run_trace(delays):
     rows = []
     total = 0
     for label, command, words, byte_count in OPERATIONS:
-        _, observed = drive(wrapper, command)
+        observed = drive(wrapper, command).cycles
         expected = expected_cycles(delays, command, words, byte_count)
         rows.append({
             "operation": label,

@@ -1,19 +1,18 @@
 """E4 — scaling of simulation speed with platform size (Section 3).
 
 The paper argues the wrapper technique scales to "multiple dynamic shared
-memories" and many processing elements.  This bench sweeps the platform over
-P ∈ {1, 2, 4, 8} processing elements and M ∈ {1, 2, 4} shared memories
-(cycle-driven mode, GSM frame-buffer traffic per PE) and reports the
-simulation speed for every point, reproducing the trend behind the paper's
-single reported data point (P=4: M=1 vs M=4 → ≈20% degradation).
+memories" and many processing elements.  This bench declares the sweep as a
+scenario grid over P ∈ {1, 2, 4, 8} processing elements and M ∈ {1, 2, 4}
+shared memories (cycle-driven mode, the ``gsm_encode`` registry workload
+per PE) and reports the simulation speed for every point, reproducing the
+trend behind the paper's single reported data point (P=4: M=1 vs M=4 →
+≈20% degradation).
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.soc import Platform, PlatformConfig, SweepPoint, speed_degradation
-from repro.sw.gsm import PLACEMENT_STRIPED, build_gsm_tasks, make_gsm_channels
+from repro.api import ExperimentRunner, PlatformBuilder, scenario_grid
+from repro.soc import speed_degradation
 
 from common import emit, format_rows
 
@@ -24,46 +23,47 @@ PE_TICK_WORK = 12
 MEM_TICK_WORK = 4
 
 
-def run_point(num_pes: int, num_memories: int) -> SweepPoint:
-    channels = make_gsm_channels(num_pes, FRAMES, seed=7)
-    config = PlatformConfig(
-        num_pes=num_pes,
-        num_memories=num_memories,
-        idle_tick_memories=True,
-        idle_tick_work=MEM_TICK_WORK,
-        pe_tick_work=PE_TICK_WORK,
-    )
-    platform = Platform(config)
-    placement = PLACEMENT_STRIPED if num_memories > 1 else None
-    tasks = (build_gsm_tasks(channels, placement=placement) if placement
-             else build_gsm_tasks(channels))
-    platform.add_tasks(tasks)
-    report = platform.run()
-    assert report.all_pes_finished
-    return SweepPoint(
-        label=f"P={num_pes},M={num_memories}",
-        parameters={"PEs": num_pes, "memories": num_memories},
-        report=report,
+def make_scenarios(pe_counts, memory_counts):
+    base = (PlatformBuilder()
+            .pes(1)
+            .wrapper_memories(1)
+            .cycle_driven(memory_work=MEM_TICK_WORK, pe_work=PE_TICK_WORK)
+            .build())
+    return scenario_grid(
+        "scaling", base, "gsm_encode",
+        config_grid={"num_pes": pe_counts, "num_memories": memory_counts},
+        params={"frames": FRAMES, "seed": 7},
     )
 
 
-def test_e4_scaling_sweep(benchmark):
-    points = {}
+def test_e4_scaling_sweep(benchmark, request):
+    pe_counts = [1, 2] if request.config.getoption("--quick") else PE_COUNTS
+    memory_counts = MEMORY_COUNTS
+    scenarios = make_scenarios(pe_counts, memory_counts)
+    collected = {}
 
     def run_sweep():
-        for num_pes in PE_COUNTS:
-            for num_memories in MEMORY_COUNTS:
-                points[(num_pes, num_memories)] = run_point(num_pes, num_memories)
-        return points
+        # Serial: every point's wall-clock must be measured on an idle host.
+        # Per-point workload construction happens inside this timed region;
+        # the asserted metrics use report.wallclock_seconds (simulation only).
+        collected["results"] = ExperimentRunner(scenarios).run()
+        return collected["results"]
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
-    rows = [point.row() for point in points.values()]
+    results = collected["results"]
+    reports = {}
+    for result in results:
+        result.raise_for_status()
+        key = (result.overrides["num_pes"], result.overrides["num_memories"])
+        reports[key] = result.report
+
+    rows = [result.row() for result in results]
     # Per-PE-count degradation of M=4 relative to M=1 (the paper's metric).
     degradation_rows = []
-    for num_pes in PE_COUNTS:
-        base = points[(num_pes, 1)].report
-        wide = points[(num_pes, 4)].report
+    for num_pes in pe_counts:
+        base = reports[(num_pes, 1)]
+        wide = reports[(num_pes, 4)]
         degradation_rows.append({
             "PEs": num_pes,
             "speed M=1 (c/s)": round(base.simulation_speed),
@@ -72,8 +72,9 @@ def test_e4_scaling_sweep(benchmark):
         })
     emit(
         "e4_scaling",
-        format_rows(rows, columns=["label", "PEs", "memories", "simulated_cycles",
-                                   "wallclock_seconds", "simulation_speed"])
+        format_rows(rows, columns=["scenario", "num_pes", "num_memories",
+                                   "simulated_cycles", "wallclock_seconds",
+                                   "simulation_speed"])
         + "\n\nM=1 → M=4 degradation per PE count "
         "(paper reports ≈20% at P=4):\n"
         + format_rows(degradation_rows),
@@ -82,10 +83,14 @@ def test_e4_scaling_sweep(benchmark):
     # Shape checks: for every PE count, adding memories costs simulation
     # speed; the relative cost shrinks as the number of (more expensive)
     # ISS models grows.
-    for num_pes in PE_COUNTS:
-        base = points[(num_pes, 1)].report
-        wide = points[(num_pes, 4)].report
-        assert wide.simulation_speed < base.simulation_speed
-    small = speed_degradation(points[(1, 1)].report, points[(1, 4)].report)
-    large = speed_degradation(points[(8, 1)].report, points[(8, 4)].report)
-    assert large < small
+    for num_pes in pe_counts:
+        assert reports[(num_pes, 4)].simulation_speed \
+            < reports[(num_pes, 1)].simulation_speed
+    # The degradation-shrinks-with-PE-count trend needs the full PE range to
+    # rise above host noise, so the smoke run only checks monotonicity above.
+    if pe_counts == PE_COUNTS:
+        small = speed_degradation(reports[(pe_counts[0], 1)],
+                                  reports[(pe_counts[0], 4)])
+        large = speed_degradation(reports[(pe_counts[-1], 1)],
+                                  reports[(pe_counts[-1], 4)])
+        assert large < small

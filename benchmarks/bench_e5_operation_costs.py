@@ -2,7 +2,8 @@
 
 For every operation the wrapper supports (allocation, scalar write/read,
 indexed-structure transfers, pointer-arithmetic access, reservation,
-deallocation) this bench measures:
+deallocation) this bench measures, with the :func:`repro.api.drive`
+micro-bench helper:
 
 * the simulated cycles charged by the cycle-true FSM, and
 * the host-side microseconds spent serving the operation,
@@ -15,13 +16,9 @@ number of live allocations while the fully-modelled allocator walk grows.
 
 from __future__ import annotations
 
-import time
-
-import pytest
-
+from repro.api import drive
 from repro.interconnect import BusOp, BusRequest
 from repro.memory import (
-    DataType,
     IO_ARRAY_BASE,
     MemCommand,
     MemOpcode,
@@ -35,74 +32,49 @@ POPULATED_ALLOCATIONS = 200
 ARRAY_WORDS = 32
 
 
-def drive(memory, command_or_request, offset=0, master_id=0):
-    if isinstance(command_or_request, MemCommand):
-        request = BusRequest(master_id, BusOp.WRITE, 0,
-                             burst_data=command_or_request.to_words())
-    else:
-        request = command_or_request
-    generator = memory.serve(request, offset)
-    cycles = 0
-    start = time.perf_counter()
-    while True:
-        try:
-            next(generator)
-            cycles += 1
-        except StopIteration as stop:
-            cycles += 1
-            host_us = (time.perf_counter() - start) * 1e6
-            return stop.value, cycles, host_us
-
-
 def populate(memory, count):
     pointers = []
     for _ in range(count):
-        response, _, _ = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
-        pointers.append(response.data)
+        outcome = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
+        pointers.append(outcome.response.data)
     return pointers
 
 
 def measure_operations(memory, label):
     """Measure each operation once on ``memory`` and return result rows."""
+
+    def row(operation, outcome):
+        return {"memory": label, "operation": operation,
+                "cycles": outcome.cycles, "host us": round(outcome.host_us, 1)}
+
     rows = []
-    response, cycles, host_us = drive(memory, MemCommand(MemOpcode.ALLOC,
-                                                         dim=ARRAY_WORDS))
-    vptr = response.data
-    rows.append({"memory": label, "operation": "ALLOC", "cycles": cycles,
-                 "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.WRITE, vptr=vptr,
-                                                  offset=3, data=7))
-    rows.append({"memory": label, "operation": "WRITE", "cycles": cycles,
-                 "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ, vptr=vptr, offset=3))
-    rows.append({"memory": label, "operation": "READ", "cycles": cycles,
-                 "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ, vptr=vptr + 12))
-    rows.append({"memory": label, "operation": "READ (ptr arith)", "cycles": cycles,
-                 "host us": round(host_us, 1)})
-    drive(memory, BusRequest(0, BusOp.WRITE, 0, burst_data=list(range(ARRAY_WORDS))),
+    alloc = drive(memory, MemCommand(MemOpcode.ALLOC, dim=ARRAY_WORDS))
+    vptr = alloc.response.data
+    rows.append(row("ALLOC", alloc))
+    rows.append(row("WRITE", drive(memory, MemCommand(
+        MemOpcode.WRITE, vptr=vptr, offset=3, data=7))))
+    rows.append(row("READ", drive(memory, MemCommand(
+        MemOpcode.READ, vptr=vptr, offset=3))))
+    rows.append(row("READ (ptr arith)", drive(memory, MemCommand(
+        MemOpcode.READ, vptr=vptr + 12))))
+    drive(memory, BusRequest(0, BusOp.WRITE, 0,
+                             burst_data=list(range(ARRAY_WORDS))),
           offset=IO_ARRAY_BASE)
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.WRITE_ARRAY, vptr=vptr,
-                                                  dim=ARRAY_WORDS))
-    rows.append({"memory": label, "operation": f"WRITE_ARRAY[{ARRAY_WORDS}]",
-                 "cycles": cycles, "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.READ_ARRAY, vptr=vptr,
-                                                  dim=ARRAY_WORDS))
-    rows.append({"memory": label, "operation": f"READ_ARRAY[{ARRAY_WORDS}]",
-                 "cycles": cycles, "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.RESERVE, vptr=vptr))
-    rows.append({"memory": label, "operation": "RESERVE", "cycles": cycles,
-                 "host us": round(host_us, 1)})
-    _, cycles, host_us = drive(memory, MemCommand(MemOpcode.FREE, vptr=vptr))
-    rows.append({"memory": label, "operation": "FREE", "cycles": cycles,
-                 "host us": round(host_us, 1)})
+    rows.append(row(f"WRITE_ARRAY[{ARRAY_WORDS}]", drive(memory, MemCommand(
+        MemOpcode.WRITE_ARRAY, vptr=vptr, dim=ARRAY_WORDS))))
+    rows.append(row(f"READ_ARRAY[{ARRAY_WORDS}]", drive(memory, MemCommand(
+        MemOpcode.READ_ARRAY, vptr=vptr, dim=ARRAY_WORDS))))
+    rows.append(row("RESERVE", drive(memory, MemCommand(
+        MemOpcode.RESERVE, vptr=vptr))))
+    rows.append(row("FREE", drive(memory, MemCommand(
+        MemOpcode.FREE, vptr=vptr))))
     return rows
 
 
 def alloc_cycles(memory):
-    response, cycles, _ = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
-    drive(memory, MemCommand(MemOpcode.FREE, vptr=response.data))
-    return cycles
+    outcome = drive(memory, MemCommand(MemOpcode.ALLOC, dim=8))
+    drive(memory, MemCommand(MemOpcode.FREE, vptr=outcome.response.data))
+    return outcome.cycles
 
 
 def test_e5_operation_costs(benchmark):

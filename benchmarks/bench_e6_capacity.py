@@ -3,7 +3,8 @@
 The wrapper lets the simulated software allocate as much dynamic data as the
 *host* can hold, without pre-sizing a simulated memory table.  This bench
 runs a growing-allocation workload (a simulated video-style double buffer
-that doubles in size every step) against:
+that doubles in size every step, driven through :func:`repro.api.drive`)
+against:
 
 * the host-backed wrapper with an (artificially) huge simulated capacity,
 * the fully-modelled baseline, whose memory table must be pre-sized and
@@ -17,10 +18,8 @@ small configured capacity the same workload is refused at the right point.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.interconnect import BusOp, BusRequest
-from repro.memory import DataType, MemCommand, MemOpcode, MemStatus, ModeledDynamicMemory
+from repro.api import drive
+from repro.memory import DataType, MemCommand, MemOpcode, ModeledDynamicMemory
 from repro.wrapper import SharedMemoryWrapper
 
 from common import emit, format_rows
@@ -33,29 +32,19 @@ MODELED_TABLE_BYTES = 1 << 20
 SMALL_CAPACITY_BYTES = 256 * 1024
 
 
-def drive(memory, command):
-    request = BusRequest(0, BusOp.WRITE, 0, burst_data=command.to_words())
-    generator = memory.serve(request, 0)
-    while True:
-        try:
-            next(generator)
-        except StopIteration as stop:
-            return stop.value
-
-
 def grow_and_release(memory):
     """Run the growing double-buffer schedule; returns per-step rows."""
     rows = []
     previous = None
     for step, elements in enumerate(STEPS):
         response = drive(memory, MemCommand(MemOpcode.ALLOC, dim=elements,
-                                            data_type=DataType.UINT32))
+                                            data_type=DataType.UINT32)).response
         ok = response.ok
         alloc_status = memory.last_status.name
         vptr = response.data if ok else None
         if ok:
-            drive(memory, MemCommand(MemOpcode.WRITE, vptr=vptr, offset=elements - 1,
-                                     data=step))
+            drive(memory, MemCommand(MemOpcode.WRITE, vptr=vptr,
+                                     offset=elements - 1, data=step))
         if previous is not None:
             drive(memory, MemCommand(MemOpcode.FREE, vptr=previous))
         # The old buffer is gone either way; only a successful allocation

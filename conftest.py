@@ -1,0 +1,20 @@
+"""Repository-level pytest configuration.
+
+Makes the in-tree ``src`` layout importable when the package is not
+installed (``pip install -e .`` is the normal route), and registers the
+``--quick`` option the evaluation benches use for smoke runs in CI.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink benchmark workloads to smoke-test size",
+    )

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """The paper's experiment in miniature: GSM encoding on a 4-PE MPSoC.
 
-Builds the two platforms of Section 4 — four processing elements with one
+Declares the two platforms of Section 4 — four processing elements with one
 dynamic shared memory, and the same four processing elements with four
-shared memories — runs the GSM 06.10 encoder workload on both (every frame
-buffer allocated and freed through the wrapper), verifies the encoded
-bitstreams against the pure-Python reference encoder, and reports the
-simulation-speed degradation the paper quotes as ≈20%.
+shared memories — as scenarios over the ``gsm_encode`` registry workload
+(every frame buffer allocated and freed through the wrapper), runs them
+through the experiment runner (the workload's built-in check verifies the
+encoded bitstreams against the pure-Python reference encoder), and reports
+the simulation-speed degradation the paper quotes as ≈20%.
 
 Run with:  python examples/gsm_mpsoc.py  [frames-per-channel]
 """
@@ -17,51 +18,41 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-from repro.soc import Platform, PlatformConfig, speed_degradation
-from repro.sw.gsm import (
-    PLACEMENT_STRIPED,
-    build_gsm_tasks,
-    check_platform_results,
-    make_gsm_channels,
-    pack_frame,
-    reference_encode,
-    GsmFrameParameters,
-)
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario, results_table
+from repro.soc import speed_degradation
+from repro.sw.gsm import GsmFrameParameters, pack_frame
 
 
-def run_configuration(channels, reference, num_memories):
-    config = PlatformConfig(
-        num_pes=len(channels),
-        num_memories=num_memories,
-        idle_tick_memories=True,   # cycle-driven co-simulation, as in the paper
-        idle_tick_work=4,
-        pe_tick_work=12,
+def make_scenario(num_memories, frames):
+    config = (PlatformBuilder()
+              .pes(4)
+              .wrapper_memories(num_memories)
+              .cycle_driven(memory_work=4, pe_work=12)  # as in the paper
+              .build())
+    return Scenario(
+        name=f"gsm-M{num_memories}",
+        config=config,
+        workload="gsm_encode",
+        params={"frames": frames, "seed": 42},
     )
-    platform = Platform(config)
-    placement = PLACEMENT_STRIPED if num_memories > 1 else None
-    tasks = (build_gsm_tasks(channels, placement=placement) if placement
-             else build_gsm_tasks(channels))
-    platform.add_tasks(tasks)
-    report = platform.run()
-    assert report.all_pes_finished
-    assert check_platform_results(report.results, reference), \
-        "platform-encoded parameters must match the reference encoder"
-    return report
 
 
 def main():
     frames = int(sys.argv[1]) if len(sys.argv) > 1 else 1
-    channels = make_gsm_channels(4, frames, seed=42)
-    reference = reference_encode(channels)
 
     print(f"encoding {frames} frame(s) per channel on 4 processing elements...")
-    one_memory = run_configuration(channels, reference, num_memories=1)
-    four_memories = run_configuration(channels, reference, num_memories=4)
+    scenarios = [make_scenario(1, frames), make_scenario(4, frames)]
+    results = ExperimentRunner(scenarios).run()
+    for result in results:
+        result.raise_for_status()
+    one_memory, four_memories = results[0].report, results[1].report
 
     print("\n--- 4 ISSs + interconnect + 1 shared memory ---")
     print(one_memory.summary())
     print("\n--- 4 ISSs + interconnect + 4 shared memories ---")
     print(four_memories.summary())
+    print()
+    print(results_table(results))
 
     degradation = speed_degradation(one_memory, four_memories)
     print(f"\nsimulation-speed degradation going 1 -> 4 memories: "

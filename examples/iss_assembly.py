@@ -5,7 +5,8 @@ The other examples use the transaction-accurate task processors; this one
 shows the instruction-accurate path the paper's framework uses: an ISS
 executes an assembled program whose software interrupts are the high-level
 dynamic-memory API, so the program allocates a vector in the shared memory
-wrapper, fills it with squares, sums it back and frees it.
+wrapper, fills it with squares, sums it back and frees it.  The bus + one
+wrapper fabric comes from the `repro.api` testbench helper.
 
 Run with:  python examples/iss_assembly.py
 """
@@ -16,12 +17,10 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-from repro.interconnect import SharedBus
+from repro.api import single_memory_testbench
 from repro.isa import assemble
 from repro.iss import IssProcessor
-from repro.kernel import Module, Simulator
-from repro.memory import REGISTER_WINDOW_BYTES
-from repro.wrapper import SharedMemoryAPI, SharedMemoryWrapper
+from repro.kernel import Simulator
 
 PROGRAM = """
 ; r6 = number of elements, r4 = vptr, r5 = running sum, r7 = loop index
@@ -58,19 +57,16 @@ sum:    MOV   r0, r4
 
 
 def main():
-    top = Module("top")
-    bus = SharedBus("bus", period=10, parent=top)
-    wrapper = SharedMemoryWrapper(name="smem0")
-    bus.attach_slave("smem0", 0x1000_0000, REGISTER_WINDOW_BYTES, wrapper)
-    port = bus.master_port(0, name="iss0")
-    api = SharedMemoryAPI(port, base_address=0x1000_0000, sm_addr=0)
+    testbench = single_memory_testbench(master_name="iss0")
+    wrapper = testbench.memory
 
     program = assemble(PROGRAM)
     print(f"assembled {len(program)} instructions")
 
-    processor = IssProcessor("iss0", port, [api], program.words,
-                             clock_period=10, parent=top)
-    simulator = Simulator(top)
+    processor = IssProcessor("iss0", testbench.port, [testbench.api],
+                             program.words, clock_period=10,
+                             parent=testbench.top)
+    simulator = Simulator(testbench.top)
     simulator.run()
 
     expected = sum(i * i for i in range(10))

@@ -7,8 +7,9 @@ Runs the same allocation-heavy image-pipeline-style workload against:
 * the traditional fully-modelled dynamic memory (allocator simulated inside
   the memory table),
 
-and prints simulated cycles, host wall-clock and the wrapper's pointer-table
-/ host-memory statistics — the practical "why you want the wrapper" view.
+declared as one scenario per memory model, and prints simulated cycles,
+host wall-clock and the wrapper's pointer-table / host-memory statistics —
+the practical "why you want the wrapper" view.
 
 Run with:  python examples/memory_model_comparison.py
 """
@@ -19,8 +20,9 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
+from repro.api import PlatformBuilder, Scenario, run_scenario
 from repro.memory import DataType
-from repro.soc import MemoryKind, Platform, PlatformConfig
+from repro.soc import MemoryKind
 
 TILE_WORDS = 64
 TILES = 24
@@ -62,12 +64,17 @@ def image_pipeline_task(ctx):
 
 
 def run(memory_kind):
-    config = PlatformConfig(num_pes=1, num_memories=1, memory_kind=memory_kind,
-                            memory_capacity_bytes=1 << 20)
-    platform = Platform(config)
-    platform.add_task(image_pipeline_task)
-    report = platform.run()
-    return platform, report
+    scenario = Scenario(
+        name=f"image-pipeline-{memory_kind.value}",
+        config=(PlatformBuilder()
+                .pes(1)
+                .memories(1, memory_kind)
+                .capacity(1 << 20)
+                .build()),
+        workload=lambda config, **params: [image_pipeline_task],
+    )
+    result = run_scenario(scenario, keep_platform=True).raise_for_status()
+    return result.platform, result.report
 
 
 def main():

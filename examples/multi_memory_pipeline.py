@@ -2,8 +2,9 @@
 """Multiple dynamic shared memories and a heterogeneous task mix.
 
 Section 3 of the paper ends with "multiple dynamic shared memories are
-considered".  This example builds a 4-PE / 2-memory crossbar platform and
-runs three cooperating applications at once:
+considered".  This example builds a 4-PE / 2-memory crossbar platform with
+the fluent builder and declares one scenario running three cooperating
+applications at once:
 
 * PE0/PE1: a producer/consumer pair streaming items through a FIFO whose
   storage and indices live in shared memory 0 (reservation bits guard the
@@ -21,7 +22,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-from repro.soc import InterconnectKind, Platform, PlatformConfig
+from repro.api import PlatformBuilder, Scenario, Workload, run_scenario
 from repro.sw.gsm import (
     PLACEMENT_STRIPED,
     make_gsm_channels,
@@ -36,41 +37,56 @@ from repro.sw.workloads import (
 )
 
 
-def main():
-    config = PlatformConfig(
-        num_pes=4,
-        num_memories=2,
-        interconnect=InterconnectKind.CROSSBAR,
-    )
-    platform = Platform(config)
-
+def mixed_pipeline_workload(config, **params):
+    """Three applications sharing one platform, each with its own check."""
     # Producer/consumer pair on memory 0.
     items = [i * 7 for i in range(30)]
     fifo_shared = {}
-    platform.add_task(make_producer_task(items, fifo_depth=8, shared=fifo_shared,
-                                         memory_index=0))
-    platform.add_task(make_consumer_task(fifo_shared, memory_index=0))
+    tasks = [
+        make_producer_task(items, fifo_depth=8, shared=fifo_shared,
+                           memory_index=0),
+        make_consumer_task(fifo_shared, memory_index=0),
+    ]
 
     # FIR on memory 1.
     samples = [(i * 29) % 512 for i in range(96)]
     taps = [1, 4, 6, 4, 1]
-    platform.add_task(make_fir_task(samples, taps, memory_index=1))
+    tasks.append(make_fir_task(samples, taps, memory_index=1))
 
     # One GSM channel striped over both memories.
     channel = make_gsm_channels(1, 1, seed=5)[0]
-    platform.add_task(make_gsm_encoder_task(channel, pe_index=3,
-                                            placement=PLACEMENT_STRIPED))
+    tasks.append(make_gsm_encoder_task(channel, pe_index=3,
+                                       placement=PLACEMENT_STRIPED))
+    expected_gsm = reference_encode([channel])[0]
 
-    report = platform.run()
+    def check(report):
+        if report.results["pe1"] != items:
+            return "FIFO must deliver items in order"
+        if report.results["pe2"] != fir_reference(samples, taps):
+            return "FIR mismatch"
+        if [list(f) for f in report.results["pe3"]] != expected_gsm:
+            return "GSM mismatch"
+        return True
+
+    return Workload(tasks=tasks, checks=[check],
+                    description="FIFO + FIR + GSM on 4 PEs / 2 memories")
+
+
+def main():
+    scenario = Scenario(
+        name="multi-memory-pipeline",
+        config=(PlatformBuilder()
+                .pes(4)
+                .wrapper_memories(2)
+                .crossbar()
+                .build()),
+        workload=mixed_pipeline_workload,
+    )
+    result = run_scenario(scenario).raise_for_status()
+    report = result.report
 
     print(report.summary())
     print()
-
-    # Check every application produced the right answer.
-    assert report.results["pe1"] == items, "FIFO must deliver items in order"
-    assert report.results["pe2"] == fir_reference(samples, taps), "FIR mismatch"
-    expected_gsm = reference_encode([channel])[0]
-    assert [list(f) for f in report.results["pe3"]] == expected_gsm, "GSM mismatch"
     print("all three applications produced reference-exact results")
 
     print("\nper-memory traffic:")

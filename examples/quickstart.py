@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Quickstart: build a 2-PE MPSoC with one dynamic shared memory and run it.
 
-This example shows the core flow of the library in ~40 lines:
+This example shows the core flow of the declarative API in ~40 lines:
 
-1. describe a platform (`PlatformConfig`),
-2. write a task — the embedded program of one processing element — against
-   the C-formalism shared-memory API (alloc / write / read_array / free),
-3. run the co-simulation and inspect the report.
+1. describe a platform with the fluent `PlatformBuilder`,
+2. write a workload — the embedded programs of the processing elements —
+   against the C-formalism shared-memory API (alloc / write / read_array /
+   free), with a check on the expected result,
+3. wrap both in a `Scenario`, run it, and inspect the report.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,8 +18,10 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
+from repro.api import PlatformBuilder, Scenario, Workload, run_scenario
 from repro.memory import DataType
-from repro.soc import Platform, PlatformConfig
+
+EXPECTED = sum(i * i for i in range(16))
 
 
 def make_producer(shared):
@@ -56,23 +59,32 @@ def make_consumer(shared):
     return task
 
 
-def main():
-    config = PlatformConfig(num_pes=2, num_memories=1)
-    platform = Platform(config)
+def handshake_workload(config, **params):
+    """An inline workload factory: two cooperating tasks plus a check."""
     shared = {}
-    platform.add_task(make_producer(shared))
-    platform.add_task(make_consumer(shared))
+    return Workload(
+        tasks=[make_producer(shared), make_consumer(shared)],
+        checks=[lambda report: report.results["pe1"] == EXPECTED
+                or f"consumer summed {report.results['pe1']}, wanted {EXPECTED}"],
+        description="producer/consumer handshake over one shared vector",
+    )
 
-    report = platform.run()
+
+def main():
+    scenario = Scenario(
+        name="quickstart",
+        config=PlatformBuilder().pes(2).wrapper_memories(1).build(),
+        workload=handshake_workload,
+    )
+    result = run_scenario(scenario).raise_for_status()
+    report = result.report
 
     print(report.summary())
     print()
-    print(f"consumer result: {report.results['pe1']} "
-          f"(expected {sum(i * i for i in range(16))})")
+    print(f"consumer result: {report.results['pe1']} (expected {EXPECTED})")
     print(f"shared memory after run: "
           f"{report.memory_reports[0]['live_allocations']} live allocations, "
           f"{report.memory_reports[0]['total_allocations']} total")
-    assert report.results["pe1"] == sum(i * i for i in range(16))
 
 
 if __name__ == "__main__":

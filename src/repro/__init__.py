@@ -14,15 +14,18 @@ The package is organised as the paper's Figure 1:
 * :mod:`repro.wrapper` — the paper's contribution: the host-backed dynamic
   shared memory wrapper (pointer table, translator, cycle-true FSM, delays)
   and the C-formalism software API;
-* :mod:`repro.sw` — the software layer: task programs, workloads and the
-  GSM 06.10 codec used by the evaluation;
+* :mod:`repro.sw` — the software layer: task programs, the workload
+  registry and the GSM 06.10 codec used by the evaluation;
 * :mod:`repro.soc` — platform composition and simulation-speed reporting;
-* :mod:`repro.analysis` — helpers for the evaluation sweeps and tables.
+* :mod:`repro.api` — the declarative experiment layer: platform builder,
+  scenarios, the (optionally process-sharded) experiment runner and
+  structured result writers;
+* :mod:`repro.analysis` — evaluation metrics.
 
 Quick start::
 
+    from repro.api import PlatformBuilder, Scenario, run_scenario
     from repro.memory import DataType
-    from repro.soc import Platform, PlatformConfig
 
     def program(ctx):
         smem = ctx.smem(0)
@@ -32,16 +35,29 @@ Quick start::
         yield from smem.free(vptr)
         return sum(data)
 
-    platform = Platform(PlatformConfig(num_pes=1, num_memories=1))
-    platform.add_task(program)
-    report = platform.run()
-    print(report.summary())
+    scenario = Scenario(
+        name="hello",
+        config=PlatformBuilder().pes(1).wrapper_memories(1).build(),
+        workload=lambda config, **params: [program],
+    )
+    result = run_scenario(scenario).raise_for_status()
+    print(result.report.summary())
+
+or, with a registered workload (see :data:`repro.sw.workload`)::
+
+    from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+
+    config = PlatformBuilder().pes(4).crossbar().wrapper_memories(2).build()
+    scenario = Scenario(name="gsm", config=config, workload="gsm_encode",
+                        params={"frames": 2, "seed": 42})
+    [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "interconnect",
     "isa",
     "iss",

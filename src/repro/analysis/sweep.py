@@ -1,51 +1,67 @@
-"""Parameter sweep driver for platform experiments.
+"""Parameter sweep driver for platform experiments (back-compat shim).
 
-Used by the scaling bench and by users exploring the design space: given a
-base :class:`~repro.soc.config.PlatformConfig`, a grid of parameter
-overrides and a task-list factory, run every point and collect the reports
-in a form that renders directly as the paper-style tables.
+This module predates :mod:`repro.api`; its sweep loop now delegates to the
+declarative scenario/runner layer.  New code should build scenarios with
+:func:`repro.api.scenario_grid` and run them with
+:class:`repro.api.ExperimentRunner` (which adds process sharding, per-run
+timeouts and structured JSON/CSV output); :func:`run_sweep` remains for
+existing callers and emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import itertools
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..api.runner import run_scenario
+from ..api.scenario import Scenario, expand_grid
 from ..soc.config import PlatformConfig
-from ..soc.platform import Platform
 from ..soc.stats import SimulationReport, SweepPoint, format_table
+
+__all__ = ["TaskListFactory", "best_point", "expand_grid", "run_sweep",
+           "sweep_table"]
 
 #: A factory producing the task list for one configuration point.
 TaskListFactory = Callable[[PlatformConfig], Sequence]
 
 
-def expand_grid(grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
-    """Cartesian product of a parameter grid, in deterministic order."""
-    if not grid:
-        return [{}]
-    names = sorted(grid)
-    combinations = itertools.product(*(grid[name] for name in names))
-    return [dict(zip(names, values)) for values in combinations]
-
-
 def run_sweep(base_config: PlatformConfig, grid: Dict[str, Sequence],
               task_factory: TaskListFactory,
               max_time: Optional[int] = None) -> List[SweepPoint]:
-    """Run the platform for every parameter combination in ``grid``.
+    """Deprecated shim: run the platform for every grid combination.
 
     Every grid key must be a field of :class:`PlatformConfig`; the base
-    configuration supplies all other fields.
+    configuration supplies all other fields.  Delegates to
+    :class:`repro.api.ExperimentRunner`; use that (with
+    :func:`repro.api.scenario_grid`) in new code.
     """
-    points: List[SweepPoint] = []
+    warnings.warn(
+        "analysis.sweep.run_sweep() is deprecated; use "
+        "repro.api.scenario_grid() with repro.api.ExperimentRunner",
+        DeprecationWarning, stacklevel=2,
+    )
+    scenarios: List[Scenario] = []
     for overrides in expand_grid(grid):
         config = dataclasses.replace(base_config, **overrides)
-        platform = Platform(config)
-        platform.add_tasks(list(task_factory(config)))
-        report = platform.run(max_time=max_time)
-        label = ",".join(f"{name}={value}" for name, value in sorted(overrides.items()))
-        points.append(SweepPoint(label=label or "base", parameters=dict(overrides),
-                                 report=report))
+        label = ",".join(f"{name}={value}"
+                         for name, value in sorted(overrides.items()))
+        scenarios.append(Scenario(
+            name=label or "base",
+            config=config,
+            workload=lambda cfg, **_params: list(task_factory(cfg)),
+            max_time=max_time,
+            expect_finished=False,
+            overrides=dict(overrides),
+        ))
+    points: List[SweepPoint] = []
+    for index, scenario in enumerate(scenarios):
+        # Fail-fast with the original exception type, exactly as the old
+        # hand-written sweep loop did.
+        result = run_scenario(scenario, index=index, capture_errors=False)
+        points.append(SweepPoint(label=scenario.name,
+                                 parameters=dict(scenario.overrides),
+                                 report=result.report))
     return points
 
 

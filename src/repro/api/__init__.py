@@ -1,0 +1,71 @@
+"""repro.api — the declarative experiment layer.
+
+The single public entry point for composing and running experiments on the
+co-simulation platform:
+
+* :class:`PlatformBuilder` — fluent, validating construction of
+  :class:`~repro.soc.config.PlatformConfig`;
+* :class:`Scenario` / :func:`scenario_grid` — declarative experiment
+  points referencing workloads by registry name (see
+  :data:`repro.sw.workload`);
+* :class:`ExperimentRunner` / :func:`run_scenario` — serial or
+  process-sharded execution with per-run timeouts and seeded
+  reproducibility;
+* :func:`results_table` / :func:`write_json` / :func:`write_csv` —
+  structured result output;
+* :func:`drive` / :func:`single_memory_testbench` — micro-benchmark
+  helpers for driving one memory module directly.
+
+A complete experiment in a few lines::
+
+    from repro.api import ExperimentRunner, PlatformBuilder, scenario_grid
+
+    base = PlatformBuilder().pes(4).wrapper_memories(1).cycle_driven().build()
+    scenarios = scenario_grid(
+        "gsm", base, "gsm_encode",
+        config_grid={"num_memories": [1, 2, 4]},
+        params={"frames": 2, "seed": 42},
+    )
+    results = ExperimentRunner(scenarios, shards=2).run()
+    for result in results:
+        result.raise_for_status()
+"""
+
+from ..sw.registry import (
+    Workload,
+    WorkloadError,
+    WorkloadRegistry,
+    as_workload,
+    workload,
+)
+from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
+from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
+from .results import results_table, write_csv, write_json
+from .runner import ExperimentRunner, run_scenario, run_tasks
+from .scenario import Scenario, ScenarioResult, expand_grid, scenario_grid
+
+__all__ = [
+    "BuilderError",
+    "COST_MODELS",
+    "DELAY_PRESETS",
+    "DriveResult",
+    "ExperimentRunner",
+    "MemoryTestbench",
+    "PlatformBuilder",
+    "Scenario",
+    "ScenarioResult",
+    "Workload",
+    "WorkloadError",
+    "WorkloadRegistry",
+    "as_workload",
+    "drive",
+    "expand_grid",
+    "results_table",
+    "run_scenario",
+    "run_tasks",
+    "scenario_grid",
+    "single_memory_testbench",
+    "workload",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,257 @@
+"""Fluent platform builder wrapping :class:`~repro.soc.config.PlatformConfig`.
+
+The builder is the declarative front door for composing platforms::
+
+    config = (PlatformBuilder()
+              .pes(4)
+              .crossbar()
+              .wrapper_memories(2)
+              .cycle_driven(memory_work=4, pe_work=12)
+              .build())
+
+Every method stages one aspect of the configuration and returns the builder,
+so platform descriptions read as a single expression.  :meth:`build`
+validates the staged values (on top of ``PlatformConfig``'s own invariant
+checks) and returns a plain :class:`PlatformConfig`; :meth:`build_platform`
+additionally instantiates the :class:`~repro.soc.platform.Platform`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Union
+
+from ..memory.latency import LatencyModel
+from ..memory.protocol import Endianness
+from ..soc.config import (
+    ArbitrationKind,
+    InterconnectKind,
+    MemoryKind,
+    PlatformConfig,
+)
+from ..sw.instruction_costs import ARM7_LIKE, FAST_CORE, CostModel
+from ..wrapper.delays import WrapperDelays
+
+#: Named wrapper-delay presets accepted by :meth:`PlatformBuilder.delays`.
+DELAY_PRESETS = {
+    "default": WrapperDelays,
+    "sram": WrapperDelays.sram_like,
+    "sdram": WrapperDelays.sdram_like,
+}
+
+#: Named cost models accepted by :meth:`PlatformBuilder.cost_model`.
+COST_MODELS = {
+    "arm7": ARM7_LIKE,
+    "fast": FAST_CORE,
+}
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(PlatformConfig)}
+
+
+class BuilderError(ValueError):
+    """Raised when the builder is given inconsistent or invalid values."""
+
+
+class PlatformBuilder:
+    """Composable, validating front end for :class:`PlatformConfig`."""
+
+    def __init__(self, base: Optional[PlatformConfig] = None) -> None:
+        self._overrides: Dict[str, object] = {}
+        if base is not None:
+            if not isinstance(base, PlatformConfig):
+                raise BuilderError(
+                    f"base must be a PlatformConfig, got {type(base).__name__}"
+                )
+            # Shallow per-field copy (asdict() would recursively turn nested
+            # dataclasses like WrapperDelays into plain dicts).
+            self._overrides.update(
+                {f.name: getattr(base, f.name)
+                 for f in dataclasses.fields(base)}
+            )
+
+    @classmethod
+    def from_config(cls, config: PlatformConfig) -> "PlatformBuilder":
+        """A builder pre-seeded with every field of ``config``."""
+        return cls(base=config)
+
+    # -- staging helpers -----------------------------------------------------------
+    def _set(self, **fields: object) -> "PlatformBuilder":
+        self._overrides.update(fields)
+        return self
+
+    def _positive_int(self, value: object, what: str) -> int:
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise BuilderError(f"{what} must be a positive integer, got {value!r}")
+        return value
+
+    # -- topology ----------------------------------------------------------------------
+    def pes(self, count: int) -> "PlatformBuilder":
+        """Number of processing elements."""
+        return self._set(num_pes=self._positive_int(count, "PE count"))
+
+    def memories(self, count: int,
+                 kind: Union[MemoryKind, str] = MemoryKind.WRAPPER
+                 ) -> "PlatformBuilder":
+        """Number of dynamic shared memories and their model."""
+        if isinstance(kind, str):
+            try:
+                kind = MemoryKind(kind)
+            except ValueError:
+                raise BuilderError(
+                    f"unknown memory kind {kind!r}; use one of "
+                    f"{[k.value for k in MemoryKind]}"
+                ) from None
+        return self._set(num_memories=self._positive_int(count, "memory count"),
+                         memory_kind=kind)
+
+    def wrapper_memories(self, count: int) -> "PlatformBuilder":
+        """``count`` host-backed wrapper memories (the paper's model)."""
+        return self.memories(count, MemoryKind.WRAPPER)
+
+    def modeled_memories(self, count: int) -> "PlatformBuilder":
+        """``count`` fully-modelled baseline memories."""
+        return self.memories(count, MemoryKind.MODELED)
+
+    def capacity(self, capacity_bytes: Optional[int]) -> "PlatformBuilder":
+        """Simulated capacity per memory (``None`` = unlimited wrapper)."""
+        if capacity_bytes is not None:
+            self._positive_int(capacity_bytes, "memory capacity")
+        return self._set(memory_capacity_bytes=capacity_bytes)
+
+    # -- interconnect -----------------------------------------------------------------
+    def crossbar(self, arbitration_cycles: Optional[int] = None
+                 ) -> "PlatformBuilder":
+        """Use the crossbar interconnect."""
+        self._set(interconnect=InterconnectKind.CROSSBAR)
+        if arbitration_cycles is not None:
+            self._set(arbitration_cycles=arbitration_cycles)
+        return self
+
+    def shared_bus(self,
+                   arbitration: Union[ArbitrationKind, str] = ArbitrationKind.ROUND_ROBIN,
+                   arbitration_cycles: Optional[int] = None) -> "PlatformBuilder":
+        """Use the shared bus with the given arbitration policy."""
+        if isinstance(arbitration, str):
+            try:
+                arbitration = ArbitrationKind(arbitration)
+            except ValueError:
+                raise BuilderError(
+                    f"unknown arbitration {arbitration!r}; use one of "
+                    f"{[k.value for k in ArbitrationKind]}"
+                ) from None
+        self._set(interconnect=InterconnectKind.SHARED_BUS,
+                  arbitration=arbitration)
+        if arbitration_cycles is not None:
+            self._set(arbitration_cycles=arbitration_cycles)
+        return self
+
+    # -- timing -----------------------------------------------------------------------
+    def clock_period(self, period: int) -> "PlatformBuilder":
+        """Clock period in kernel time units."""
+        return self._set(clock_period=self._positive_int(period, "clock period"))
+
+    def cycle_driven(self, memory_work: int = 4, pe_work: int = 12
+                     ) -> "PlatformBuilder":
+        """Cycle-driven co-simulation: every module evaluated every cycle.
+
+        ``memory_work``/``pe_work`` are the host work units per cycle per
+        memory wrapper FSM and per ISS, reproducing the cost structure the
+        paper's speed-degradation experiment measures.
+        """
+        if memory_work < 0 or pe_work < 0:
+            raise BuilderError("per-cycle work units must be >= 0")
+        return self._set(idle_tick_memories=True, idle_tick_work=memory_work,
+                         pe_tick_work=pe_work)
+
+    def event_driven(self) -> "PlatformBuilder":
+        """Pure event-driven simulation (modules evaluated on demand)."""
+        return self._set(idle_tick_memories=False, pe_tick_work=0)
+
+    # -- models --------------------------------------------------------------------------
+    def delays(self, delays: Union[WrapperDelays, str]) -> "PlatformBuilder":
+        """Wrapper FSM delay parameters, or a preset name (sram/sdram)."""
+        if isinstance(delays, str):
+            try:
+                delays = DELAY_PRESETS[delays]()
+            except KeyError:
+                raise BuilderError(
+                    f"unknown delay preset {delays!r}; use one of "
+                    f"{sorted(DELAY_PRESETS)}"
+                ) from None
+        if not isinstance(delays, WrapperDelays):
+            raise BuilderError(
+                f"delays must be a WrapperDelays or preset name, got "
+                f"{type(delays).__name__}"
+            )
+        return self._set(wrapper_delays=delays)
+
+    def latency(self, model: LatencyModel) -> "PlatformBuilder":
+        """Latency model of the fully-modelled baseline memories."""
+        return self._set(modeled_latency=model)
+
+    def endianness(self, order: Union[Endianness, str]) -> "PlatformBuilder":
+        """Byte order of the simulated architecture."""
+        if isinstance(order, str):
+            try:
+                order = Endianness(order)
+            except ValueError:
+                raise BuilderError(
+                    f"unknown endianness {order!r}; use 'little' or 'big'"
+                ) from None
+        return self._set(endianness=order)
+
+    def cost_model(self, model: Union[CostModel, str]) -> "PlatformBuilder":
+        """Cost model of local PE computation, or a name (arm7/fast)."""
+        if isinstance(model, str):
+            try:
+                model = COST_MODELS[model]
+            except KeyError:
+                raise BuilderError(
+                    f"unknown cost model {model!r}; use one of "
+                    f"{sorted(COST_MODELS)}"
+                ) from None
+        return self._set(cost_model=model)
+
+    def address_map(self, base: int, stride: int) -> "PlatformBuilder":
+        """Base address and stride of the memory windows on the bus."""
+        if not isinstance(base, int) or isinstance(base, bool) or base < 0:
+            raise BuilderError(
+                f"base address must be a non-negative integer, got {base!r}"
+            )
+        return self._set(
+            memory_base_address=base,
+            memory_window_stride=self._positive_int(stride, "window stride"),
+        )
+
+    def named(self, name: str) -> "PlatformBuilder":
+        """Name of the top module (shows up in reports)."""
+        if not name or not isinstance(name, str):
+            raise BuilderError("platform name must be a non-empty string")
+        return self._set(name=name)
+
+    def replace(self, **fields: object) -> "PlatformBuilder":
+        """Escape hatch: stage raw ``PlatformConfig`` fields by name."""
+        unknown = set(fields) - _CONFIG_FIELDS
+        if unknown:
+            raise BuilderError(
+                f"unknown PlatformConfig field(s): {sorted(unknown)}"
+            )
+        return self._set(**fields)
+
+    # -- terminal operations -------------------------------------------------------------
+    def build(self) -> PlatformConfig:
+        """Validate the staged values and produce the configuration."""
+        try:
+            return PlatformConfig(**self._overrides)
+        except (TypeError, ValueError) as exc:
+            raise BuilderError(f"invalid platform description: {exc}") from exc
+
+    def build_platform(self, host=None):
+        """Build the configuration and instantiate the platform."""
+        from ..soc.platform import Platform
+
+        return Platform(self.build(), host=host)
+
+    def __repr__(self) -> str:
+        staged = ", ".join(f"{k}={v!r}" for k, v in sorted(self._overrides.items()))
+        return f"PlatformBuilder({staged})"

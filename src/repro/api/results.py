@@ -1,0 +1,62 @@
+"""Structured result output: tables, JSON and CSV writers.
+
+The experiment runner hands back :class:`ScenarioResult` objects; these
+helpers render them for humans (:func:`results_table`) or persist them for
+downstream tooling (:func:`write_json`, :func:`write_csv`) — replacing the
+bespoke printing loops of the evaluation benches.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from ..soc.stats import format_table
+from .scenario import ScenarioResult
+
+
+def _columns(rows: List[dict]) -> List[str]:
+    """Union of all row keys, first-seen order, so sparse grids render."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def results_table(results: Iterable[ScenarioResult],
+                  columns: Optional[List[str]] = None) -> str:
+    """Aligned text table over the flat rows of every result."""
+    rows = [result.row() for result in results]
+    if columns is None and rows:
+        columns = _columns(rows)
+    return format_table(rows, columns)
+
+
+def write_json(results: Sequence[ScenarioResult], path: str, *,
+               indent: int = 2) -> str:
+    """Write the full structured results (reports included) as JSON."""
+    payload = {
+        "schema": "repro.api.results/v1",
+        "count": len(results),
+        "passed": sum(1 for result in results if result.passed),
+        "results": [result.as_dict() for result in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=indent, default=str)
+        handle.write("\n")
+    return path
+
+
+def write_csv(results: Sequence[ScenarioResult], path: str) -> str:
+    """Write the flat result rows as CSV (one line per scenario)."""
+    rows = [result.row() for result in results]
+    columns = _columns(rows)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

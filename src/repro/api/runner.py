@@ -1,0 +1,262 @@
+"""Experiment execution: serial or process-sharded scenario runs.
+
+:class:`ExperimentRunner` executes a list of :class:`~repro.api.scenario.Scenario`
+objects and returns one :class:`~repro.api.scenario.ScenarioResult` per
+scenario, in scenario order, regardless of how the runs were scheduled:
+
+* **serial** (the default): every scenario runs in this process — the right
+  mode for speed measurements, where concurrent runs would steal host
+  cycles from each other, and the only mode that can hand back the live
+  ``Platform`` objects (``keep_platforms=True``);
+* **sharded** (``shards > 1`` or ``timeout_s`` set): each scenario runs in
+  its own child process, at most ``shards`` at a time, with an optional
+  per-run wall-clock timeout enforced by terminating the child.  Results
+  travel back as pickled reports, so sharded scenarios should reference
+  their workloads by registry name (plain data pickles; closures only
+  survive on fork-based platforms).
+
+Runs are reproducible: each scenario's ``seed`` is applied to ``random``
+immediately before its workload is instantiated, and the simulation itself
+is deterministic, so a serial run and a 2-shard run of the same grid
+produce identical simulated results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..soc.platform import Platform
+from .scenario import Scenario, ScenarioResult
+
+#: Seconds between scheduler polls of the active worker processes.
+_POLL_INTERVAL_S = 0.005
+
+
+def run_scenario(scenario: Scenario, *, index: int = 0,
+                 keep_platform: bool = False,
+                 capture_errors: bool = True) -> ScenarioResult:
+    """Run one scenario in this process and return its result.
+
+    With ``capture_errors=False`` exceptions from the workload factory or
+    the simulation propagate to the caller instead of being recorded in
+    ``result.error`` (fail-fast mode, used by the ``run_sweep`` shim).
+    """
+    start = time.perf_counter()
+    result = ScenarioResult(
+        scenario=scenario.name,
+        params=dict(scenario.params),
+        overrides=dict(scenario.overrides),
+        index=index,
+    )
+    platform = None
+    try:
+        bundle = _build_seeded_workload(scenario)
+        platform = Platform(scenario.config)
+        platform.add_tasks(bundle.tasks)
+        report = platform.run(max_time=scenario.max_time)
+        result.report = report
+        if scenario.expect_finished and not report.all_pes_finished:
+            unfinished = sorted(name for name, done in report.finished.items()
+                                if not done)
+            result.failures.append(
+                f"unfinished PEs: {', '.join(unfinished) or 'unknown'}"
+            )
+        for check in list(bundle.checks) + list(scenario.checks):
+            result.failures.extend(_run_check(check, report))
+        result.passed = not result.failures
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.passed = False
+    finally:
+        result.host_seconds = time.perf_counter() - start
+        if keep_platform:
+            result.platform = platform
+    return result
+
+
+def _build_seeded_workload(scenario: Scenario):
+    """Instantiate the workload under the scenario's seed, if any.
+
+    The global ``random`` state is restored afterwards so a serial run
+    inside a larger process (e.g. a test session) does not leak
+    deterministic RNG state to unrelated code.
+    """
+    if scenario.seed is None:
+        return scenario.build_workload()
+    state = random.getstate()
+    try:
+        random.seed(scenario.seed)
+        return scenario.build_workload()
+    finally:
+        random.setstate(state)
+
+
+def _run_check(check, report) -> List[str]:
+    """Run one result check; returns failure messages (empty = passed)."""
+    label = getattr(check, "__name__", None) or "check"
+    try:
+        verdict = check(report)
+    except AssertionError as exc:
+        return [f"{label}: {exc or 'assertion failed'}"]
+    except Exception as exc:
+        # A crashing check (e.g. indexing the None result of an unfinished
+        # PE) is a failed check, not a failed run: containing it here keeps
+        # the other checks' verdicts and the unfinished-PE message visible.
+        return [f"{label}: raised {type(exc).__name__}: {exc}"]
+    if verdict is None or verdict is True:
+        return []
+    if verdict is False:
+        return [f"{label}: failed"]
+    return [str(verdict)]
+
+
+def _scenario_worker(connection, scenario: Scenario, index: int) -> None:
+    """Child-process entry: run one scenario, ship the result back."""
+    try:
+        result = run_scenario(scenario, index=index)
+        connection.send(result)
+    except Exception as exc:  # pragma: no cover - transport-level failure
+        connection.send(ScenarioResult(
+            scenario=scenario.name, params=dict(scenario.params),
+            overrides=dict(scenario.overrides), index=index,
+            error=f"worker failed: {type(exc).__name__}: {exc}",
+        ))
+    finally:
+        connection.close()
+
+
+class ExperimentRunner:
+    """Executes a scenario list serially or sharded across processes."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        *,
+        shards: int = 1,
+        timeout_s: Optional[float] = None,
+        keep_platforms: bool = False,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.scenarios: List[Scenario] = list(scenarios)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.shards = shards
+        self.timeout_s = timeout_s
+        self.keep_platforms = keep_platforms
+        self.start_method = start_method
+        if keep_platforms and (shards > 1 or timeout_s is not None):
+            raise ValueError(
+                "keep_platforms requires a serial in-process run "
+                "(shards=1 and no timeout)"
+            )
+
+    # -- execution ----------------------------------------------------------------------
+    def run(self) -> List[ScenarioResult]:
+        """Run every scenario; results come back in scenario order."""
+        if not self.scenarios:
+            return []
+        if self.shards == 1 and self.timeout_s is None:
+            return [
+                run_scenario(scenario, index=index,
+                             keep_platform=self.keep_platforms)
+                for index, scenario in enumerate(self.scenarios)
+            ]
+        return self._run_sharded()
+
+    def _run_sharded(self) -> List[ScenarioResult]:
+        context = multiprocessing.get_context(self.start_method)
+        results: List[Optional[ScenarioResult]] = [None] * len(self.scenarios)
+        next_index = 0
+        #: index -> (process, parent connection, start timestamp)
+        active: Dict[int, tuple] = {}
+        try:
+            while next_index < len(self.scenarios) or active:
+                while next_index < len(self.scenarios) and len(active) < self.shards:
+                    index = next_index
+                    next_index += 1
+                    parent_conn, child_conn = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_scenario_worker,
+                        args=(child_conn, self.scenarios[index], index),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    active[index] = (process, parent_conn, time.monotonic())
+                finished = []
+                for index, (process, conn, started) in active.items():
+                    scenario = self.scenarios[index]
+                    if conn.poll(0):
+                        try:
+                            results[index] = conn.recv()
+                        except EOFError:
+                            results[index] = self._failure(
+                                scenario, index, "worker closed the pipe "
+                                "without sending a result")
+                        process.join()
+                        finished.append(index)
+                    elif not process.is_alive():
+                        # The worker may have sent its result between the
+                        # poll above and this liveness check — drain once
+                        # before declaring it dead.
+                        if conn.poll(0):
+                            try:
+                                results[index] = conn.recv()
+                            except EOFError:
+                                results[index] = self._failure(
+                                    scenario, index, "worker closed the pipe "
+                                    "without sending a result")
+                        else:
+                            results[index] = self._failure(
+                                scenario, index,
+                                f"worker process died "
+                                f"(exit code {process.exitcode})")
+                        process.join()
+                        finished.append(index)
+                    elif (self.timeout_s is not None
+                          and time.monotonic() - started > self.timeout_s):
+                        process.terminate()
+                        process.join()
+                        result = self._failure(
+                            scenario, index,
+                            f"timed out after {self.timeout_s:.3g}s")
+                        result.timed_out = True
+                        result.host_seconds = time.monotonic() - started
+                        results[index] = result
+                        finished.append(index)
+                for index in finished:
+                    process, conn, _ = active.pop(index)
+                    conn.close()
+                if not finished and active:
+                    time.sleep(_POLL_INTERVAL_S)
+        finally:
+            for process, conn, _ in active.values():
+                process.terminate()
+                process.join()
+                conn.close()
+        return list(results)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _failure(scenario: Scenario, index: int, message: str) -> ScenarioResult:
+        return ScenarioResult(
+            scenario=scenario.name, params=dict(scenario.params),
+            overrides=dict(scenario.overrides), index=index, error=message,
+        )
+
+
+def run_tasks(config, tasks, max_time: Optional[int] = None, host=None):
+    """Build a platform for ``config``, place ``tasks`` and run it.
+
+    The programmatic one-shot entry point (used by the ``run_platform``
+    back-compat shim); returns the :class:`SimulationReport`.
+    """
+    platform = Platform(config, host=host)
+    platform.add_tasks(list(tasks))
+    return platform.run(max_time=max_time)

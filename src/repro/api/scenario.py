@@ -1,0 +1,215 @@
+"""Declarative scenarios: *what* to run, separated from *how* it is driven.
+
+A :class:`Scenario` bundles one platform configuration with one workload
+reference (a registry name or an inline factory), the workload parameters,
+the run limits and the expected-result checks.  Scenarios are plain data:
+when the workload is referenced by registry name, a scenario pickles, which
+is what lets :class:`~repro.api.runner.ExperimentRunner` shard a grid of
+scenarios across processes.
+
+:func:`scenario_grid` expands a cartesian grid of configuration overrides
+and workload parameters into a scenario list — the declarative replacement
+for the hand-written nested sweep loops in the evaluation benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..soc.config import PlatformConfig
+from ..soc.stats import SimulationReport
+from ..sw.registry import ResultCheck, Workload, as_workload, workload as _registry
+
+#: A workload reference: a registry name, or an inline factory with the
+#: same signature as registered factories (``factory(config, **params)``).
+WorkloadRef = Union[str, Callable[..., object]]
+
+
+def display_value(value: object) -> object:
+    """Human-readable form of a grid value (enums render as their value)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
+
+
+def expand_grid(grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
+    """Cartesian product of a parameter grid, in deterministic order."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    combinations = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+@dataclass
+class Scenario:
+    """One named, reproducible experiment point."""
+
+    #: Scenario name (used as the result label).
+    name: str
+    #: The platform to build (typically from :class:`PlatformBuilder`).
+    config: PlatformConfig
+    #: Workload reference: registry name or inline factory.
+    workload: WorkloadRef
+    #: Keyword parameters handed to the workload factory.
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Optional simulated-time bound passed to ``Platform.run``.
+    max_time: Optional[int] = None
+    #: Seed applied to ``random`` before the workload is instantiated.
+    seed: Optional[int] = None
+    #: Extra result checks, run after the workload's own checks.
+    checks: Tuple[ResultCheck, ...] = ()
+    #: Fail the scenario if any PE did not run to completion.
+    expect_finished: bool = True
+    #: Configuration overrides this scenario was expanded from (labels).
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if not isinstance(self.config, PlatformConfig):
+            raise TypeError(
+                f"scenario {self.name!r}: config must be a PlatformConfig, "
+                f"got {type(self.config).__name__}"
+            )
+        if not (isinstance(self.workload, str) or callable(self.workload)):
+            raise TypeError(
+                f"scenario {self.name!r}: workload must be a registry name "
+                f"or a factory callable"
+            )
+
+    # -- workload resolution ---------------------------------------------------------
+    def build_workload(self) -> Workload:
+        """Instantiate the referenced workload for this scenario's config."""
+        if isinstance(self.workload, str):
+            return _registry.create(self.workload, self.config, **self.params)
+        return as_workload(self.workload(self.config, **self.params))
+
+    @property
+    def workload_name(self) -> str:
+        """Printable name of the workload reference."""
+        if isinstance(self.workload, str):
+            return self.workload
+        return getattr(self.workload, "__name__", repr(self.workload))
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of running one scenario."""
+
+    #: Name of the scenario that produced this result.
+    scenario: str
+    #: Workload parameters the scenario ran with.
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Configuration overrides of the grid point (empty for ad-hoc runs).
+    overrides: Dict[str, object] = field(default_factory=dict)
+    #: The simulation report (``None`` when the run crashed or timed out).
+    report: Optional[SimulationReport] = None
+    #: True when the run completed and every check passed.
+    passed: bool = False
+    #: Messages of failed checks.
+    failures: List[str] = field(default_factory=list)
+    #: Error string when the run raised or the worker process died.
+    error: Optional[str] = None
+    #: True when the per-run host timeout expired.
+    timed_out: bool = False
+    #: Host seconds the scenario took end to end (build + run + checks).
+    host_seconds: float = 0.0
+    #: Position of the scenario in the experiment list.
+    index: int = 0
+    #: The platform instance (serial in-process runs with
+    #: ``keep_platforms=True`` only; never crosses a process boundary).
+    platform: object = None
+
+    # -- views ------------------------------------------------------------------------
+    def row(self) -> Dict[str, object]:
+        """Flat row for tables and CSV export."""
+        row: Dict[str, object] = {"scenario": self.scenario}
+        row.update({key: display_value(value)
+                    for key, value in self.overrides.items()})
+        row.update({key: display_value(value)
+                    for key, value in self.params.items()})
+        status = "ok" if self.passed else (
+            "timeout" if self.timed_out else ("error" if self.error else "failed")
+        )
+        row["status"] = status
+        if self.report is not None:
+            row["simulated_cycles"] = self.report.simulated_cycles
+            row["wallclock_seconds"] = round(self.report.wallclock_seconds, 4)
+            row["simulation_speed"] = round(self.report.simulation_speed, 1)
+        return row
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view of the result (excludes the platform)."""
+        return {
+            "scenario": self.scenario,
+            "params": {key: display_value(value)
+                       for key, value in self.params.items()},
+            "overrides": {key: display_value(value)
+                          for key, value in self.overrides.items()},
+            "passed": self.passed,
+            "failures": list(self.failures),
+            "error": self.error,
+            "timed_out": self.timed_out,
+            "host_seconds": self.host_seconds,
+            "index": self.index,
+            "report": None if self.report is None else self.report.as_dict(),
+        }
+
+    def raise_for_status(self) -> "ScenarioResult":
+        """Raise ``RuntimeError`` unless the scenario passed; else return self."""
+        if not self.passed:
+            details = self.error or "; ".join(self.failures) or "did not pass"
+            raise RuntimeError(f"scenario {self.scenario!r} failed: {details}")
+        return self
+
+
+def scenario_grid(
+    name: str,
+    base_config: PlatformConfig,
+    workload: WorkloadRef,
+    *,
+    config_grid: Optional[Dict[str, Sequence]] = None,
+    param_grid: Optional[Dict[str, Sequence]] = None,
+    params: Optional[Dict[str, object]] = None,
+    max_time: Optional[int] = None,
+    seed: Optional[int] = None,
+    checks: Tuple[ResultCheck, ...] = (),
+    expect_finished: bool = True,
+) -> List[Scenario]:
+    """Expand grids of config overrides and workload params into scenarios.
+
+    ``config_grid`` keys must be ``PlatformConfig`` fields; ``param_grid``
+    keys are workload parameters.  The cartesian product of both grids is
+    expanded in deterministic (sorted-key) order and every point becomes a
+    scenario named ``{name}[{overrides}]``.
+    """
+    config_points = expand_grid(config_grid or {})
+    param_points = expand_grid(param_grid or {})
+    base_params = dict(params or {})
+    scenarios: List[Scenario] = []
+    for config_overrides in config_points:
+        config = (dataclasses.replace(base_config, **config_overrides)
+                  if config_overrides else base_config)
+        for param_overrides in param_points:
+            merged_params = dict(base_params)
+            merged_params.update(param_overrides)
+            label_parts = [f"{key}={display_value(value)}" for key, value in
+                           sorted({**config_overrides, **param_overrides}.items())]
+            label = ",".join(label_parts)
+            scenarios.append(Scenario(
+                name=f"{name}[{label}]" if label else name,
+                config=config,
+                workload=workload,
+                params=merged_params,
+                max_time=max_time,
+                seed=seed,
+                checks=checks,
+                expect_finished=expect_finished,
+                overrides=dict(config_overrides, **param_overrides),
+            ))
+    return scenarios

@@ -24,6 +24,7 @@ Typical use::
 from __future__ import annotations
 
 import time as _wallclock
+import warnings
 from typing import Callable, List, Optional, Union
 
 from ..interconnect.arbiter import make_arbiter
@@ -256,13 +257,23 @@ class Platform:
             memory_reports=memory_reports,
             interconnect_stats=interconnect_stats,
             results={p.name: p.stats.result for p in self.processors},
+            finished={p.name: p.finished for p in self.processors},
         )
 
 
 def run_platform(config: PlatformConfig, tasks: List[TaskFunction],
                  max_time: Optional[int] = None,
                  host: Optional[HostMemory] = None) -> SimulationReport:
-    """Convenience: build a platform, place ``tasks`` and run it."""
-    platform = Platform(config, host=host)
-    platform.add_tasks(tasks)
-    return platform.run(max_time=max_time)
+    """Deprecated shim: build a platform, place ``tasks`` and run it.
+
+    Use :func:`repro.api.run_tasks` (same signature) or, for named
+    workloads and sweeps, :class:`repro.api.ExperimentRunner`.
+    """
+    warnings.warn(
+        "run_platform() is deprecated; use repro.api.run_tasks() or "
+        "repro.api.ExperimentRunner",
+        DeprecationWarning, stacklevel=2,
+    )
+    from ..api.runner import run_tasks
+
+    return run_tasks(config, tasks, max_time=max_time, host=host)

@@ -27,6 +27,16 @@ class SimulationReport:
     memory_reports: List[dict] = field(default_factory=list)
     interconnect_stats: Dict[str, float] = field(default_factory=dict)
     results: Dict[str, object] = field(default_factory=dict)
+    #: Per-PE completion flags: ``{pe_name: True/False}``.  A run that ends
+    #: on ``max_time`` leaves unfinished PEs with ``False`` here and their
+    #: ``results`` entry is ``None`` — check this instead of trusting a
+    #: ``None`` result to mean "the task returned nothing".
+    finished: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.finished:
+            self.finished = {report["name"]: bool(report.get("finished"))
+                             for report in self.pe_reports if "name" in report}
 
     # -- core metrics -----------------------------------------------------------
     @property
@@ -44,7 +54,21 @@ class SimulationReport:
     @property
     def all_pes_finished(self) -> bool:
         """True when every processing element ran its task to completion."""
+        if self.finished:
+            return all(self.finished.values())
         return all(report.get("finished") for report in self.pe_reports)
+
+    def result_of(self, pe_name: str) -> object:
+        """Result of one PE, raising if its task never ran to completion."""
+        if pe_name not in self.finished:
+            known = ", ".join(sorted(self.finished)) or "(none)"
+            raise KeyError(f"unknown PE {pe_name!r}; PEs in this run: {known}")
+        if not self.finished[pe_name]:
+            raise KeyError(
+                f"PE {pe_name!r} did not finish (run ended on max_time?); "
+                f"its result is not available"
+            )
+        return self.results[pe_name]
 
     def total_api_calls(self) -> int:
         """Total shared-memory API calls issued by all PEs."""
@@ -81,6 +105,7 @@ class SimulationReport:
             "interconnect_stats": dict(self.interconnect_stats),
             "pe_reports": list(self.pe_reports),
             "memory_reports": list(self.memory_reports),
+            "finished": dict(self.finished),
         }
 
 

@@ -10,6 +10,14 @@ is the instruction-accurate alternative.
 from .instruction_costs import ARM7_LIKE, FAST_CORE, CostModel, estimate_loop_cycles
 from .task import TaskContext, TaskError, TaskFunction
 from .task_processor import TaskProcessor, TaskProcessorStats
+from .registry import (
+    Workload,
+    WorkloadError,
+    WorkloadRegistry,
+    as_workload,
+    workload,
+)
+from . import catalog as _catalog  # noqa: F401  (registers built-in workloads)
 
 __all__ = [
     "ARM7_LIKE",
@@ -20,5 +28,10 @@ __all__ = [
     "TaskFunction",
     "TaskProcessor",
     "TaskProcessorStats",
+    "Workload",
+    "WorkloadError",
+    "WorkloadRegistry",
+    "as_workload",
     "estimate_loop_cycles",
+    "workload",
 ]

@@ -1,0 +1,207 @@
+"""Built-in workload registrations.
+
+Exposes every workload family shipped with the library (FIR, blocked
+matmul, producer/consumer FIFO, the GSM 06.10 encoder and an
+allocation-churn stressor) as named, parameterized factories in the
+:data:`~repro.sw.registry.workload` registry, so scenarios and sweeps can
+reference them declaratively::
+
+    Scenario(name="gsm", config=config, workload="gsm_encode",
+             params={"frames": 2, "seed": 42})
+
+Every factory derives its input data deterministically from ``seed`` and
+the PE index, and attaches checks comparing the simulated results against
+the pure-Python reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memory.protocol import DataType
+from .gsm import (
+    FRAME_SAMPLES,
+    PARAMETERS_PER_FRAME,
+    PLACEMENT_DEDICATED,
+    PLACEMENT_STRIPED,
+    build_gsm_tasks,
+    check_platform_results,
+    generate_speech_like,
+    make_gsm_channels,
+    reference_encode,
+)
+from .registry import Workload, WorkloadError, workload
+from .workloads import (
+    fir_reference,
+    make_consumer_task,
+    make_fir_task,
+    make_matmul_producer_task,
+    make_matmul_worker_task,
+    make_producer_task,
+    matmul_reference,
+)
+
+
+def _expect_results(expected: dict, what: str):
+    """A check asserting ``report.results`` matches ``expected`` per PE."""
+
+    def check(report):
+        for name, want in expected.items():
+            if report.results.get(name) != want:
+                return f"{name}: {what} differs from the reference"
+        return True
+
+    return check
+
+
+@workload.register("fir")
+def _fir(config, *, num_samples: int = 64, taps=(3, -1, 2, 7), seed: int = 0):
+    """One FIR filter per PE, buffers striped over the shared memories."""
+    taps = list(taps)
+    blocks = [
+        [((seed * 31 + pe * 17 + i * 29) % 1024) for i in range(num_samples)]
+        for pe in range(config.num_pes)
+    ]
+    tasks = [
+        make_fir_task(block, taps, memory_index=pe % config.num_memories)
+        for pe, block in enumerate(blocks)
+    ]
+    expected = {f"pe{pe}": fir_reference(block, taps)
+                for pe, block in enumerate(blocks)}
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "FIR output")],
+        description=f"fir: {num_samples} samples x {len(taps)} taps per PE",
+    )
+
+
+@workload.register("matmul")
+def _matmul(config, *, rows: int = 4, inner: int = 3, cols: int = 3,
+            seed: int = 0):
+    """PE0 publishes A and B; the remaining PEs each compute a row band."""
+    if config.num_pes < 2:
+        raise WorkloadError("matmul needs at least 2 PEs (producer + workers)")
+    a = [[(seed + i * 7 + k * 3) % 97 for k in range(inner)] for i in range(rows)]
+    b = [[(seed + k * 5 + j * 11) % 89 for j in range(cols)] for k in range(inner)]
+    shared: dict = {}
+    workers = config.num_pes - 1
+    band = -(-rows // workers)  # ceil division
+    tasks = [make_matmul_producer_task(a, b, shared)]
+    expected_product = matmul_reference(a, b)
+    expected = {}
+    for worker in range(workers):
+        start, end = worker * band, min((worker + 1) * band, rows)
+        tasks.append(make_matmul_worker_task(shared, start, end))
+        expected[f"pe{worker + 1}"] = expected_product[start:end]
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "matmul band")],
+        description=f"matmul: {rows}x{inner} @ {inner}x{cols}, {workers} workers",
+    )
+
+
+@workload.register("producer_consumer")
+def _producer_consumer(config, *, num_items: int = 24, fifo_depth: int = 4,
+                       seed: int = 0):
+    """Producer/consumer FIFO pairs: PE(2k) feeds PE(2k+1)."""
+    if config.num_pes % 2:
+        raise WorkloadError("producer_consumer needs an even number of PEs")
+    tasks: List = []
+    expected = {}
+    for pair in range(config.num_pes // 2):
+        items = [((seed + pair * 13 + i * 7) & 0xFFFFFFFF)
+                 for i in range(num_items)]
+        shared: dict = {}
+        memory_index = pair % config.num_memories
+        tasks.append(make_producer_task(items, fifo_depth, shared,
+                                        memory_index=memory_index))
+        tasks.append(make_consumer_task(shared, memory_index=memory_index))
+        expected[f"pe{2 * pair + 1}"] = items
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "FIFO item stream")],
+        description=(f"producer_consumer: {num_items} items, "
+                     f"depth {fifo_depth}, {config.num_pes // 2} pair(s)"),
+    )
+
+
+@workload.register("gsm_encode")
+def _gsm_encode(config, *, frames: int = 1, seed: int = 42,
+                placement: str = None, channels=None):
+    """The paper's workload: one GSM 06.10 encoder channel per PE.
+
+    ``placement`` defaults to striped when the platform has several shared
+    memories and dedicated otherwise, mirroring the two platforms of the
+    paper's Section 4 experiment.
+    """
+    if channels is None:
+        channels = make_gsm_channels(config.num_pes, frames, seed=seed)
+    if placement is None:
+        placement = (PLACEMENT_STRIPED if config.num_memories > 1
+                     else PLACEMENT_DEDICATED)
+    tasks = build_gsm_tasks(channels, placement=placement)
+    reference = reference_encode(channels)
+
+    def check(report):
+        return (check_platform_results(report.results, reference)
+                or "encoded GSM parameters differ from the reference encoder")
+
+    return Workload(
+        tasks=tasks,
+        checks=[check],
+        description=(f"gsm_encode: {len(channels)} channel(s) x "
+                     f"{frames} frame(s), {placement} placement"),
+    )
+
+
+@workload.register("alloc_churn")
+def _alloc_churn(config, *, iterations: int = 40, block_words: int = 64,
+                 gsm_frames: int = 2, seed: int = 9):
+    """Allocation-heavy stressor: GSM-style frame buffers plus churn.
+
+    Per PE: the GSM frame-buffer traffic pattern without the codec math
+    (isolating the memory-model cost) followed by repeated
+    allocate / scatter-write / copy / free churn.  Each PE returns the
+    number of API calls it issued.
+    """
+
+    def make_task(pe: int):
+        samples = generate_speech_like(gsm_frames, seed=seed + pe)
+        memory_index = pe % config.num_memories
+
+        def task(ctx):
+            smem = ctx.smem(memory_index)
+            for frame in range(gsm_frames):
+                start = frame * FRAME_SAMPLES
+                frame_samples = [v & 0xFFFF
+                                 for v in samples[start:start + FRAME_SAMPLES]]
+                input_vptr = yield from smem.alloc(FRAME_SAMPLES, DataType.INT16)
+                output_vptr = yield from smem.alloc(PARAMETERS_PER_FRAME,
+                                                    DataType.UINT16)
+                yield from smem.write_array(input_vptr, frame_samples)
+                fetched = yield from smem.read_array(input_vptr, FRAME_SAMPLES)
+                yield from smem.write_array(output_vptr,
+                                            fetched[:PARAMETERS_PER_FRAME])
+                yield from smem.free(input_vptr)
+                yield from smem.free(output_vptr)
+            survivors: List[int] = []
+            for iteration in range(iterations):
+                vptr = yield from smem.alloc(block_words, DataType.UINT32)
+                yield from smem.write(vptr, iteration,
+                                      offset=iteration % block_words)
+                if iteration % 3 == 2 and survivors:
+                    victim = survivors.pop(0)
+                    yield from smem.memcpy(vptr, victim, 8)
+                    yield from smem.free(victim)
+                survivors.append(vptr)
+            for vptr in survivors:
+                yield from smem.free(vptr)
+            return smem.calls
+
+        return task
+
+    return Workload(
+        tasks=[make_task(pe) for pe in range(config.num_pes)],
+        description=(f"alloc_churn: {gsm_frames} frame(s) + {iterations} "
+                     f"churn iterations per PE"),
+    )

@@ -1,0 +1,128 @@
+"""Workload registry: named, parameterized task-list factories.
+
+A *workload* is everything one experiment runs on the platform: the task
+programs placed on the processing elements plus the checks that decide
+whether the simulated execution produced the right answer.  The registry
+maps short names (``"gsm_encode"``, ``"fir"``, ...) to factories so that a
+scenario can reference its workload declaratively — which also keeps
+scenarios picklable for the process-sharded experiment runner (only the
+name and the parameters cross the process boundary; the factory is resolved
+again inside the worker).
+
+Register a workload with the decorator::
+
+    from repro.sw import workload
+
+    @workload.register("my_kernel")
+    def _my_kernel(config, *, size=64, seed=0):
+        tasks = [make_my_task(size, seed + pe) for pe in range(config.num_pes)]
+        return Workload(tasks=tasks, description=f"my kernel, size={size}")
+
+and instantiate it with ``workload.create("my_kernel", config, size=128)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .task import TaskFunction
+
+
+class WorkloadError(Exception):
+    """Raised on registry misuse: duplicate or unknown workload names."""
+
+
+#: A result check: receives the :class:`~repro.soc.stats.SimulationReport`
+#: of the run.  Pass by returning ``True``/``None``; fail by returning
+#: ``False``, returning a message string, or raising ``AssertionError``.
+ResultCheck = Callable[[object], object]
+
+
+@dataclass
+class Workload:
+    """An instantiated workload: tasks ready for placement plus checks."""
+
+    #: Task programs, placed on PEs in order (round-robin by the platform).
+    tasks: List[TaskFunction]
+    #: Result checks run against the simulation report after the run.
+    checks: List[ResultCheck] = field(default_factory=list)
+    #: Human-readable one-liner for tables and logs.
+    description: str = ""
+
+
+#: A factory: ``factory(config, **params) -> Workload | list-of-tasks``.
+WorkloadFactory = Callable[..., object]
+
+
+def as_workload(built: object) -> Workload:
+    """Normalise a factory's return value into a :class:`Workload`."""
+    if isinstance(built, Workload):
+        return built
+    if isinstance(built, (list, tuple)):
+        return Workload(tasks=list(built))
+    if callable(built):
+        return Workload(tasks=[built])
+    raise WorkloadError(
+        f"a workload factory must return a Workload, a task list or a single "
+        f"task, got {type(built).__name__}"
+    )
+
+
+class WorkloadRegistry:
+    """Name → workload-factory mapping with decorator-based registration."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, WorkloadFactory] = {}
+
+    # -- registration -------------------------------------------------------------
+    def register(self, name: str, factory: Optional[WorkloadFactory] = None):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+        if not name or not isinstance(name, str):
+            raise WorkloadError("workload names must be non-empty strings")
+
+        def _register(fn: WorkloadFactory) -> WorkloadFactory:
+            if name in self._factories:
+                raise WorkloadError(
+                    f"workload {name!r} is already registered "
+                    f"(by {self._factories[name]!r})"
+                )
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (used by tests)."""
+        self._factories.pop(name, None)
+
+    # -- lookup ---------------------------------------------------------------------
+    def get(self, name: str) -> WorkloadFactory:
+        """The factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "(none)"
+            raise WorkloadError(
+                f"unknown workload {name!r}; registered workloads: {known}"
+            ) from None
+
+    def create(self, name: str, config, **params) -> Workload:
+        """Instantiate the named workload for ``config``."""
+        return as_workload(self.get(name)(config, **params))
+
+    def names(self) -> List[str]:
+        """All registered workload names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: The process-wide registry used by ``repro.api`` scenarios.
+workload = WorkloadRegistry()

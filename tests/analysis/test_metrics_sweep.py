@@ -78,7 +78,8 @@ class TestSweep:
             return [make_fir_task(samples, taps) for _ in range(config.num_pes)]
 
         base = PlatformConfig(num_pes=1, num_memories=1)
-        points = run_sweep(base, {"num_memories": [1, 2]}, tasks)
+        with pytest.warns(DeprecationWarning):
+            points = run_sweep(base, {"num_memories": [1, 2]}, tasks)
         assert len(points) == 2
         assert all(point.report.all_pes_finished for point in points)
         table = sweep_table(points)

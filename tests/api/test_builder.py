@@ -1,0 +1,123 @@
+"""Tests for the fluent platform builder."""
+
+import pytest
+
+from repro.api import BuilderError, PlatformBuilder
+from repro.memory import Endianness
+from repro.soc import ArbitrationKind, InterconnectKind, MemoryKind, PlatformConfig
+from repro.sw import FAST_CORE
+from repro.wrapper import WrapperDelays
+
+
+class TestBuilderHappyPath:
+    def test_defaults_match_platform_config(self):
+        assert PlatformBuilder().build() == PlatformConfig()
+
+    def test_fluent_chain(self):
+        config = (PlatformBuilder()
+                  .pes(4)
+                  .crossbar()
+                  .wrapper_memories(2)
+                  .clock_period(20)
+                  .cycle_driven(memory_work=3, pe_work=9)
+                  .named("demo")
+                  .build())
+        assert config.num_pes == 4
+        assert config.num_memories == 2
+        assert config.memory_kind is MemoryKind.WRAPPER
+        assert config.interconnect is InterconnectKind.CROSSBAR
+        assert config.clock_period == 20
+        assert config.idle_tick_memories is True
+        assert config.idle_tick_work == 3
+        assert config.pe_tick_work == 9
+        assert config.name == "demo"
+
+    def test_string_conveniences(self):
+        config = (PlatformBuilder()
+                  .pes(2)
+                  .modeled_memories(1)
+                  .shared_bus(arbitration="tdma")
+                  .endianness("big")
+                  .cost_model("fast")
+                  .delays("sdram")
+                  .build())
+        assert config.memory_kind is MemoryKind.MODELED
+        assert config.arbitration is ArbitrationKind.TDMA
+        assert config.endianness is Endianness.BIG
+        assert config.cost_model is FAST_CORE
+        assert config.wrapper_delays == WrapperDelays.sdram_like()
+
+    def test_from_config_round_trip(self):
+        base = PlatformConfig(num_pes=3, num_memories=2,
+                              interconnect=InterconnectKind.CROSSBAR)
+        rebuilt = PlatformBuilder.from_config(base).build()
+        assert rebuilt == base
+        tweaked = PlatformBuilder.from_config(base).pes(5).build()
+        assert tweaked.num_pes == 5
+        assert tweaked.num_memories == 2
+
+    def test_replace_escape_hatch(self):
+        config = PlatformBuilder().replace(arbitration_cycles=3).build()
+        assert config.arbitration_cycles == 3
+
+    def test_address_map_allows_base_zero(self):
+        config = PlatformBuilder().address_map(0, 0x1_0000).build()
+        assert config.memory_base_address == 0
+        assert config.memory_window_stride == 0x1_0000
+        with pytest.raises(BuilderError):
+            PlatformBuilder().address_map(-1, 0x1_0000)
+        with pytest.raises(BuilderError):
+            PlatformBuilder().address_map(0, 0)
+
+    def test_build_platform(self):
+        platform = PlatformBuilder().pes(2).wrapper_memories(2).build_platform()
+        assert len(platform.memories) == 2
+        assert platform.config.num_pes == 2
+
+
+class TestBuilderValidation:
+    @pytest.mark.parametrize("count", [0, -1, 1.5, True])
+    def test_bad_pe_count(self, count):
+        with pytest.raises(BuilderError):
+            PlatformBuilder().pes(count)
+
+    def test_bad_memory_count(self):
+        with pytest.raises(BuilderError):
+            PlatformBuilder().wrapper_memories(0)
+
+    def test_unknown_memory_kind(self):
+        with pytest.raises(BuilderError, match="unknown memory kind"):
+            PlatformBuilder().memories(1, "quantum")
+
+    def test_unknown_arbitration(self):
+        with pytest.raises(BuilderError, match="unknown arbitration"):
+            PlatformBuilder().shared_bus(arbitration="coin_flip")
+
+    def test_unknown_delay_preset(self):
+        with pytest.raises(BuilderError, match="unknown delay preset"):
+            PlatformBuilder().delays("hbm")
+
+    def test_unknown_cost_model(self):
+        with pytest.raises(BuilderError, match="unknown cost model"):
+            PlatformBuilder().cost_model("cray")
+
+    def test_unknown_endianness(self):
+        with pytest.raises(BuilderError, match="unknown endianness"):
+            PlatformBuilder().endianness("middle")
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(BuilderError, match="unknown PlatformConfig field"):
+            PlatformBuilder().replace(num_cores=4)
+
+    def test_negative_cycle_work(self):
+        with pytest.raises(BuilderError):
+            PlatformBuilder().cycle_driven(memory_work=-1)
+
+    def test_build_surfaces_config_invariants(self):
+        # PlatformConfig's own validation is re-raised as BuilderError.
+        with pytest.raises(BuilderError, match="invalid platform description"):
+            PlatformBuilder().replace(idle_tick_work=-5).build()
+
+    def test_empty_name(self):
+        with pytest.raises(BuilderError):
+            PlatformBuilder().named("")

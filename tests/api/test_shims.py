@@ -1,0 +1,69 @@
+"""Tests for the deprecated back-compat shims delegating to repro.api."""
+
+import pytest
+
+from repro.analysis import run_sweep
+from repro.soc import PlatformConfig, run_platform
+from repro.sw.workloads import fir_reference, make_fir_task
+
+
+SAMPLES = list(range(16))
+TAPS = [1, 2, 1]
+
+
+class TestRunPlatformShim:
+    def test_warns_and_still_runs(self):
+        config = PlatformConfig(num_pes=1, num_memories=1)
+        with pytest.warns(DeprecationWarning, match="run_platform"):
+            report = run_platform(config, [make_fir_task(SAMPLES, TAPS)])
+        assert report.all_pes_finished
+        assert report.results["pe0"] == fir_reference(SAMPLES, TAPS)
+        assert report.finished == {"pe0": True}
+
+    def test_equivalent_to_api_run_tasks(self):
+        from repro.api import run_tasks
+
+        config = PlatformConfig(num_pes=1, num_memories=1)
+        with pytest.warns(DeprecationWarning):
+            shimmed = run_platform(config, [make_fir_task(SAMPLES, TAPS)])
+        direct = run_tasks(config, [make_fir_task(SAMPLES, TAPS)])
+        assert shimmed.results == direct.results
+        assert shimmed.simulated_time == direct.simulated_time
+
+
+class TestRunSweepShim:
+    def test_warns_and_matches_old_contract(self):
+        def tasks(config):
+            return [make_fir_task(SAMPLES, TAPS) for _ in range(config.num_pes)]
+
+        base = PlatformConfig(num_pes=1, num_memories=1)
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            points = run_sweep(base, {"num_memories": [1, 2]}, tasks)
+        assert [point.label for point in points] == [
+            "num_memories=1", "num_memories=2",
+        ]
+        assert [point.parameters for point in points] == [
+            {"num_memories": 1}, {"num_memories": 2},
+        ]
+        assert all(point.report.all_pes_finished for point in points)
+        assert all(point.report.results["pe0"] == fir_reference(SAMPLES, TAPS)
+                   for point in points)
+
+    def test_empty_grid_runs_base_point(self):
+        base = PlatformConfig(num_pes=1, num_memories=1)
+        with pytest.warns(DeprecationWarning):
+            points = run_sweep(base, {},
+                               lambda config: [make_fir_task(SAMPLES, TAPS)])
+        assert len(points) == 1
+        assert points[0].label == "base"
+
+    def test_errors_propagate_with_original_type(self):
+        # The old hand-written loop let task-factory exceptions escape
+        # untouched; the shim preserves that (fail-fast, original type).
+        def bad_tasks(config):
+            raise ValueError("no tasks for you")
+
+        base = PlatformConfig(num_pes=1, num_memories=1)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="no tasks for you"):
+                run_sweep(base, {}, bad_tasks)

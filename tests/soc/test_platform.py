@@ -3,12 +3,12 @@
 import pytest
 
 from repro.memory import DataType
+from repro.api import run_tasks
 from repro.soc import (
     InterconnectKind,
     MemoryKind,
     Platform,
     PlatformConfig,
-    run_platform,
 )
 from repro.sw.workloads import (
     fir_reference,
@@ -61,7 +61,7 @@ class TestFirOnPlatform:
         samples = [(i * 37) % 1000 for i in range(64)]
         taps = [3, -1, 2, 7]
         config = PlatformConfig(num_pes=1, num_memories=1)
-        report = run_platform(config, [make_fir_task(samples, taps)])
+        report = run_tasks(config, [make_fir_task(samples, taps)])
         assert report.all_pes_finished
         result = report.results["pe0"]
         assert result == fir_reference(samples, taps)
@@ -73,14 +73,14 @@ class TestFirOnPlatform:
         taps = [1, 2, 1]
         config = PlatformConfig(num_pes=1, memory_kind=MemoryKind.MODELED,
                                 memory_capacity_bytes=1 << 16)
-        report = run_platform(config, [make_fir_task(samples, taps)])
+        report = run_tasks(config, [make_fir_task(samples, taps)])
         assert report.results["pe0"] == fir_reference(samples, taps)
 
     def test_four_pes_in_parallel(self):
         taps = [1, 1, 1]
         blocks = [[(i * (pe + 3)) % 256 for i in range(32)] for pe in range(4)]
         config = PlatformConfig(num_pes=4, num_memories=1)
-        report = run_platform(
+        report = run_tasks(
             config, [make_fir_task(block, taps) for block in blocks]
         )
         assert report.all_pes_finished
@@ -157,6 +157,30 @@ class TestIdleTicker:
         assert not report.all_pes_finished
         assert report.simulated_time <= 101_000 * config.clock_period
 
+    def test_max_time_surfaces_per_pe_finished_flags(self):
+        def never_ending(ctx):
+            while True:
+                yield from ctx.compute(1000)
+
+        def quick(ctx):
+            yield from ctx.compute(10)
+            return "done"
+
+        config = PlatformConfig(num_pes=2)
+        platform = Platform(config)
+        platform.add_task(quick)
+        platform.add_task(never_ending)
+        report = platform.run(max_time=100_000 * config.clock_period)
+        # The report distinguishes "finished with result None" from
+        # "never finished": the stuck PE's result stays None *and* its
+        # finished flag is False.
+        assert report.finished == {"pe0": True, "pe1": False}
+        assert report.results["pe1"] is None
+        assert report.result_of("pe0") == "done"
+        with pytest.raises(KeyError, match="did not finish"):
+            report.result_of("pe1")
+        assert "finished" in report.as_dict()
+
 
 class TestApiPlacement:
     def test_each_pe_sees_all_memories(self):
@@ -170,7 +194,7 @@ class TestApiPlacement:
             return value
 
         config = PlatformConfig(num_pes=1, num_memories=3)
-        report = run_platform(config, [probe])
+        report = run_tasks(config, [probe])
         assert captured["memories"] == 3
         assert report.results["pe0"] == 5
         # Only the second memory saw allocations.

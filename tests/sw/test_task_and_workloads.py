@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.soc import PlatformConfig, Platform, run_platform
+from repro.api import run_tasks
+from repro.soc import PlatformConfig, Platform
 from repro.sw import ARM7_LIKE, FAST_CORE, CostModel, TaskError, estimate_loop_cycles
 from repro.sw.workloads import fir_reference, matmul_reference
 from repro.wrapper import ApiError
@@ -37,7 +38,7 @@ class TestReferenceKernels:
 class TestTaskContext:
     def run_probe(self, probe, num_memories=1):
         config = PlatformConfig(num_pes=1, num_memories=num_memories)
-        return run_platform(config, [probe])
+        return run_tasks(config, [probe])
 
     def test_compute_advances_time(self):
         def probe(ctx):
@@ -97,7 +98,7 @@ class TestTaskContext:
             return polls
 
         config = PlatformConfig(num_pes=2, num_memories=1)
-        report = run_platform(config, [setter, waiter])
+        report = run_tasks(config, [setter, waiter])
         assert report.results["pe0"] == "set"
         assert report.results["pe1"] >= 1
 
@@ -131,7 +132,7 @@ class TestTaskContext:
             return task
 
         config = PlatformConfig(num_pes=3, num_memories=1)
-        report = run_platform(config, [coordinator, participant(1), participant(2)])
+        report = run_tasks(config, [coordinator, participant(1), participant(2)])
         assert all(report.results[f"pe{i}"] == "done" for i in range(3))
 
 
