@@ -16,7 +16,7 @@ identical application work.
 
 from __future__ import annotations
 
-from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+from repro.api import ExperimentRunner, PerfRecorder, PlatformBuilder, Scenario
 from repro.soc import speed_degradation
 
 from common import emit, format_rows
@@ -55,7 +55,9 @@ def test_e1_gsm_speed_degradation(benchmark, request):
         # region includes workload construction (channels + reference
         # encoding); the asserted metric uses report.wallclock_seconds,
         # which covers the simulation alone.
-        collected["results"] = ExperimentRunner(scenarios).run()
+        runner = ExperimentRunner(scenarios,
+                                  recorder=PerfRecorder("e1_gsm_degradation"))
+        collected["results"] = runner.run()
         return collected["results"]
 
     benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 
-from repro.api import ExperimentRunner, PlatformBuilder, scenario_grid
+from repro.api import ExperimentRunner, PerfRecorder, PlatformBuilder, scenario_grid
 from repro.interconnect import SharedBus
 from repro.kernel import Module, Simulator
 from repro.memory import LatencyModel, StaticMemory
@@ -104,11 +104,17 @@ def test_e2_overhead_vs_baselines(benchmark, request):
     results = {}
 
     def run_all():
-        dynamic = ExperimentRunner(scenarios).run()
+        recorder = PerfRecorder("e2_overhead_vs_baselines")
+        dynamic = ExperimentRunner(scenarios, recorder=recorder).run()
         for result in dynamic:
             result.raise_for_status()
         results["wrapper"], results["modeled"] = [r.report for r in dynamic]
         results["static"] = run_static(iterations)
+        recorder.record_measurement(
+            "static-baseline", results["static"]["wall"],
+            params={"iterations": iterations},
+            simulated_cycles=results["static"]["cycles"])
+        recorder.flush()
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -15,7 +15,7 @@ counts are *exactly* the ones the delay parameters prescribe:
 
 from __future__ import annotations
 
-from repro.api import drive
+from repro.api import PerfRecorder, PerfTimer, drive
 from repro.memory import MemCommand, MemOpcode
 from repro.wrapper import SharedMemoryWrapper, WrapperDelays, WrapperFsm
 
@@ -63,10 +63,20 @@ def test_e3_cycle_accuracy(benchmark):
     results = {}
 
     def run_all():
-        results["sram"] = run_trace(WrapperDelays.sram_like())
-        results["sdram"] = run_trace(WrapperDelays.sdram_like())
-        hook = WrapperDelays(data_dependent=lambda op, nbytes: nbytes // 32)
-        results["hooked"] = run_trace(hook)
+        recorder = PerfRecorder("e3_accuracy")
+        traces = [
+            ("sram", WrapperDelays.sram_like()),
+            ("sdram", WrapperDelays.sdram_like()),
+            ("hooked",
+             WrapperDelays(data_dependent=lambda op, nbytes: nbytes // 32)),
+        ]
+        for label, delays in traces:
+            with PerfTimer() as timer:
+                results[label] = run_trace(delays)
+            recorder.record_measurement(
+                f"trace-{label}", timer.seconds,
+                simulated_cycles=results[label][1])
+        recorder.flush()
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

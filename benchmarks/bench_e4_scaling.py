@@ -11,7 +11,13 @@ trend behind the paper's single reported data point (P=4: M=1 vs M=4 →
 
 from __future__ import annotations
 
-from repro.api import ExperimentRunner, PlatformBuilder, scenario_grid
+from repro.api import (
+    ExperimentRunner,
+    PerfRecorder,
+    PlatformBuilder,
+    kernel_rates_table,
+    scenario_grid,
+)
 from repro.soc import speed_degradation
 
 from common import emit, format_rows
@@ -46,7 +52,9 @@ def test_e4_scaling_sweep(benchmark, request):
         # Serial: every point's wall-clock must be measured on an idle host.
         # Per-point workload construction happens inside this timed region;
         # the asserted metrics use report.wallclock_seconds (simulation only).
-        collected["results"] = ExperimentRunner(scenarios).run()
+        runner = ExperimentRunner(scenarios,
+                                  recorder=PerfRecorder("e4_scaling"))
+        collected["results"] = runner.run()
         return collected["results"]
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -77,7 +85,9 @@ def test_e4_scaling_sweep(benchmark, request):
                                    "simulation_speed"])
         + "\n\nM=1 → M=4 degradation per PE count "
         "(paper reports ≈20% at P=4):\n"
-        + format_rows(degradation_rows),
+        + format_rows(degradation_rows)
+        + "\n\nkernel throughput (also recorded in BENCH_kernel.json):\n"
+        + kernel_rates_table(results, bench="e4_scaling"),
     )
 
     # Shape checks: for every PE count, adding memories costs simulation

@@ -16,7 +16,7 @@ number of live allocations while the fully-modelled allocator walk grows.
 
 from __future__ import annotations
 
-from repro.api import drive
+from repro.api import PerfRecorder, PerfTimer, drive
 from repro.interconnect import BusOp, BusRequest
 from repro.memory import (
     IO_ARRAY_BASE,
@@ -81,10 +81,20 @@ def test_e5_operation_costs(benchmark):
     results = {}
 
     def run_all():
-        results["wrapper_empty"] = measure_operations(SharedMemoryWrapper(),
-                                                      "wrapper (empty)")
-        results["modeled_empty"] = measure_operations(
-            ModeledDynamicMemory(1 << 20), "modeled (empty)")
+        recorder = PerfRecorder("e5_operation_costs")
+        with PerfTimer() as wrapper_timer:
+            results["wrapper_empty"] = measure_operations(SharedMemoryWrapper(),
+                                                          "wrapper (empty)")
+        with PerfTimer() as modeled_timer:
+            results["modeled_empty"] = measure_operations(
+                ModeledDynamicMemory(1 << 20), "modeled (empty)")
+        for label, timer, rows in (
+                ("wrapper-empty", wrapper_timer, results["wrapper_empty"]),
+                ("modeled-empty", modeled_timer, results["modeled_empty"])):
+            recorder.record_measurement(
+                label, timer.seconds,
+                simulated_cycles=sum(row["cycles"] for row in rows))
+        recorder.flush()
         wrapper_full = SharedMemoryWrapper()
         populate(wrapper_full, POPULATED_ALLOCATIONS)
         modeled_full = ModeledDynamicMemory(1 << 20)

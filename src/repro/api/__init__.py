@@ -40,17 +40,21 @@ from ..sw.registry import (
 )
 from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
 from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
-from .results import results_table, write_csv, write_json
+from .perf import BenchResult, PerfRecorder, PerfTimer, bench_json_path, load_bench_entries
+from .results import kernel_rates_table, results_table, write_csv, write_json
 from .runner import ExperimentRunner, run_scenario, run_tasks
 from .scenario import Scenario, ScenarioResult, expand_grid, scenario_grid
 
 __all__ = [
+    "BenchResult",
     "BuilderError",
     "COST_MODELS",
     "DELAY_PRESETS",
     "DriveResult",
     "ExperimentRunner",
     "MemoryTestbench",
+    "PerfRecorder",
+    "PerfTimer",
     "PlatformBuilder",
     "Scenario",
     "ScenarioResult",
@@ -58,8 +62,11 @@ __all__ = [
     "WorkloadError",
     "WorkloadRegistry",
     "as_workload",
+    "bench_json_path",
     "drive",
     "expand_grid",
+    "kernel_rates_table",
+    "load_bench_entries",
     "results_table",
     "run_scenario",
     "run_tasks",

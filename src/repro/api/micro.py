@@ -13,7 +13,6 @@ replace the per-bench copies of the command-driving loop:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -22,6 +21,7 @@ from ..kernel import Module
 from ..memory.protocol import MemCommand, REGISTER_WINDOW_BYTES
 from ..wrapper.api import SharedMemoryAPI
 from ..wrapper.shared_memory import SharedMemoryWrapper
+from .perf import PerfTimer
 
 
 @dataclass
@@ -57,18 +57,20 @@ def drive(memory, command: Union[MemCommand, BusRequest], *,
         request = command
     generator = memory.serve(request, offset)
     cycles = 0
-    start = time.perf_counter()
-    while True:
-        try:
-            next(generator)
-            cycles += 1
-        except StopIteration as stop:
-            cycles += 1
-            return DriveResult(
-                response=stop.value,
-                cycles=cycles,
-                host_seconds=time.perf_counter() - start,
-            )
+    with PerfTimer() as timer:
+        while True:
+            try:
+                next(generator)
+                cycles += 1
+            except StopIteration as stop:
+                cycles += 1
+                response = stop.value
+                break
+    return DriveResult(
+        response=response,
+        cycles=cycles,
+        host_seconds=timer.seconds,
+    )
 
 
 @dataclass

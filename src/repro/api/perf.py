@@ -1,0 +1,248 @@
+"""Kernel performance tracking: normalized bench results in ``BENCH_kernel.json``.
+
+The evaluation benches measure host wall-clock, but until this module the
+numbers only lived in free-text result blocks — there was no machine-readable
+perf trajectory to compare PRs against.  This module provides:
+
+* :class:`PerfTimer` — a tiny context-manager stopwatch;
+* :class:`BenchResult` — one normalized perf record (wall-clock, kernel
+  scheduler stats, derived events/sec and activations/sec rates) built from
+  a :class:`~repro.soc.stats.SimulationReport`, a
+  :class:`~repro.api.scenario.ScenarioResult` or a raw measurement;
+* :class:`PerfRecorder` — a keyed, merge-on-write collector: every record
+  updates its ``bench/scenario`` entry in the JSON file, so the six benches
+  (and partial runs) compose into one ``BENCH_kernel.json``.
+
+The file lives at the repository root by default (CI uploads it as an
+artifact); override with the ``REPRO_BENCH_JSON`` environment variable or
+the ``path`` argument.  Scheduler *count* stats (``delta_cycles``,
+``process_activations``) are deterministic for fixed-seed scenarios, which
+is what lets CI diff them against a golden baseline to catch semantic
+regressions of the scheduler fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+SCHEMA = "repro.api.perf/v1"
+
+#: Environment variable overriding the default output path.
+ENV_PATH = "REPRO_BENCH_JSON"
+DEFAULT_PATH = "BENCH_kernel.json"
+
+
+def bench_json_path(path: Optional[str] = None) -> str:
+    """Resolve the output path: argument > ``REPRO_BENCH_JSON`` > default."""
+    return path or os.environ.get(ENV_PATH) or DEFAULT_PATH
+
+
+class PerfTimer:
+    """Context-manager stopwatch: ``with PerfTimer() as t: ...; t.seconds``."""
+
+    __slots__ = ("start", "seconds")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "PerfTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.start
+
+
+@dataclass
+class BenchResult:
+    """One normalized perf record of a bench scenario."""
+
+    #: Bench the record belongs to (e.g. ``"e4_scaling"``).
+    bench: str
+    #: Scenario label, unique within the bench.
+    scenario: str
+    #: Host seconds of the measured region.
+    wallclock_seconds: float
+    #: Parameters / grid overrides of the scenario.
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Simulated time units covered (0 for host-only micro measurements).
+    simulated_time: int = 0
+    #: Simulated cycles covered (0 for host-only micro measurements).
+    simulated_cycles: int = 0
+    #: Kernel scheduler counters (empty for host-only micro measurements).
+    delta_cycles: int = 0
+    timed_steps: int = 0
+    process_activations: int = 0
+    events_fired: int = 0
+
+    # -- derived rates -------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Fired events per host second (kernel notification throughput)."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.events_fired / self.wallclock_seconds
+
+    @property
+    def activations_per_second(self) -> float:
+        """Process activations per host second (kernel scheduling throughput)."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.process_activations / self.wallclock_seconds
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per host second (the paper's speed metric)."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.simulated_cycles / self.wallclock_seconds
+
+    @property
+    def key(self) -> str:
+        """Merge key of the record inside the JSON file."""
+        return f"{self.bench}/{self.scenario}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready view, derived rates included."""
+        return {
+            "bench": self.bench,
+            "scenario": self.scenario,
+            "params": {key: _plain(value) for key, value in self.params.items()},
+            "wallclock_seconds": self.wallclock_seconds,
+            "simulated_time": self.simulated_time,
+            "simulated_cycles": self.simulated_cycles,
+            "delta_cycles": self.delta_cycles,
+            "timed_steps": self.timed_steps,
+            "process_activations": self.process_activations,
+            "events_fired": self.events_fired,
+            "events_per_second": round(self.events_per_second, 1),
+            "activations_per_second": round(self.activations_per_second, 1),
+            "cycles_per_second": round(self.cycles_per_second, 1),
+        }
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_report(cls, bench: str, scenario: str, report,
+                    params: Optional[Dict[str, object]] = None) -> "BenchResult":
+        """Build a record from a :class:`~repro.soc.stats.SimulationReport`."""
+        kernel = report.kernel_stats
+        return cls(
+            bench=bench,
+            scenario=scenario,
+            params=dict(params or {}),
+            wallclock_seconds=report.wallclock_seconds,
+            simulated_time=report.simulated_time,
+            simulated_cycles=report.simulated_cycles,
+            delta_cycles=int(kernel.get("delta_cycles", 0)),
+            timed_steps=int(kernel.get("timed_steps", 0)),
+            process_activations=int(kernel.get("process_activations", 0)),
+            events_fired=int(kernel.get("events_fired", 0)),
+        )
+
+    @classmethod
+    def from_scenario_result(cls, bench: str, result) -> "BenchResult":
+        """Build a record from a passed :class:`ScenarioResult`."""
+        record = cls.from_report(bench, result.scenario, result.report,
+                                 params=dict(result.overrides, **result.params))
+        return record
+
+    @classmethod
+    def from_measurement(cls, bench: str, scenario: str, seconds: float,
+                         params: Optional[Dict[str, object]] = None,
+                         simulated_cycles: int = 0) -> "BenchResult":
+        """Build a host-time-only record (micro benches without a kernel run)."""
+        return cls(bench=bench, scenario=scenario, params=dict(params or {}),
+                   wallclock_seconds=seconds, simulated_cycles=simulated_cycles)
+
+
+def _plain(value: object) -> object:
+    """JSON-safe view of a parameter value."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(getattr(value, "value", value))
+
+
+class PerfRecorder:
+    """Collects :class:`BenchResult` records and merges them into the JSON file.
+
+    Records are keyed by ``bench/scenario``: re-running a bench (or one
+    bench out of six) updates only its own entries, so the file accumulates
+    a complete picture across partial runs.
+    """
+
+    def __init__(self, bench: str, path: Optional[str] = None) -> None:
+        self.bench = bench
+        self.path = bench_json_path(path)
+        self.records: list = []
+
+    # -- recording -----------------------------------------------------------
+    def record(self, result: BenchResult) -> BenchResult:
+        """Add one record (without writing; call :meth:`flush`)."""
+        self.records.append(result)
+        return result
+
+    def record_report(self, scenario: str, report,
+                      params: Optional[Dict[str, object]] = None) -> BenchResult:
+        """Record a simulation report under this recorder's bench."""
+        return self.record(BenchResult.from_report(self.bench, scenario, report,
+                                                   params=params))
+
+    def record_results(self, results: Iterable) -> None:
+        """Record every passed scenario result of an experiment run."""
+        for result in results:
+            if result.report is not None:
+                self.record(BenchResult.from_scenario_result(self.bench, result))
+
+    def record_measurement(self, scenario: str, seconds: float,
+                           params: Optional[Dict[str, object]] = None,
+                           simulated_cycles: int = 0) -> BenchResult:
+        """Record a host-only timing (micro benches)."""
+        return self.record(BenchResult.from_measurement(
+            self.bench, scenario, seconds, params=params,
+            simulated_cycles=simulated_cycles))
+
+    # -- persistence ---------------------------------------------------------
+    def flush(self) -> str:
+        """Merge the collected records into the JSON file; returns the path."""
+        payload = self._load()
+        entries = payload.setdefault("entries", {})
+        for record in self.records:
+            entries[record.key] = record.as_dict()
+        payload["schema"] = SCHEMA
+        payload["count"] = len(entries)
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self.path)
+        return self.path
+
+    def _load(self) -> dict:
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            return {}
+        return payload
+
+
+def load_bench_entries(path: Optional[str] = None) -> Dict[str, dict]:
+    """Load the merged entries of a ``BENCH_kernel.json`` file (empty if absent)."""
+    resolved = bench_json_path(path)
+    if not os.path.exists(resolved):
+        return {}
+    with open(resolved) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        return {}
+    entries = payload.get("entries", {})
+    return entries if isinstance(entries, dict) else {}

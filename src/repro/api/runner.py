@@ -141,6 +141,7 @@ class ExperimentRunner:
         timeout_s: Optional[float] = None,
         keep_platforms: bool = False,
         start_method: Optional[str] = None,
+        recorder=None,
     ) -> None:
         self.scenarios: List[Scenario] = list(scenarios)
         if shards < 1:
@@ -151,6 +152,9 @@ class ExperimentRunner:
         self.timeout_s = timeout_s
         self.keep_platforms = keep_platforms
         self.start_method = start_method
+        #: Optional :class:`repro.api.perf.PerfRecorder`: every completed
+        #: run's report is recorded and flushed to ``BENCH_kernel.json``.
+        self.recorder = recorder
         if keep_platforms and (shards > 1 or timeout_s is not None):
             raise ValueError(
                 "keep_platforms requires a serial in-process run "
@@ -163,12 +167,17 @@ class ExperimentRunner:
         if not self.scenarios:
             return []
         if self.shards == 1 and self.timeout_s is None:
-            return [
+            results = [
                 run_scenario(scenario, index=index,
                              keep_platform=self.keep_platforms)
                 for index, scenario in enumerate(self.scenarios)
             ]
-        return self._run_sharded()
+        else:
+            results = self._run_sharded()
+        if self.recorder is not None:
+            self.recorder.record_results(results)
+            self.recorder.flush()
+        return results
 
     def _run_sharded(self) -> List[ScenarioResult]:
         context = multiprocessing.get_context(self.start_method)

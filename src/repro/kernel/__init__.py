@@ -39,7 +39,7 @@ from .event import Event, EventQueue
 from .fsm import CycleTrueFsm, FsmStateError
 from .module import Module
 from .port import InOutPort, InputPort, OutputPort
-from .process import Process, WaitAny, WaitDelta, WaitEvent, WaitTime
+from .process import Process, WaitAny, WaitCycles, WaitDelta, WaitEvent, WaitTime
 from .signal import Signal, SignalVector
 from .simtime import MS, NS, PS, SEC, US, ClockPeriod, format_time, parse_time
 from .simulator import SimulationStats, Simulator
@@ -77,6 +77,7 @@ __all__ = [
     "TransactionRecord",
     "US",
     "WaitAny",
+    "WaitCycles",
     "WaitDelta",
     "WaitEvent",
     "WaitTime",

@@ -15,6 +15,7 @@ from typing import Optional
 
 from .event import Event
 from .module import Module
+from .process import WaitCycleCache, WaitCycles
 from .signal import Signal
 from .simtime import NS
 
@@ -47,6 +48,7 @@ class Clock(Module):
         #: Number of completed rising edges since the start of simulation.
         self.cycle: int = 0
         self._start_high = start_high
+        self._wait_cache = WaitCycleCache(period)
         self.add_process(self._drive, name="drive")
 
     # -- events ----------------------------------------------------------------
@@ -85,3 +87,12 @@ class Clock(Module):
     def cycles_to_time(self, cycles: int) -> int:
         """Convert a cycle count into time units for this clock."""
         return cycles * self.period
+
+    def wait_cycles(self, cycles: int) -> WaitCycles:
+        """A reusable ``yield``-able wait for ``cycles`` periods of this clock.
+
+        Instances are cached per cycle count, so clocked models that wait a
+        small set of distinct cycle counts (``yield clock.wait_cycles(1)``
+        in a processing loop) allocate nothing on the scheduler hot path.
+        """
+        return self._wait_cache.get(cycles)

@@ -6,6 +6,9 @@ returns to the scheduler.  Supported wait requests:
 
 * ``yield WaitTime(n)`` or ``yield n`` (an ``int``) — resume after ``n`` time
   units.
+* ``yield WaitCycles(n, period)`` — resume after ``n`` clock cycles of
+  ``period`` time units each; immutable, so instances can be cached and
+  reused across yields (see :meth:`repro.kernel.clock.Clock.wait_cycles`).
 * ``yield WaitEvent(e)`` or ``yield e`` (an :class:`~repro.kernel.event.Event`)
   — resume when the event is notified.
 * ``yield WaitAny(e1, e2, ...)`` — resume when any of the events fires.
@@ -14,6 +17,14 @@ returns to the scheduler.  Supported wait requests:
 Processes may also be *statically sensitive* to a list of events (typically a
 clock edge); such processes are re-run from the top on each trigger if they
 are plain callables, or resumed if they are generators.
+
+Timed waits take a scheduler fast path: instead of allocating an
+:class:`~repro.kernel.event.Event` per wait, the process itself is pushed
+onto the timed queue and woken directly when its deadline pops (one reusable
+private timer per process, identified by the :attr:`Process._is_process`
+marker).  Event waits are registered with the process's current *wait
+token*; waking the process advances the token, which invalidates every
+outstanding registration at once without scanning waiter lists.
 """
 
 from __future__ import annotations
@@ -46,6 +57,54 @@ class WaitTime(WaitRequest):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WaitTime({self.duration})"
+
+
+class WaitCycles(WaitTime):
+    """Suspend the process for ``cycles`` clock cycles of ``period`` units.
+
+    Precomputes the duration once, so a cached instance yielded repeatedly
+    (a clock-driven task processor's per-cycle wait, a poll interval) costs
+    no per-yield allocation or multiplication.
+    """
+
+    __slots__ = ("cycles", "period")
+
+    def __init__(self, cycles: int, period: int = 1) -> None:
+        if cycles < 0:
+            raise ValueError("wait cycles must be >= 0")
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        self.cycles = cycles
+        self.period = period
+        self.duration = cycles * period
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitCycles({self.cycles}, period={self.period})"
+
+
+class WaitCycleCache:
+    """A bounded per-clock cache of reusable :class:`WaitCycles` objects.
+
+    Shared by :class:`repro.kernel.clock.Clock` and
+    :class:`repro.sw.task.TaskContext`: models that wait a small set of
+    recurring cycle counts get the same wait object back on every call, so
+    the scheduler hot path sees no per-yield allocation.
+    """
+
+    __slots__ = ("period", "limit", "_cache")
+
+    def __init__(self, period: int, limit: int = 256) -> None:
+        self.period = period
+        self.limit = limit
+        self._cache: dict = {}
+
+    def get(self, cycles: int) -> "WaitCycles":
+        wait = self._cache.get(cycles)
+        if wait is None:
+            wait = WaitCycles(cycles, self.period)
+            if len(self._cache) < self.limit:
+                self._cache[cycles] = wait
+        return wait
 
 
 class WaitDelta(WaitRequest):
@@ -92,11 +151,16 @@ class Process:
         "_generator",
         "_is_generator_func",
         "_static_events",
-        "_dynamic_events",
         "_sim",
         "_terminated",
+        "_wait_token",
+        "_runnable_gen",
         "activation_count",
     )
+
+    #: Marker used by the scheduler to discriminate timed-queue payloads
+    #: (process timers vs. events) without ``isinstance`` checks.
+    _is_process = True
 
     def __init__(
         self,
@@ -109,9 +173,13 @@ class Process:
         self._is_generator_func = inspect.isgeneratorfunction(body)
         self._generator = None
         self._static_events: List[Event] = list(static_events)
-        self._dynamic_events: List[Event] = []
         self._sim: Optional["Simulator"] = None
         self._terminated = False
+        #: Advanced on every activation; event registrations carry the token
+        #: they were made under and become stale when it moves on.
+        self._wait_token = 0
+        #: Generation stamp used by the scheduler's runnable dedup.
+        self._runnable_gen = 0
         #: Number of times the process has been activated (useful in tests).
         self.activation_count = 0
 
@@ -129,6 +197,10 @@ class Process:
     # -- wiring -----------------------------------------------------------
     def _bind(self, sim: "Simulator") -> None:
         self._sim = sim
+        # A rebound process (module tree reused in a fresh simulator) must
+        # not carry a stamp from the old simulator's generation counter, or
+        # the runnable dedup could mistake it for a duplicate.
+        self._runnable_gen = 0
         for event in self._static_events:
             event._bind(sim)
             event.add_static_sensitivity(self)
@@ -141,11 +213,6 @@ class Process:
             event.add_static_sensitivity(self)
 
     # -- execution --------------------------------------------------------
-    def _clear_dynamic_waits(self) -> None:
-        for event in self._dynamic_events:
-            event._discard_waiter(self)
-        self._dynamic_events.clear()
-
     def run(self) -> Optional[Yieldable]:
         """Activate the process once and return what it yielded (if anything).
 
@@ -156,21 +223,22 @@ class Process:
         if self._terminated:
             return None
         self.activation_count += 1
-        self._clear_dynamic_waits()
+        # Waking invalidates every outstanding event registration at once.
+        self._wait_token += 1
+        generator = self._generator
         try:
+            if generator is not None:
+                return next(generator)
             if self._is_generator_func:
-                if self._generator is None:
-                    self._generator = self._body()
-                return next(self._generator)
-            if self._generator is not None:
-                return next(self._generator)
+                self._generator = generator = self._body()
+                return next(generator)
             result = self._body()
             if inspect.isgenerator(result):
                 # The body was a factory (lambda/partial) returning a
                 # generator: adopt it and behave like a thread process.
                 self._is_generator_func = True
                 self._generator = result
-                return next(self._generator)
+                return next(result)
             return None
         except StopIteration:
             self._terminated = True
@@ -181,7 +249,6 @@ class Process:
 
     def _register_dynamic_wait(self, event: Event) -> None:
         event._add_waiter(self)
-        self._dynamic_events.append(event)
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "method" if self.is_method else "thread"

@@ -119,18 +119,23 @@ class Signal(Generic[T]):
 
     # -- used by the simulator ----------------------------------------------
     def _perform_update(self) -> None:
-        """Commit the staged value; called by the scheduler's update phase."""
+        """Commit the staged value; called by the scheduler's update phase.
+
+        Runs inside the update phase, so the simulator is always bound and
+        the edge events can take the direct delta-notification path instead
+        of the full :meth:`Event.notify` dispatch.
+        """
         self._has_pending = False
         if self._next == self._current:
             return
         old, new = self._current, self._next
         self._current = self._next
         self.write_count += 1
-        self._changed_event.notify(0)
+        self._changed_event._notify_delta()
         if self._posedge_event is not None and not old and new:
-            self._posedge_event.notify(0)
+            self._posedge_event._notify_delta()
         if self._negedge_event is not None and old and not new:
-            self._negedge_event.notify(0)
+            self._negedge_event._notify_delta()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Signal({self.name!r}={self._current!r})"

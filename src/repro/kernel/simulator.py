@@ -13,13 +13,34 @@ The scheduler follows the SystemC reference algorithm:
    notification and wake its waiters.
 
 Simulation ends when there is nothing left to do, a configured time limit is
-reached, or :meth:`Simulator.stop` is called.
+reached, or :meth:`Simulator.stop` is called.  Like SystemC's ``sc_start``
+(with the default starvation policy), ``run(duration)`` always leaves
+``now`` at ``start + duration`` — even when activity drains early — unless
+the run was stopped explicitly.
+
+Scheduler fast paths (semantics-preserving; see ``tests/perf``):
+
+* **Per-process timer reuse** — ``yield n`` / ``yield WaitTime(n)`` pushes
+  the process itself onto the timed queue instead of allocating a fresh
+  :class:`~repro.kernel.event.Event` per wait; the pop wakes the process
+  directly.
+* **Direct delta waits** — ``yield WaitDelta()`` / ``yield 0`` enqueues the
+  process on the delta queue instead of routing through ``Event.notify(0)``.
+  Delta-queue entries preserve exact notification order (events and process
+  wakes interleave as they were scheduled).
+* **Generation-counter dedup** — the per-delta-cycle runnable set is built
+  by stamping each process with the current scheduling generation instead
+  of building an id-set.
+* **Epoch-checked queue entries** — stale (cancelled or overridden) timed
+  and delta entries are skipped by comparing the entry's scheduling epoch
+  with the event's current one (see :mod:`repro.kernel.event`).
 """
 
 from __future__ import annotations
 
 import time as _wallclock
-from typing import Iterable, List, Optional, Set
+from heapq import heappop, heappush
+from typing import List, Optional
 
 from .errors import DeltaCycleLimitExceeded, ProcessError, SchedulerError
 from .event import Event, EventQueue
@@ -70,14 +91,22 @@ class Simulator:
     def __init__(self, top: Optional[Module] = None) -> None:
         self._tops: List[Module] = []
         self.now: int = 0
+        #: Time of the last processed timed step (or run start) — the point
+        #: ``now`` would have stopped at without the ``sc_start`` deadline
+        #: clamp.  See :meth:`trim_to_last_activity`.
+        self.last_activity_time: int = 0
         self._elaborated = False
         self._running = False
         self._stop_requested = False
         self._timed_events = EventQueue()
-        self._delta_events: List[Event] = []
+        #: Mixed delta queue preserving notification order: ``(event, epoch)``
+        #: tuples for ``notify(0)``, bare processes for direct delta waits.
+        self._delta_queue: List[object] = []
         self._immediate_runnable: List[Process] = []
         self._pending_signal_updates: List[Signal] = []
         self._processes: List[Process] = []
+        #: Scheduling generation for runnable dedup (see ``_dedup_runnable``).
+        self._generation = 0
         self.stats = SimulationStats()
         if top is not None:
             self.add_top(top)
@@ -128,44 +157,60 @@ class Simulator:
         self._elaborated = True
 
     # -- hooks used by events/signals ------------------------------------------
-    def _schedule_timed_event(self, event: Event, when: int) -> None:
-        self._timed_events.push(when, event)
+    def _schedule_timed_event(self, event: Event, when: int, epoch: int = 0) -> None:
+        self._timed_events.push(when, event, epoch)
 
-    def _schedule_delta_event(self, event: Event) -> None:
-        self._delta_events.append(event)
+    def _schedule_delta_event(self, event: Event, epoch: int = 0) -> None:
+        self._delta_queue.append((event, epoch))
 
     def _trigger_event_now(self, event: Event) -> None:
         self.stats.events_fired += 1
+        runnable = self._immediate_runnable
         for process in event._collect_triggered():
-            if not process.terminated:
-                self._immediate_runnable.append(process)
+            if not process._terminated:
+                runnable.append(process)
 
     def _schedule_signal_update(self, signal: Signal) -> None:
         self._pending_signal_updates.append(signal)
 
     # -- wait-request handling ---------------------------------------------------
+    def _wait_timed(self, process: Process, duration: int) -> None:
+        """Timer fast path: the process is its own (reusable) timer.
+
+        The entry carries the process's current wait token; if the process
+        is woken early (e.g. through a static sensitivity), the token moves
+        on and the stale timer entry is skipped when it pops.
+        """
+        self._timed_events.push(self.now + duration, process, process._wait_token)
+
     def _apply_wait(self, process: Process, request: Yieldable) -> None:
-        if isinstance(request, int):
-            request = WaitTime(request)
-        elif isinstance(request, Event):
-            request = WaitEvent(request)
+        """Translate a yielded wait request (slow path: non-int, non-WaitTime)."""
         if isinstance(request, WaitTime):
             if request.duration == 0:
-                self._wait_delta(process)
+                self._delta_queue.append(process)
             else:
-                timer = Event(f"{process.name}.timer")
-                timer._bind(self)
-                process._register_dynamic_wait(timer)
-                timer.notify(request.duration)
+                self._wait_timed(process, request.duration)
         elif isinstance(request, WaitDelta):
-            self._wait_delta(process)
+            self._delta_queue.append(process)
         elif isinstance(request, WaitEvent):
             request.event._bind(self)
-            process._register_dynamic_wait(request.event)
+            request.event._add_waiter(process)
+        elif isinstance(request, Event):
+            request._bind(self)
+            request._add_waiter(process)
         elif isinstance(request, WaitAny):
             for event in request.events:
                 event._bind(self)
-                process._register_dynamic_wait(event)
+                event._add_waiter(process)
+        elif isinstance(request, int):
+            # Rare non-exact int subclasses (e.g. IntEnum); bools excluded
+            # from the fast path land here too.
+            if request > 0:
+                self._wait_timed(process, int(request))
+            elif request == 0:
+                self._delta_queue.append(process)
+            else:
+                raise ValueError("wait duration must be >= 0")
         elif isinstance(request, WaitRequest):
             raise ProcessError(
                 f"process {process.name!r} yielded unsupported wait {request!r}"
@@ -175,103 +220,196 @@ class Simulator:
                 f"process {process.name!r} yielded non-wait object {request!r}"
             )
 
-    def _wait_delta(self, process: Process) -> None:
-        waker = Event(f"{process.name}.delta")
-        waker._bind(self)
-        process._register_dynamic_wait(waker)
-        waker.notify(0)
-
     # -- main loop -----------------------------------------------------------------
     def run(self, duration: Optional[int] = None) -> SimulationStats:
         """Run the simulation.
 
         ``duration`` limits how far simulated time may advance (relative to
         the current time); ``None`` runs until no activity remains or
-        :meth:`stop` is called.  Returns the accumulated statistics.
+        :meth:`stop` is called.  With a ``duration``, the run always ends
+        with ``now == start + duration`` (unless stopped), like SystemC's
+        ``sc_start``.  Returns the accumulated statistics;
+        ``stats.end_time`` equals the final ``now``.
+
+        The loop body is deliberately monolithic: every phase of the
+        scheduling algorithm is inlined so the per-timestep cost is a
+        handful of local operations.  Statistics accumulate in locals and
+        are flushed to :attr:`stats` on every exit path.
         """
         if self._running:
             raise SchedulerError("run() re-entered while already running")
         self.elaborate()
         self._running = True
         self._stop_requested = False
+        self.last_activity_time = self.now
         deadline = None if duration is None else self.now + duration
         start_wall = _wallclock.perf_counter()
+        stats = self.stats
+        timed_events = self._timed_events
+        heap = timed_events._heap
+        counter = timed_events._counter
+        push = heappush
+        pop = heappop
+        max_deltas = self.MAX_DELTA_CYCLES_PER_TIMESTEP
+        # Both scheduling lists keep a stable identity (drained in place),
+        # so they and their bound methods hoist out of the loop.
+        runnable = self._immediate_runnable
+        delta_queue = self._delta_queue
+        wake = runnable.append
+        n_deltas = n_steps = n_activations = n_fired = 0
+        clean_exit = False
         try:
-            while not self._stop_requested:
-                self._run_delta_cycles()
-                if self._stop_requested:
+            while True:
+                # -- delta cycles at the current time --------------------------
+                deltas_here = 0
+                while True:
+                    if delta_queue:
+                        # Delta notification phase: wake processes in exact
+                        # notification order (``notify(0)`` events and direct
+                        # delta waits interleave as they were scheduled).
+                        entries = delta_queue[:]
+                        delta_queue.clear()
+                        for entry in entries:
+                            if entry.__class__ is tuple:
+                                event, epoch = entry
+                                if event._epoch == epoch:
+                                    n_fired += 1
+                                    for p in event._collect_triggered():
+                                        if not p._terminated:
+                                            wake(p)
+                            else:  # a process woken by a direct delta wait
+                                n_fired += 1
+                                if not entry._terminated:
+                                    wake(entry)
+                    count = len(runnable)
+                    if not count:
+                        break
+                    n_deltas += 1
+                    deltas_here += 1
+                    if deltas_here > max_deltas:
+                        raise DeltaCycleLimitExceeded(max_deltas)
+                    # Evaluation set: the runnable list is recycled in place
+                    # (wakes during evaluation land in the next delta cycle);
+                    # with several candidates, dedup via generation stamps (a
+                    # process woken by several events in one delta runs once).
+                    if count == 1:
+                        processes = (runnable[0],)
+                    else:
+                        generation = self._generation + 1
+                        self._generation = generation
+                        processes = []
+                        for p in runnable:
+                            if p._runnable_gen != generation:
+                                p._runnable_gen = generation
+                                processes.append(p)
+                    runnable.clear()
+                    # Evaluation phase.
+                    now = self.now
+                    for process in processes:
+                        if process._terminated:
+                            continue
+                        n_activations += 1
+                        generator = process._generator
+                        if generator is not None:
+                            # Running thread process: resume the generator
+                            # directly (equivalent to ``process.run()``).
+                            process.activation_count += 1
+                            process._wait_token += 1
+                            try:
+                                request = next(generator)
+                            except StopIteration:
+                                process._terminated = True
+                                request = None
+                            except Exception as exc:
+                                process._terminated = True
+                                raise ProcessError(
+                                    f"process {process.name!r} raised {exc!r}"
+                                ) from exc
+                        else:
+                            # First activation or method process.
+                            request = process.run()
+                        if self._stop_requested:
+                            return stats
+                        if request.__class__ is int:
+                            # Timer fast path: the dominant yield of clock-
+                            # and task-driven models.  The process doubles as
+                            # its own reusable timer entry.
+                            if request > 0:
+                                push(heap, (now + request, next(counter),
+                                            process, process._wait_token))
+                            elif request == 0:
+                                delta_queue.append(process)
+                            else:
+                                raise ValueError("wait duration must be >= 0")
+                        elif request is not None:
+                            self._apply_wait(process, request)
+                        # ``None``: generator finished or a method process
+                        # waiting for its next trigger — nothing to schedule.
+                    # Update phase.
+                    updates = self._pending_signal_updates
+                    if updates:
+                        self._pending_signal_updates = []
+                        for signal in updates:
+                            signal._perform_update()
+                # -- timed notification phase ----------------------------------
+                if self._stop_requested or not heap:
                     break
-                next_time = self._timed_events.next_time()
-                if next_time is None:
-                    break
+                next_time = heap[0][0]
                 if deadline is not None and next_time > deadline:
-                    self.now = deadline
-                    break
-                self.now = next_time
-                self.stats.timed_steps += 1
-                for event in self._timed_events.pop_until(self.now):
-                    if event._is_pending_for(self.now):
-                        self._trigger_event_now(event)
-                if not self._immediate_runnable and not self._delta_events:
-                    # Every popped notification had been cancelled/overridden.
-                    continue
+                    break  # the post-loop clamp advances now to the deadline
+                self.now = self.last_activity_time = now = next_time
+                n_steps += 1
+                # Wake everything scheduled for ``now`` (the first pop is
+                # unconditional: the heap head *is* the entry that set
+                # ``now``).  Process entries are the reusable per-process
+                # timers, valid while the wait token matches; event entries
+                # fire only when their scheduling epoch is still current
+                # (stale ones are skipped).
+                while True:
+                    __, __, payload, guard = pop(heap)
+                    if payload._is_process:
+                        if payload._wait_token == guard:
+                            n_fired += 1
+                            wake(payload)
+                    elif payload._epoch == guard:
+                        n_fired += 1
+                        for p in payload._collect_triggered():
+                            if not p._terminated:
+                                wake(p)
+                    if not heap or heap[0][0] > now:
+                        break
+            clean_exit = True
         finally:
             self._running = False
-            self.stats.wallclock_seconds += _wallclock.perf_counter() - start_wall
-            self.stats.end_time = self.now
-        if deadline is not None and not self._stop_requested:
-            self.now = max(self.now, deadline) if self._timed_events else self.now
-        return self.stats
-
-    def _run_delta_cycles(self) -> None:
-        deltas_here = 0
-        while self._immediate_runnable or self._delta_events:
-            # Delta notification phase for events notified with notify(0).
-            pending_delta = self._delta_events
-            self._delta_events = []
-            for event in pending_delta:
-                self._trigger_event_now(event)
-            runnable = self._unique_runnable()
-            if not runnable:
-                if not self._immediate_runnable and not self._delta_events:
-                    break
-                continue
-            self.stats.delta_cycles += 1
-            deltas_here += 1
-            if deltas_here > self.MAX_DELTA_CYCLES_PER_TIMESTEP:
-                raise DeltaCycleLimitExceeded(self.MAX_DELTA_CYCLES_PER_TIMESTEP)
-            # Evaluation phase.
-            for process in runnable:
-                if process.terminated:
-                    continue
-                self.stats.process_activations += 1
-                request = process.run()
-                if self._stop_requested:
-                    return
-                if request is None:
-                    if not process.is_method:
-                        continue  # generator finished
-                    # Method processes simply wait for their next trigger.
-                    continue
-                self._apply_wait(process, request)
-            # Update phase.
-            updates = self._pending_signal_updates
-            self._pending_signal_updates = []
-            for signal in updates:
-                signal._perform_update()
-
-    def _unique_runnable(self) -> List[Process]:
-        runnable = self._immediate_runnable
-        self._immediate_runnable = []
-        seen: Set[int] = set()
-        unique: List[Process] = []
-        for process in runnable:
-            if id(process) not in seen:
-                seen.add(id(process))
-                unique.append(process)
-        return unique
+            stats.delta_cycles += n_deltas
+            stats.timed_steps += n_steps
+            stats.process_activations += n_activations
+            stats.events_fired += n_fired
+            stats.wallclock_seconds += _wallclock.perf_counter() - start_wall
+            if (clean_exit and deadline is not None
+                    and not self._stop_requested and self.now < deadline):
+                # Activity drained (or the next event lies beyond the
+                # deadline): time still advances to the full duration, like
+                # ``sc_start`` under the default starvation policy.
+                self.now = deadline
+            stats.end_time = self.now
+        return stats
 
     # -- control -----------------------------------------------------------------
+    def trim_to_last_activity(self) -> None:
+        """Roll a deadline-clamped ``now`` back to the last real activity.
+
+        ``run(duration)`` always ends at the deadline (``sc_start``
+        semantics), even when activity drained early.  Drivers that slice
+        ``run()`` calls and want *drain* semantics for their reports (the
+        platform's ``max_time`` loop) call this after the final slice: when
+        nothing remains scheduled, ``now`` (and ``stats.end_time``) return
+        to the last processed timed step.  No-op while activity is pending.
+        """
+        if not self.pending_activity and self.now > self.last_activity_time:
+            self.now = self.last_activity_time
+            self.stats.end_time = self.now
+
     def stop(self) -> None:
         """Request the simulation to stop at the end of the current activation."""
         self._stop_requested = True
@@ -292,6 +430,6 @@ class Simulator:
     @property
     def pending_activity(self) -> bool:
         """True if any timed or delta activity remains scheduled."""
-        return bool(self._timed_events) or bool(self._delta_events) or bool(
+        return bool(self._timed_events) or bool(self._delta_queue) or bool(
             self._immediate_runnable
         )

@@ -123,6 +123,10 @@ class DynamicMemorySlave(BusSlave):
         """Account one idle-cycle evaluation of this memory module."""
         self.idle_cycles += 1
 
+    def account_idle_cycles(self, cycles: int) -> None:
+        """Account ``cycles`` idle evaluations at once (batched bookkeeping)."""
+        self.idle_cycles += cycles
+
     # -- I/O array staging ------------------------------------------------------
     def io_array_for(self, master_id: int) -> List[int]:
         """The staging I/O array of ``master_id`` (created on first use)."""

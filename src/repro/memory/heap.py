@@ -150,9 +150,15 @@ class FreeListHeap:
         # Eagerly coalesce with the following block if it is free.
         size = self._mem.read_word(header)
         nxt = header + size
-        if nxt < self.base + self.size_bytes:
+        end = self.base + self.size_bytes
+        if nxt < end:
             next_size = self._mem.read_word(nxt)
             next_status = self._mem.read_word(nxt + 4)
+            if next_size < HEADER_BYTES or nxt + next_size > end:
+                # A corrupted neighbour header must fail loudly (as malloc
+                # and walk do), not silently produce a merged block that
+                # overruns the region.
+                raise HeapError(f"corrupted block header at {nxt:#x}")
             if next_status == _FREE:
                 self._mem.write_word(header, size + next_size)
                 self.stats.coalesces += 1

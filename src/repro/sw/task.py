@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Generator, List, Optional
 
+from ..kernel import WaitCycles
+from ..kernel.process import WaitCycleCache
 from ..wrapper.api import SharedMemoryAPI
 from .instruction_costs import ARM7_LIKE, CostModel
 
@@ -47,6 +49,10 @@ class TaskContext:
         self.clock_period = clock_period
         self.cost_model = cost_model
         self.poll_interval_cycles = max(1, poll_interval_cycles)
+        #: Reusable wait objects (scheduler fast path: no per-yield
+        #: allocation for recurring waits like the poll back-off).
+        self._wait_cache = WaitCycleCache(clock_period)
+        self._poll_wait = self.wait_cycles(self.poll_interval_cycles)
         #: Simulated cycles charged for local computation so far.
         self.compute_cycles = 0
         #: Number of compute() calls (handy to sanity-check annotations).
@@ -75,6 +81,15 @@ class TaskContext:
         return self._apis[key % len(self._apis)]
 
     # -- computation accounting -------------------------------------------------------
+    def wait_cycles(self, cycles: int) -> WaitCycles:
+        """A reusable ``yield``-able wait for ``cycles`` PE clock cycles.
+
+        Cached per cycle count: tasks (and the context's own poll loops)
+        that wait recurring cycle counts allocate nothing per yield — the
+        kernel's timer fast path re-schedules the same wait object.
+        """
+        return self._wait_cache.get(cycles)
+
     def compute(self, cycles: int) -> Generator[object, None, None]:
         """Advance simulated time by ``cycles`` of local computation."""
         if cycles < 0:
@@ -110,7 +125,7 @@ class TaskContext:
                     f"{self.name}: flag at {vptr:#x}[{offset}] never became "
                     f"{expected} after {polls} polls"
                 )
-            yield self.poll_interval_cycles * self.clock_period
+            yield self._poll_wait
 
     def barrier(self, vptr: int, participants: int, my_index: int,
                 memory: int = 0) -> Generator[object, None, None]:
@@ -124,7 +139,7 @@ class TaskContext:
             acquired = yield from api.try_reserve(vptr)
             if acquired:
                 break
-            yield self.poll_interval_cycles * self.clock_period
+            yield self._poll_wait
         count = yield from api.read(vptr)
         yield from api.write(vptr, count + 1)
         yield from api.release(vptr)

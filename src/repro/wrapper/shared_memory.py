@@ -90,10 +90,19 @@ class SharedMemoryWrapper(DynamicMemorySlave):
     # -- diagnostics ------------------------------------------------------------------
     def idle_tick(self) -> None:
         """Evaluate the FSM's idle state for one cycle (cycle-driven mode)."""
-        super().idle_tick()
+        self.account_idle_cycles(1)
+
+    def account_idle_cycles(self, cycles: int) -> None:
+        """Account ``cycles`` idle-state FSM evaluations at once.
+
+        Cycle-driven platforms batch their idle bookkeeping (see
+        :meth:`repro.soc.platform.MemoryIdleTicker.end_of_simulation`); the
+        counters end up exactly as if ``idle_tick`` had run every cycle.
+        """
+        self.idle_cycles += cycles
         fsm = self.fsm._fsm
-        fsm.cycles += 1
-        fsm.occupancy["IDLE"] += 1
+        fsm.cycles += cycles
+        fsm.occupancy["IDLE"] += cycles
 
     def live_count(self) -> int:
         return self.table.live_count()

@@ -1,0 +1,128 @@
+"""Tests for the perf subsystem: PerfTimer, BenchResult, PerfRecorder."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    BenchResult,
+    ExperimentRunner,
+    PerfRecorder,
+    PerfTimer,
+    PlatformBuilder,
+    Scenario,
+    bench_json_path,
+    load_bench_entries,
+)
+from repro.api.perf import ENV_PATH, SCHEMA
+
+
+class TestPerfTimer:
+    def test_measures_elapsed_time(self):
+        with PerfTimer() as timer:
+            sum(range(1000))
+        assert timer.seconds > 0
+
+
+class TestBenchResult:
+    def test_rates(self):
+        record = BenchResult(bench="b", scenario="s", wallclock_seconds=2.0,
+                             simulated_cycles=100, events_fired=50,
+                             process_activations=10)
+        assert record.events_per_second == 25.0
+        assert record.activations_per_second == 5.0
+        assert record.cycles_per_second == 50.0
+        assert record.key == "b/s"
+
+    def test_zero_wallclock_rates_are_zero(self):
+        record = BenchResult(bench="b", scenario="s", wallclock_seconds=0.0,
+                             events_fired=50)
+        assert record.events_per_second == 0.0
+
+    def test_as_dict_has_normalized_fields(self):
+        record = BenchResult(bench="b", scenario="s", wallclock_seconds=1.0,
+                             params={"n": 4})
+        payload = record.as_dict()
+        assert payload["bench"] == "b"
+        assert payload["params"] == {"n": 4}
+        assert "events_per_second" in payload
+        assert "activations_per_second" in payload
+
+    def test_from_report_copies_kernel_stats(self):
+        scenario = Scenario(
+            name="one",
+            config=PlatformBuilder().pes(1).wrapper_memories(1).build(),
+            workload="fir", params={"num_samples": 8, "seed": 1}, seed=1,
+        )
+        result = ExperimentRunner([scenario]).run()[0]
+        result.raise_for_status()
+        record = BenchResult.from_scenario_result("bench", result)
+        assert record.delta_cycles == result.report.kernel_stats["delta_cycles"]
+        assert record.process_activations == \
+            result.report.kernel_stats["process_activations"]
+        assert record.simulated_time == result.report.simulated_time
+        assert record.events_per_second > 0
+
+
+class TestPerfRecorder:
+    def test_merge_on_write_accumulates_benches(self, tmp_path):
+        path = str(tmp_path / "BENCH_kernel.json")
+        first = PerfRecorder("bench_a", path=path)
+        first.record_measurement("s1", 0.5)
+        first.flush()
+        second = PerfRecorder("bench_b", path=path)
+        second.record_measurement("s2", 0.25)
+        second.flush()
+        entries = load_bench_entries(path)
+        assert set(entries) == {"bench_a/s1", "bench_b/s2"}
+        payload = json.load(open(path))
+        assert payload["schema"] == SCHEMA
+        assert payload["count"] == 2
+
+    def test_rerecording_updates_in_place(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        recorder = PerfRecorder("bench", path=path)
+        recorder.record_measurement("s", 1.0)
+        recorder.flush()
+        again = PerfRecorder("bench", path=path)
+        again.record_measurement("s", 2.0)
+        again.flush()
+        entries = load_bench_entries(path)
+        assert len(entries) == 1
+        assert entries["bench/s"]["wallclock_seconds"] == 2.0
+
+    def test_corrupted_file_is_replaced(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        with open(path, "w") as handle:
+            handle.write("not json{")
+        recorder = PerfRecorder("bench", path=path)
+        recorder.record_measurement("s", 1.0)
+        recorder.flush()
+        assert set(load_bench_entries(path)) == {"bench/s"}
+
+    def test_env_var_overrides_default_path(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "custom.json")
+        monkeypatch.setenv(ENV_PATH, target)
+        assert bench_json_path() == target
+        recorder = PerfRecorder("bench")
+        assert recorder.path == target
+
+    def test_experiment_runner_records_and_flushes(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        scenario = Scenario(
+            name="one",
+            config=PlatformBuilder().pes(1).wrapper_memories(1).build(),
+            workload="fir", params={"num_samples": 8, "seed": 1}, seed=1,
+        )
+        recorder = PerfRecorder("runner_bench", path=path)
+        results = ExperimentRunner([scenario], recorder=recorder).run()
+        results[0].raise_for_status()
+        entries = load_bench_entries(path)
+        assert set(entries) == {"runner_bench/one"}
+        entry = entries["runner_bench/one"]
+        assert entry["delta_cycles"] == \
+            results[0].report.kernel_stats["delta_cycles"]
+        assert entry["wallclock_seconds"] > 0
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_bench_entries(str(tmp_path / "absent.json")) == {}

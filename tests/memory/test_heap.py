@@ -111,6 +111,31 @@ class TestFreeAndCoalesce:
         assert len(heap.walk()) == 1
         assert heap.live_allocations() == 0
 
+    def test_free_rejects_corrupted_next_block_header(self):
+        """Eager coalesce must validate the neighbour header (like malloc):
+        a corrupted next_size must raise instead of silently producing a
+        merged block that overruns the region."""
+        heap, accessor = make_heap(size_bytes=256)
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(b)
+        # Corrupt the header of the free block following `a`: a size that
+        # would run past the end of the region.
+        next_header = a - HEADER_BYTES + accessor.read_word(a - HEADER_BYTES)
+        accessor.write_word(next_header, 1 << 20)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_free_rejects_undersized_next_block_header(self):
+        heap, accessor = make_heap(size_bytes=256)
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(b)
+        next_header = a - HEADER_BYTES + accessor.read_word(a - HEADER_BYTES)
+        accessor.write_word(next_header, 3)  # smaller than a header: corrupt
+        with pytest.raises(HeapError):
+            heap.free(a)
+
     def test_fragmentation_prevents_large_alloc_until_coalesce(self):
         heap, _ = make_heap(size_bytes=4096 + HEADER_BYTES)
         blocks = [heap.malloc(256) for _ in range(8)]

@@ -1,0 +1,83 @@
+"""Scheduler-semantics regression gate: golden counters for fixed seeds.
+
+The kernel's fast paths (per-process timer reuse, direct delta waits,
+epoch-checked queue entries) must not change *what* the scheduler does —
+only how fast it does it.  These scenarios run deterministic fixed-seed
+workloads and compare the scheduler counters (``delta_cycles``,
+``process_activations``, ``timed_steps``, ``events_fired``) and the final
+simulated time against ``golden_sched_stats.json``, which was recorded on
+the pre-fast-path kernel.  CI runs this as the perf-smoke regression gate.
+
+If a *deliberate* semantic change is made (new scheduling feature), rerun
+the scenarios and update the golden file in the same commit, explaining the
+delta in the commit message.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_sched_stats.json")
+
+COMPARED_COUNTERS = ("delta_cycles", "process_activations", "timed_steps",
+                     "events_fired")
+
+
+def golden_scenarios():
+    """The fixed-seed scenario set the golden counters were recorded on."""
+
+    def scen(name, builder, workload, params, seed):
+        return Scenario(name=name, config=builder.build(), workload=workload,
+                        params=params, seed=seed)
+
+    return [
+        scen("golden-fir",
+             PlatformBuilder().pes(2).wrapper_memories(2),
+             "fir", {"num_samples": 32, "seed": 5}, 5),
+        scen("golden-producer-consumer",
+             PlatformBuilder().pes(2).wrapper_memories(1),
+             "producer_consumer",
+             {"num_items": 16, "fifo_depth": 4, "seed": 3}, 3),
+        scen("golden-gsm-encode",
+             PlatformBuilder().pes(1).wrapper_memories(1),
+             "gsm_encode", {"frames": 1, "seed": 42}, 42),
+        scen("golden-alloc-churn",
+             PlatformBuilder().pes(1).wrapper_memories(1).capacity(1 << 20),
+             "alloc_churn",
+             {"iterations": 8, "block_words": 16, "gsm_frames": 1, "seed": 9},
+             9),
+    ]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)["scenarios"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    runs = ExperimentRunner(golden_scenarios()).run()
+    for result in runs:
+        result.raise_for_status()
+    return {result.scenario: result for result in runs}
+
+
+def test_golden_covers_every_scenario(golden, results):
+    assert set(golden) == set(results)
+
+
+@pytest.mark.parametrize("scenario", [s.name for s in golden_scenarios()])
+def test_scheduler_counters_match_golden(scenario, golden, results):
+    report = results[scenario].report
+    observed = {name: report.kernel_stats[name] for name in COMPARED_COUNTERS}
+    observed["simulated_time"] = report.simulated_time
+    expected = golden[scenario]
+    assert observed == expected, (
+        f"scheduler counters changed for fixed-seed scenario {scenario!r} — "
+        f"the kernel fast path altered simulation semantics"
+    )

@@ -145,6 +145,22 @@ class TestIdleTicker:
         # The wrapper FSM accumulated idle evaluations.
         assert platform.memories[1].idle_cycles > 0
 
+    def test_max_time_with_early_finish_reports_the_finish_time(self):
+        """run(duration) clamps to its deadline (sc_start semantics), but a
+        platform whose tasks drain before max_time must report the actual
+        finish time — not a 50k-cycle slice boundary."""
+        def short_task(ctx):
+            yield from ctx.compute(100)
+
+        config = PlatformConfig(num_pes=1)
+        platform = Platform(config)
+        platform.add_task(short_task)
+        report = platform.run(max_time=100_000 * config.clock_period)
+        assert report.all_pes_finished
+        # Well under one run() slice — nowhere near 50_000 cycles.
+        assert report.simulated_cycles <= 1_000
+        assert report.kernel_stats["end_time"] == report.simulated_time
+
     def test_max_time_bounds_a_stuck_platform(self):
         def never_ending(ctx):
             while True:
