@@ -38,6 +38,7 @@ from ..sw.registry import (
     as_workload,
     workload,
 )
+from ..cache import CacheConfig, CacheGeometry, WritePolicy
 from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
 from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
 from .perf import BenchResult, PerfRecorder, PerfTimer, bench_json_path, load_bench_entries
@@ -49,6 +50,8 @@ __all__ = [
     "BenchResult",
     "BuilderError",
     "COST_MODELS",
+    "CacheConfig",
+    "CacheGeometry",
     "DELAY_PRESETS",
     "DriveResult",
     "ExperimentRunner",
@@ -61,6 +64,7 @@ __all__ = [
     "Workload",
     "WorkloadError",
     "WorkloadRegistry",
+    "WritePolicy",
     "as_workload",
     "bench_json_path",
     "drive",

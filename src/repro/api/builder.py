@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Union
 
+from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
 from ..soc.config import (
@@ -144,6 +145,42 @@ class PlatformBuilder:
         if arbitration_cycles is not None:
             self._set(arbitration_cycles=arbitration_cycles)
         return self
+
+    # -- memory hierarchy --------------------------------------------------------------
+    def l1_cache(self, sets: int = 64, ways: int = 2, line_bytes: int = 32,
+                 policy: Union[WritePolicy, str] = WritePolicy.WRITE_BACK,
+                 hit_cycles: int = 1) -> "PlatformBuilder":
+        """Give every PE an L1 data cache (MSI-coherent across PEs).
+
+        ``policy`` is a :class:`~repro.cache.geometry.WritePolicy` or its
+        value string (``"write_back"`` / ``"write_through"``).
+        """
+        if isinstance(policy, str):
+            try:
+                policy = WritePolicy(policy)
+            except ValueError:
+                raise BuilderError(
+                    f"unknown write policy {policy!r}; use one of "
+                    f"{[p.value for p in WritePolicy]}"
+                ) from None
+        try:
+            config = CacheConfig(
+                geometry=CacheGeometry(sets=sets, ways=ways,
+                                       line_bytes=line_bytes),
+                policy=policy, hit_cycles=hit_cycles,
+            )
+        except CacheError as exc:
+            raise BuilderError(f"invalid cache description: {exc}") from exc
+        return self._set(cache=config)
+
+    def no_cache(self) -> "PlatformBuilder":
+        """Remove the L1 layer: the flat (bit-identical) PE -> bus model."""
+        return self._set(cache=None)
+
+    def monitored(self, enable: bool = True) -> "PlatformBuilder":
+        """Wrap every memory in a timing-transparent :class:`BusMonitor`
+        (per-memory transaction counts and latency percentiles in reports)."""
+        return self._set(monitor_memories=bool(enable))
 
     # -- timing -----------------------------------------------------------------------
     def clock_period(self, period: int) -> "PlatformBuilder":

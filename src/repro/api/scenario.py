@@ -140,7 +140,8 @@ class ScenarioResult:
         if self.report is not None:
             row["simulated_cycles"] = self.report.simulated_cycles
             row["wallclock_seconds"] = round(self.report.wallclock_seconds, 4)
-            row["simulation_speed"] = round(self.report.simulation_speed, 1)
+            speed = self.report.simulation_speed_or_none
+            row["simulation_speed"] = None if speed is None else round(speed, 1)
         return row
 
     def as_dict(self) -> dict:

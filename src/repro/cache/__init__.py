@@ -1,0 +1,39 @@
+"""Per-PE L1 caches with MSI snooping coherence.
+
+This package adds a real memory hierarchy to the platform: a configurable
+L1 data cache per processing element (:class:`L1Cache`) shimmed between the
+PE's master port and the interconnect, kept coherent across PEs by a
+snooping MSI protocol (:class:`CoherenceDomain`).  Caches are a pure opt-in
+layer — a platform built without a :class:`CacheConfig` is bit-identical to
+the cache-less one — and, when enabled, cache-served accesses are
+bit-identical with wrapper-served ones while removing shared-memory
+transactions from the interconnect.
+
+Enable them declaratively::
+
+    config = (PlatformBuilder()
+              .pes(4)
+              .wrapper_memories(1)
+              .l1_cache(sets=64, ways=2, line_bytes=32, policy="write_back")
+              .build())
+"""
+
+from .coherence import CoherenceDomain, DomainStats, SharedAllocation
+from .geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
+from .l1 import CachedPort, CacheLine, CacheStats, L1Cache, MSIState, canonical_word
+
+__all__ = [
+    "CacheConfig",
+    "CacheError",
+    "CacheGeometry",
+    "CacheLine",
+    "CacheStats",
+    "CachedPort",
+    "CoherenceDomain",
+    "DomainStats",
+    "L1Cache",
+    "MSIState",
+    "SharedAllocation",
+    "WritePolicy",
+    "canonical_word",
+]

@@ -1,0 +1,433 @@
+"""MSI snooping coherence over the shared interconnect.
+
+One :class:`CoherenceDomain` per platform ties the per-PE L1 caches
+(:class:`~repro.cache.l1.L1Cache`) together:
+
+* it keeps a *shadow allocation map* mirroring every dynamic memory's
+  pointer table (fed by the ALLOC/FREE/RESERVE/RELEASE commands all caches
+  forward), so caches can resolve ``vptr + offset`` to allocation-clamped
+  line ranges exactly the way the wrapper's translator does;
+* it implements the snoop channel of the MSI protocol: before a cache
+  fills a line it snoops the others (a remote MODIFIED overlap is written
+  back and downgraded to SHARED); before a cache takes a line MODIFIED the
+  other caches' overlapping lines are written back if dirty and invalidated;
+* it hooks into the interconnect (:meth:`attach_interconnect`) so command
+  bursts issued by *uncached* masters (raw testbench traffic, ISS register
+  programs) still invalidate stale lines conservatively: their writes
+  supersede any cached dirty copy of the written range.  The one gap raw
+  masters keep under the write-back policy: their *reads* cannot trigger a
+  snoop writeback (the hook runs synchronously inside the bus process and
+  cannot issue bus transactions), so a raw read may observe pre-writeback
+  memory; mixed platforms that need raw readers should use write-through
+  caches.
+
+Snoop-triggered writebacks are issued through the *requesting* master's
+port, inside the requesting PE's process — the snoop channel itself is not
+modelled as data-bus traffic (only the writebacks and fills it triggers
+are), which matches the dedicated snoop networks of bus-based MPSoCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..memory.protocol import (
+    DATA_TYPE_SIZES,
+    DataType,
+    MemCommand,
+    MemOpcode,
+    ProtocolError,
+    REG_COMMAND,
+    REGISTER_WINDOW_BYTES,
+)
+from ..interconnect.transaction import BusOp, BusRequest, BusResponse
+
+
+@dataclass
+class SharedAllocation:
+    """Shadow-map row mirroring one live pointer-table entry."""
+
+    #: Monotonically increasing identity: vptr ranges are *reused* after
+    #: frees (the wrapper restarts generation from the last surviving
+    #: entry), so cached lines are keyed by ``uid`` rather than by address.
+    uid: int
+    mem_index: int
+    vptr: int
+    dim: int
+    data_type: DataType
+    reserved_by: Optional[int] = None
+
+    @property
+    def element_size(self) -> int:
+        return DATA_TYPE_SIZES[self.data_type]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.dim * self.element_size
+
+    @property
+    def end_vptr(self) -> int:
+        return self.vptr + self.size_bytes
+
+    def contains(self, vptr: int) -> bool:
+        return self.vptr <= vptr < self.end_vptr
+
+    def element_byte(self, index: int) -> int:
+        """Byte address (in vptr space) of element ``index``."""
+        return self.vptr + index * self.element_size
+
+
+@dataclass
+class DomainStats:
+    """Aggregate coherence activity of one domain."""
+
+    snoop_reads: int = 0
+    snoop_upgrades: int = 0
+    snoop_writebacks: int = 0
+    invalidations: int = 0
+    #: Dirty lines whose stale clean slots were scrubbed (kept resident)
+    #: after an uncached write — distinct from full invalidations.
+    scrubs: int = 0
+    flush_barriers: int = 0
+    bus_snoops: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "snoop_reads": self.snoop_reads,
+            "snoop_upgrades": self.snoop_upgrades,
+            "snoop_writebacks": self.snoop_writebacks,
+            "invalidations": self.invalidations,
+            "scrubs": self.scrubs,
+            "flush_barriers": self.flush_barriers,
+            "bus_snoops": self.bus_snoops,
+        }
+
+
+class CoherenceDomain:
+    """Snooping MSI coherence glue shared by every L1 cache of a platform."""
+
+    def __init__(self) -> None:
+        self._caches: List[object] = []
+        #: mem_index -> list of live allocations (wrapper table order).
+        self._allocs: Dict[int, List[SharedAllocation]] = {}
+        self._next_uid = 1
+        self.stats = DomainStats()
+        #: Interconnect window map used by the bus snooper:
+        #: window base address -> memory index.
+        self._windows: Dict[int, int] = {}
+
+    # -- cache registration ------------------------------------------------------
+    def register_cache(self, cache) -> None:
+        """Add one L1 cache to the snoop set."""
+        self._caches.append(cache)
+
+    @property
+    def caches(self) -> List[object]:
+        return list(self._caches)
+
+    def _others(self, requester):
+        return [cache for cache in self._caches if cache is not requester]
+
+    # -- shadow allocation map ---------------------------------------------------
+    def on_alloc(self, mem_index: int, vptr: int, dim: int,
+                 data_type: DataType) -> SharedAllocation:
+        """Record a successful ALLOC and scrub stale lines in its range."""
+        alloc = SharedAllocation(self._next_uid, mem_index, vptr, dim,
+                                 DataType(data_type))
+        self._next_uid += 1
+        self._allocs.setdefault(mem_index, []).append(alloc)
+        # Vptr ranges may be reused after frees; drop any line (of any
+        # generation) overlapping the new range so calloc-zeroed memory can
+        # never be shadowed by stale data.
+        self._drop_range(mem_index, alloc.vptr, alloc.end_vptr)
+        return alloc
+
+    def on_free(self, alloc: SharedAllocation) -> None:
+        """Record a successful FREE: drop the row and every cached line."""
+        rows = self._allocs.get(alloc.mem_index, [])
+        if alloc in rows:
+            rows.remove(alloc)
+        self._drop_range(alloc.mem_index, alloc.vptr, alloc.end_vptr)
+
+    def on_reserve(self, alloc: SharedAllocation, master_id: int) -> None:
+        alloc.reserved_by = master_id
+
+    def on_release(self, alloc: SharedAllocation) -> None:
+        alloc.reserved_by = None
+
+    def is_foreign_reserved(self, mem_index: int, vptr: int,
+                            master_id: int) -> bool:
+        """True when a master other than ``master_id`` holds the semaphore
+        of the allocation containing ``vptr`` (no-copy hot-path helper)."""
+        for alloc in self._allocs.get(mem_index, ()):
+            if alloc.contains(vptr):
+                return (alloc.reserved_by is not None
+                        and alloc.reserved_by != master_id)
+        return False
+
+    def find_alloc(self, mem_index: int, vptr: int) -> Optional[SharedAllocation]:
+        """Exact-base lookup (FREE/RESERVE/RELEASE/QUERY semantics)."""
+        for alloc in self._allocs.get(mem_index, ()):
+            if alloc.vptr == vptr:
+                return alloc
+        return None
+
+    def resolve(self, mem_index: int, vptr: int, offset: int
+                ) -> Optional[Tuple[SharedAllocation, int]]:
+        """Mirror the wrapper's scalar READ/WRITE element resolution.
+
+        Returns ``(allocation, element_index)`` for an in-bounds access,
+        ``None`` otherwise (interior pointers supported, exactly like
+        ``PointerTable.resolve`` plus the wrapper's bounds check).
+        """
+        for alloc in self._allocs.get(mem_index, ()):
+            if alloc.contains(vptr):
+                index = (vptr - alloc.vptr) // alloc.element_size + offset
+                if 0 <= index < alloc.dim:
+                    return alloc, index
+                return None
+        return None
+
+    def resolve_range(self, mem_index: int, vptr: int, offset: int, dim: int
+                      ) -> Optional[Tuple[SharedAllocation, int]]:
+        """Mirror the wrapper's READ_ARRAY/WRITE_ARRAY bounds resolution."""
+        if dim <= 0:
+            return None
+        for alloc in self._allocs.get(mem_index, ()):
+            if alloc.contains(vptr):
+                start = (vptr - alloc.vptr) // alloc.element_size + offset
+                if start >= 0 and start + dim <= alloc.dim:
+                    return alloc, start
+                return None
+        return None
+
+    def live_allocations(self, mem_index: int) -> List[SharedAllocation]:
+        return list(self._allocs.get(mem_index, ()))
+
+    # -- snoop channel -----------------------------------------------------------
+    #: Upper bound on snoop passes before giving up on a line another
+    #: master keeps re-dirtying faster than it can be written back.
+    MAX_SNOOP_PASSES = 64
+
+    def snoop_read(self, requester, alloc: SharedAllocation, first: int,
+                   count: int) -> Generator[object, None, None]:
+        """Read snoop: remote MODIFIED overlaps are written back and
+        downgraded to SHARED.
+
+        Driven with ``yield from`` inside the requesting PE's process; the
+        writebacks ride the requester's master port.  Loops until no remote
+        overlap is dirty *or MODIFIED* at a synchronous exit: the owner may
+        dirty another element of the line while a writeback suspends this
+        process, and it must not be left in MODIFIED (it would keep writing
+        without re-acquiring, invisibly to the fill that follows this
+        snoop).  Once every overlap is SHARED, any later remote write has
+        to go through :meth:`acquire_exclusive`, which invalidates the
+        requester's placeholder line and keeps the stale fetch out.
+        """
+        self.stats.snoop_reads += 1
+        lo = alloc.element_byte(first)
+        hi = alloc.element_byte(first + count)
+        for _pass in range(self.MAX_SNOOP_PASSES):
+            flagged = [
+                (cache, line)
+                for cache in self._others(requester)
+                for line in cache.lines_overlapping(alloc.mem_index, lo, hi)
+                if line.has_dirty() or line.is_modified()
+            ]
+            if not flagged:
+                return
+            progressed = False
+            for cache, line in flagged:
+                if line.has_dirty():
+                    ok = yield from cache.writeback_line(line,
+                                                         requester.raw_port)
+                    if ok:
+                        self.stats.snoop_writebacks += 1
+                        progressed = True
+                line.downgrade()
+                if not line.is_modified():
+                    progressed = True
+            if not progressed:
+                return  # writebacks blocked (foreign reservation): give up
+
+    def acquire_exclusive(self, requester, alloc: SharedAllocation, first: int,
+                          count: int) -> Generator[object, None, None]:
+        """Write snoop: every other cache's overlapping line is invalidated
+        (written back first when dirty, so no update is ever lost).
+
+        Loops until no remote copy survives: a writeback suspends the
+        requesting process, and another PE may install a fresh copy in the
+        meantime.  The final pass performs only synchronous drops, so when
+        this generator returns the requester may take MODIFIED ownership
+        without yielding first.
+        """
+        self.stats.snoop_upgrades += 1
+        lo = alloc.element_byte(first)
+        hi = alloc.element_byte(first + count)
+        for _pass in range(self.MAX_SNOOP_PASSES):
+            overlapping = [
+                (cache, line)
+                for cache in self._others(requester)
+                for line in cache.lines_overlapping(alloc.mem_index, lo, hi)
+            ]
+            if not overlapping:
+                return
+            dirty = [(cache, line) for cache, line in overlapping
+                     if line.has_dirty()]
+            if not dirty:
+                for cache, line in overlapping:
+                    self.stats.invalidations += 1
+                    cache.drop_line(line)
+                return
+            progressed = False
+            for cache, line in dirty:
+                ok = yield from cache.writeback_line(line, requester.raw_port)
+                if ok:
+                    self.stats.snoop_writebacks += 1
+                    progressed = True
+            if not progressed:
+                # Writebacks blocked (foreign reservation) and nothing can
+                # advance without yielding: give up rather than busy-loop.
+                # Callers re-check any_remote_modified() before taking
+                # MODIFIED ownership and fall back to an uncached write.
+                return
+
+    def any_remote_modified(self, requester, mem_index: int, lo_byte: int,
+                            hi_byte: int) -> bool:
+        """True when another cache holds dirty/MODIFIED data in the range.
+
+        Synchronous (no bus traffic): used as the install-time conflict
+        check that keeps a fetched-but-outdated line out of the cache.
+        """
+        for cache in self._others(requester):
+            for line in cache.lines_overlapping(mem_index, lo_byte, hi_byte):
+                if line.has_dirty() or line.is_modified():
+                    return True
+        return False
+
+    def flush_alloc(self, requester, alloc: SharedAllocation
+                    ) -> Generator[object, None, None]:
+        """Reservation barrier: write back every cache's dirty lines of
+        ``alloc`` (lines stay valid, downgraded to SHARED)."""
+        self.stats.flush_barriers += 1
+        for cache in self._caches:
+            for line in cache.dirty_lines_overlapping(alloc, alloc.vptr,
+                                                      alloc.end_vptr):
+                ok = yield from cache.writeback_line(line, requester.raw_port)
+                if ok:
+                    self.stats.snoop_writebacks += 1
+                    line.downgrade()
+
+    # -- non-bus invalidation ----------------------------------------------------
+    def invalidate_range(self, mem_index: int, lo_byte: int, hi_byte: int,
+                         requester=None, supersede_dirty: bool = False) -> int:
+        """Scrub stale copies after a write went to memory around the caches.
+
+        Clean lines overlapping ``[lo_byte, hi_byte)`` are dropped.  A
+        dirty line is *not* dropped; its slots inside the range are
+        scrubbed per :meth:`CacheLine.scrub_slots` — by default keeping the
+        dirty ones (a racing *cached* writer's data is still owed a
+        writeback), with ``supersede_dirty`` discarding them too (the
+        caller observed the memory write serialize after them, e.g. an
+        uncached master's write on the bus).
+        """
+        dropped = 0
+        for cache in self._caches:
+            if cache is requester:
+                continue
+            for line in cache.lines_overlapping(mem_index, lo_byte, hi_byte):
+                if line.has_dirty():
+                    line.scrub_slots(lo_byte, hi_byte,
+                                     supersede_dirty=supersede_dirty)
+                    self.stats.scrubs += 1
+                else:
+                    cache.drop_line(line)
+                    dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def _drop_range(self, mem_index: int, lo_byte: int, hi_byte: int) -> None:
+        for cache in self._caches:
+            for line in cache.lines_overlapping(mem_index, lo_byte, hi_byte):
+                cache.drop_line(line, silent=True)
+
+    # -- interconnect snoop hook ---------------------------------------------------
+    def attach_interconnect(self, interconnect, windows: Dict[int, int]) -> None:
+        """Observe completed transfers on ``interconnect``.
+
+        ``windows`` maps window base addresses to memory indices.  The hook
+        is the domain's *authoritative* source for the shadow allocation
+        map: ALLOC/FREE/RESERVE/RELEASE take effect the moment their
+        command completes on the interconnect — synchronously inside the
+        bus process, before any other master can observe the new state —
+        so the map can never lag behind the wrapper's pointer table.
+        Writes from masters that do *not* own a cache in this domain
+        additionally invalidate overlapping lines, so raw traffic injected
+        next to cached PEs cannot leave stale data behind.
+        """
+        self._windows.update(windows)
+        interconnect.add_snooper(self._on_bus_transfer)
+
+    def _cached_master_ids(self):
+        return {cache.master_id for cache in self._caches}
+
+    def _on_bus_transfer(self, request: BusRequest, response: BusResponse) -> None:
+        if not response.ok:
+            return
+        if request.op is not BusOp.WRITE or request.burst_data is None:
+            return
+        mem_index = None
+        for base, index in self._windows.items():
+            if base <= request.address < base + REGISTER_WINDOW_BYTES:
+                if request.address - base == REG_COMMAND:
+                    mem_index = index
+                break
+        if mem_index is None:
+            return
+        try:
+            command = MemCommand.from_words(list(request.burst_data))
+        except ProtocolError:
+            return
+        self.stats.bus_snoops += 1
+        opcode = command.opcode
+        # Bookkeeping opcodes: authoritative for every master.
+        if opcode == MemOpcode.ALLOC:
+            if command.dim > 0:
+                self.on_alloc(mem_index, response.data, command.dim,
+                              command.data_type)
+            return
+        if opcode == MemOpcode.FREE:
+            alloc = self.find_alloc(mem_index, command.vptr)
+            if alloc is not None:
+                self.on_free(alloc)
+            return
+        if opcode == MemOpcode.RESERVE:
+            alloc = self.find_alloc(mem_index, command.vptr)
+            if alloc is not None:
+                self.on_reserve(alloc, request.master_id)
+            return
+        if opcode == MemOpcode.RELEASE:
+            alloc = self.find_alloc(mem_index, command.vptr)
+            if alloc is not None:
+                self.on_release(alloc)
+            return
+        # Data writes: cached masters ran the full MSI protocol already;
+        # only uncached traffic needs the conservative invalidation.
+        if request.master_id in self._cached_master_ids():
+            return
+        if opcode == MemOpcode.WRITE:
+            located = self.resolve(mem_index, command.vptr, command.offset)
+            if located is not None:
+                alloc, index = located
+                self.invalidate_range(mem_index, alloc.element_byte(index),
+                                      alloc.element_byte(index + 1),
+                                      supersede_dirty=True)
+        elif opcode == MemOpcode.WRITE_ARRAY:
+            located = self.resolve_range(mem_index, command.vptr,
+                                         command.offset, command.dim)
+            if located is not None:
+                alloc, start = located
+                self.invalidate_range(mem_index, alloc.element_byte(start),
+                                      alloc.element_byte(start + command.dim),
+                                      supersede_dirty=True)

@@ -1,0 +1,112 @@
+"""Cache geometry and policy configuration.
+
+A :class:`CacheGeometry` describes the physical shape of one L1 data cache
+(sets x ways x line bytes, set-associative with LRU replacement); a
+:class:`CacheConfig` pairs a geometry with a write policy and a hit latency
+and is what platforms carry around (it is a frozen dataclass, so scenario
+grids can sweep over configurations and the process-sharded experiment
+runner can pickle them).
+
+Addresses handled by the cache layer live in each shared memory's *virtual
+pointer* space (the byte addresses the wrapper's pointer table hands out),
+not in the interconnect's register windows: the unit the paper's software
+actually reasons about is ``vptr + offset``, and lines are clamped to the
+allocation that owns them (see :mod:`repro.cache.l1`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WritePolicy(enum.Enum):
+    """Write handling of an L1 data cache."""
+
+    #: Every write is forwarded to the shared memory immediately; the cache
+    #: only absorbs read traffic.  Simple, always memory-consistent.
+    WRITE_THROUGH = "write_through"
+    #: Writes dirty the cached line (write-allocate on miss) and reach the
+    #: shared memory on eviction, coherence writebacks or flush barriers.
+    WRITE_BACK = "write_back"
+
+
+class CacheError(ValueError):
+    """Raised on invalid cache geometry or configuration values."""
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of one set-associative cache: sets x ways x line bytes."""
+
+    sets: int = 64
+    ways: int = 2
+    line_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sets, int) or self.sets <= 0:
+            raise CacheError(f"sets must be a positive integer, got {self.sets!r}")
+        if not isinstance(self.ways, int) or self.ways <= 0:
+            raise CacheError(f"ways must be a positive integer, got {self.ways!r}")
+        if not isinstance(self.line_bytes, int) or self.line_bytes < 4 \
+                or not _is_power_of_two(self.line_bytes):
+            raise CacheError(
+                f"line_bytes must be a power of two >= 4, got {self.line_bytes!r}"
+            )
+
+    # -- derived quantities ------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity of the cache."""
+        return self.sets * self.ways * self.line_bytes
+
+    # -- address arithmetic (byte addresses in vptr space) -----------------------
+    def line_number(self, byte_address: int) -> int:
+        """Line number holding ``byte_address``."""
+        return byte_address // self.line_bytes
+
+    def line_base(self, line_number: int) -> int:
+        """First byte address covered by ``line_number``."""
+        return line_number * self.line_bytes
+
+    def set_index(self, line_number: int) -> int:
+        """Set the line maps to (modulo placement)."""
+        return line_number % self.sets
+
+    def describe(self) -> str:
+        """Short human-readable geometry label (``64x2x32B``)."""
+        return f"{self.sets}x{self.ways}x{self.line_bytes}B"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Complete description of the per-PE L1 data caches of a platform."""
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    policy: WritePolicy = WritePolicy.WRITE_BACK
+    #: Simulated PE clock cycles charged for a cache hit (0 = free hits).
+    hit_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.geometry, CacheGeometry):
+            raise CacheError(
+                f"geometry must be a CacheGeometry, got "
+                f"{type(self.geometry).__name__}"
+            )
+        if not isinstance(self.policy, WritePolicy):
+            raise CacheError(
+                f"policy must be a WritePolicy, got {self.policy!r}"
+            )
+        if not isinstance(self.hit_cycles, int) or self.hit_cycles < 0:
+            raise CacheError(
+                f"hit_cycles must be a non-negative integer, got "
+                f"{self.hit_cycles!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary used by ``PlatformConfig.describe()`` and benches."""
+        return f"l1 {self.geometry.describe()} {self.policy.value}"

@@ -1,0 +1,1098 @@
+"""Per-PE L1 data cache shim over the dynamic shared-memory protocol.
+
+An :class:`L1Cache` sits between one processing element's master port and
+the interconnect.  The software stack is unchanged: the PE's
+:class:`~repro.wrapper.api.SharedMemoryAPI` talks to a
+:class:`CachedPort` exposing the exact :class:`~repro.interconnect.bus.MasterPort`
+interface, and the cache decodes the command bursts flowing through it:
+
+* scalar READs hit in the cache or trigger a line-sized burst fill
+  (READ_ARRAY through the real port, clamped to the owning allocation);
+* scalar WRITEs update the line (write-back + write-allocate) or are
+  forwarded (write-through);
+* whole READ_ARRAY / WRITE_ARRAY transfers are served from / absorbed into
+  the cache when every element is covered, and install their data on the
+  way through otherwise;
+* ALLOC / FREE / RESERVE / RELEASE always reach the memory module and feed
+  the coherence domain's shadow allocation map — the wrapper FSM command
+  region itself is never cached, only the *data* behind it.
+
+Cached words are stored in the exact canonical form the wrapper returns
+(element encode/decode round trip, i.e. ``to_signed(value) & 0xFFFFFFFF``),
+so cache-served reads are bit-identical with wrapper-served ones.
+
+Reservation (semaphore) semantics are preserved: while an allocation's
+reservation bit is held, writes to it bypass the cache (so their visibility
+matches the uncached platform) and writebacks never race the holder —
+acquiring the bit acts as a flush barrier (see
+:class:`~repro.cache.coherence.CoherenceDomain`).
+
+Cache lines are *allocation-clamped*: a line covers the intersection of its
+byte range (in the memory's virtual-pointer space) with one live
+allocation, and is keyed by the allocation's generation uid, so vptr reuse
+after frees can never alias stale data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..interconnect.transaction import (
+    BusOp,
+    BusRequest,
+    BusResponse,
+    ResponseStatus,
+)
+from ..memory.dynamic_base import to_signed
+from ..memory.protocol import (
+    IO_ARRAY_BASE,
+    REG_COMMAND,
+    REGISTER_WINDOW_BYTES,
+    DataType,
+    MemCommand,
+    MemOpcode,
+    ProtocolError,
+)
+from .coherence import CoherenceDomain, SharedAllocation
+from .geometry import CacheConfig, WritePolicy
+
+
+def canonical_word(value: int, data_type: DataType) -> int:
+    """The raw word the wrapper would return for a stored ``value``.
+
+    Mirrors the translator's element encode/decode round trip (truncate to
+    the element width, sign-extend signed types, mask to 32 bits).
+    """
+    return to_signed(value, data_type) & 0xFFFFFFFF
+
+
+class MSIState(enum.Enum):
+    """Stable states of a resident line (INVALID = not resident)."""
+
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+class CacheLine:
+    """One resident line: the slice of an allocation a line range covers."""
+
+    __slots__ = ("alloc", "line_no", "first_index", "words", "present",
+                 "dirty", "state")
+
+    def __init__(self, alloc: SharedAllocation, line_no: int,
+                 first_index: int, count: int) -> None:
+        self.alloc = alloc
+        self.line_no = line_no
+        #: Element index (within the allocation) stored in slot 0.
+        self.first_index = first_index
+        self.words: List[int] = [0] * count
+        self.present: List[bool] = [False] * count
+        self.dirty: List[bool] = [False] * count
+        self.state = MSIState.SHARED
+
+    # -- geometry ----------------------------------------------------------------
+    @property
+    def mem_index(self) -> int:
+        return self.alloc.mem_index
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.words)
+
+    @property
+    def lo_byte(self) -> int:
+        return self.alloc.element_byte(self.first_index)
+
+    @property
+    def hi_byte(self) -> int:
+        return self.alloc.element_byte(self.first_index + self.n_slots)
+
+    def slot_of(self, element_index: int) -> int:
+        return element_index - self.first_index
+
+    def covers(self, element_index: int) -> bool:
+        return 0 <= element_index - self.first_index < self.n_slots
+
+    # -- state -------------------------------------------------------------------
+    def has_dirty(self) -> bool:
+        return any(self.dirty)
+
+    def is_modified(self) -> bool:
+        return self.state is MSIState.MODIFIED
+
+    def downgrade(self) -> None:
+        """MODIFIED -> SHARED after a successful writeback."""
+        if not self.has_dirty():
+            self.state = MSIState.SHARED
+
+    def scrub_slots(self, lo_byte: int, hi_byte: int,
+                    supersede_dirty: bool = False) -> None:
+        """Mark the slots inside ``[lo_byte, hi_byte)`` absent.
+
+        Used after a write reached memory without going through this cache.
+        By default only clean slots are scrubbed (a concurrently racing
+        *cached* writer's dirty data is still owed a writeback); with
+        ``supersede_dirty`` the dirty slots in the range are discarded too —
+        the caller knows the memory write serialized *after* them (an
+        uncached master's write observed on the bus), so writing them back
+        later would clobber the newer value.
+        """
+        size = self.alloc.element_size
+        for slot in range(self.n_slots):
+            byte = self.alloc.element_byte(self.first_index + slot)
+            if lo_byte < byte + size and byte < hi_byte:
+                if supersede_dirty:
+                    self.dirty[slot] = False
+                    self.present[slot] = False
+                elif not self.dirty[slot]:
+                    self.present[slot] = False
+        if supersede_dirty:
+            self.downgrade()
+
+    def dirty_runs(self) -> List[Tuple[int, int]]:
+        """Contiguous runs of dirty slots as ``(slot_start, length)``."""
+        runs: List[Tuple[int, int]] = []
+        start = None
+        for slot, is_dirty in enumerate(self.dirty):
+            if is_dirty and start is None:
+                start = slot
+            elif not is_dirty and start is not None:
+                runs.append((start, slot - start))
+                start = None
+        if start is not None:
+            runs.append((start, len(self.dirty) - start))
+        return runs
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters of one L1 cache."""
+
+    hits: int = 0
+    misses: int = 0
+    array_hits: int = 0
+    array_misses: int = 0
+    array_absorbs: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    write_throughs: int = 0
+    invalidations_received: int = 0
+    uncached_ops: int = 0
+    fallbacks: int = 0
+    reservation_stalls: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.array_hits + self.array_misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if not lookups:
+            return 0.0
+        return (self.hits + self.array_hits) / lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "array_hits": self.array_hits,
+            "array_misses": self.array_misses,
+            "array_absorbs": self.array_absorbs,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "write_throughs": self.write_throughs,
+            "invalidations_received": self.invalidations_received,
+            "uncached_ops": self.uncached_ops,
+            "fallbacks": self.fallbacks,
+            "reservation_stalls": self.reservation_stalls,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CachedPort:
+    """Drop-in :class:`~repro.interconnect.bus.MasterPort` facade.
+
+    Everything the task processor and the shared-memory API use
+    (``transfer``/``read``/``write``/``burst_read``/``burst_write``,
+    ``master_id``, ``_interconnect``) is forwarded through the cache.
+    """
+
+    def __init__(self, cache: "L1Cache", port) -> None:
+        self._cache = cache
+        self._port = port
+        self._last_response: Optional[BusResponse] = None
+
+    @property
+    def master_id(self) -> int:
+        return self._port.master_id
+
+    @property
+    def name(self) -> str:
+        return self._port.name
+
+    @property
+    def _interconnect(self):
+        return self._port._interconnect
+
+    @property
+    def last_response(self) -> Optional[BusResponse]:
+        """The most recently completed transfer — including transfers the
+        cache served locally, which never reach the raw port."""
+        return self._last_response
+
+    # -- MasterPort protocol -----------------------------------------------------
+    def transfer(self, request: BusRequest
+                 ) -> Generator[object, None, BusResponse]:
+        response = yield from self._cache.transfer(request)
+        self._last_response = response
+        return response
+
+    def read(self, address: int, size: int = 4, tag: str = ""
+             ) -> Generator[object, None, BusResponse]:
+        return self.transfer(
+            BusRequest(self.master_id, BusOp.READ, address, size=size, tag=tag)
+        )
+
+    def write(self, address: int, data: int, size: int = 4, tag: str = ""
+              ) -> Generator[object, None, BusResponse]:
+        return self.transfer(
+            BusRequest(self.master_id, BusOp.WRITE, address, data=data,
+                       size=size, tag=tag)
+        )
+
+    def burst_read(self, address: int, length: int, tag: str = ""
+                   ) -> Generator[object, None, BusResponse]:
+        return self.transfer(
+            BusRequest(self.master_id, BusOp.READ, address,
+                       burst_length=length, tag=tag)
+        )
+
+    def burst_write(self, address: int, words: List[int], tag: str = ""
+                    ) -> Generator[object, None, BusResponse]:
+        return self.transfer(
+            BusRequest(self.master_id, BusOp.WRITE, address,
+                       burst_data=list(words), tag=tag)
+        )
+
+
+class L1Cache:
+    """One processing element's L1 data cache (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        port,
+        domain: CoherenceDomain,
+        windows: Dict[int, int],
+        clock_period: int,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.geometry = config.geometry
+        self.policy = config.policy
+        self._raw = port
+        self.domain = domain
+        #: window base address -> memory index, and the reverse.
+        self._windows = dict(windows)
+        self._window_base = {mem: base for base, mem in windows.items()}
+        self._hit_wait = config.hit_cycles * clock_period
+        #: Back-off while a foreign reservation blocks a write, and the
+        #: stall bound after which the write is forwarded anyway (so true
+        #: reservation misuse still surfaces as the wrapper's error).
+        self._stall_wait = 8 * clock_period
+        self._max_stalls = 1024
+        self.stats = CacheStats()
+        self._sets: List[List[CacheLine]] = [[] for _ in range(self.geometry.sets)]
+        #: Buffered I/O-array stage awaiting its WRITE_ARRAY (write-back).
+        self._pending_stage: Optional[Tuple[int, BusRequest]] = None
+        #: Copy of the last forwarded stage (write-through install).
+        self._observed_stage: Optional[Tuple[int, List[int]]] = None
+        #: Words staged for the io fetch of a cache-served READ_ARRAY.
+        self._pending_fetch: Optional[Tuple[int, int, List[int]]] = None
+        #: Range of a forwarded READ_ARRAY to install from its io fetch.
+        self._pending_install: Optional[Tuple[SharedAllocation, int, int, int]] = None
+        domain.register_cache(self)
+        self.port = CachedPort(self, port)
+
+    # -- identity ------------------------------------------------------------------
+    @property
+    def master_id(self) -> int:
+        return self._raw.master_id
+
+    @property
+    def raw_port(self):
+        """The underlying (uncached) master port, used by snoop writebacks."""
+        return self._raw
+
+    # -- line directory ------------------------------------------------------------
+    def _lookup(self, mem_index: int, alloc_uid: int, line_no: int
+                ) -> Optional[CacheLine]:
+        ways = self._sets[self.geometry.set_index(line_no)]
+        for position, line in enumerate(ways):
+            if (line.line_no == line_no and line.alloc.uid == alloc_uid
+                    and line.mem_index == mem_index):
+                if position:  # move to MRU
+                    ways.pop(position)
+                    ways.insert(0, line)
+                return line
+        return None
+
+    def lines_overlapping(self, mem_index: int, lo_byte: int, hi_byte: int
+                          ) -> List[CacheLine]:
+        """Every resident line overlapping ``[lo_byte, hi_byte)`` byte range.
+
+        An overlapping line's ``line_no`` necessarily falls inside the
+        range's line-number span (lines are clamped to their line's byte
+        window), so small ranges probe only their sets instead of walking
+        the whole directory; ranges wider than the directory fall back to
+        the full scan.
+        """
+        if hi_byte <= lo_byte:
+            return []
+        found = []
+        first_line = self.geometry.line_number(lo_byte)
+        last_line = self.geometry.line_number(hi_byte - 1)
+        span = last_line - first_line + 1
+        if span <= self.geometry.sets:
+            for line_no in range(first_line, last_line + 1):
+                for line in self._sets[self.geometry.set_index(line_no)]:
+                    if (line.line_no == line_no and line.mem_index == mem_index
+                            and line.lo_byte < hi_byte
+                            and lo_byte < line.hi_byte):
+                        found.append(line)
+            return found
+        for ways in self._sets:
+            for line in ways:
+                if (line.mem_index == mem_index and line.lo_byte < hi_byte
+                        and lo_byte < line.hi_byte):
+                    found.append(line)
+        return found
+
+    def dirty_lines_overlapping(self, alloc: SharedAllocation, lo_byte: int,
+                                hi_byte: int) -> List[CacheLine]:
+        return [line for line in self.lines_overlapping(alloc.mem_index,
+                                                        lo_byte, hi_byte)
+                if line.has_dirty()]
+
+    def drop_line(self, line: CacheLine, evicted: bool = False,
+                  silent: bool = False) -> None:
+        """Remove a line (invalidate); dirty data is discarded by the caller's
+        contract (coherence invalidations write back first when needed).
+
+        ``silent`` drops are allocation-lifetime bookkeeping (FREE/ALLOC
+        scrubbing) and count neither as evictions nor as coherence
+        invalidations, so the MSI diagnostics stay meaningful.
+        """
+        ways = self._sets[self.geometry.set_index(line.line_no)]
+        if line in ways:
+            ways.remove(line)
+            if silent:
+                pass
+            elif evicted:
+                self.stats.evictions += 1
+            else:
+                self.stats.invalidations_received += 1
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def _element_span(self, alloc: SharedAllocation, line_no: int
+                      ) -> Tuple[int, int]:
+        """Element range ``(first, count)`` of ``alloc`` inside ``line_no``."""
+        line_lo = self.geometry.line_base(line_no)
+        line_hi = line_lo + self.geometry.line_bytes
+        size = alloc.element_size
+        first = max(0, -((line_lo - alloc.vptr) // -size))
+        last = min(alloc.dim - 1, (line_hi - 1 - alloc.vptr) // size)
+        return first, max(0, last - first + 1)
+
+    # -- request classification ------------------------------------------------------
+    def _window_of(self, address: int) -> Optional[Tuple[int, int, int]]:
+        """``(base, mem_index, offset)`` when ``address`` hits a memory window."""
+        for base, mem_index in self._windows.items():
+            if base <= address < base + REGISTER_WINDOW_BYTES:
+                return base, mem_index, address - base
+        return None
+
+    @staticmethod
+    def _is_command(request: BusRequest, offset: int) -> bool:
+        return (offset == REG_COMMAND and request.op is BusOp.WRITE
+                and request.burst_data is not None)
+
+    def _local(self, data: int = 0, burst: Optional[List[int]] = None
+               ) -> BusResponse:
+        return BusResponse(status=ResponseStatus.OK, data=data,
+                           burst_data=list(burst) if burst is not None else [],
+                           slave_cycles=0,
+                           total_cycles=self.config.hit_cycles)
+
+    # -- main entry point --------------------------------------------------------------
+    def transfer(self, request: BusRequest
+                 ) -> Generator[object, None, BusResponse]:
+        """The CachedPort's transfer: decode, serve or forward ``request``."""
+        window = self._window_of(request.address)
+
+        # 1. An absorbed READ_ARRAY left its payload staged for the io fetch.
+        if self._pending_fetch is not None:
+            mem_index, count, words = self._pending_fetch
+            self._pending_fetch = None
+            if (window is not None and window[1] == mem_index
+                    and window[2] == IO_ARRAY_BASE
+                    and request.op is BusOp.READ
+                    and request.burst_length == count):
+                yield self._hit_wait
+                return self._local(data=0, burst=words)
+            # Unexpected interleaving: drop the staged words and fall through.
+
+        is_command = window is not None and self._is_command(request, window[2])
+
+        # 2. A buffered io stage must reach the memory before any other
+        #    traffic that is not its WRITE_ARRAY command.
+        if self._pending_stage is not None and not is_command:
+            yield from self._flush_stage()
+
+        # 3. Command bursts: decode and dispatch.
+        if is_command:
+            base, mem_index, _offset = window
+            command = None
+            try:
+                command = MemCommand.from_words(list(request.burst_data))
+            except ProtocolError:
+                pass
+            if command is not None and command.sm_addr == mem_index:
+                return (yield from self._dispatch(command, request, base,
+                                                  mem_index))
+            if self._pending_stage is not None:
+                yield from self._flush_stage()
+            self.stats.uncached_ops += 1
+            return (yield from self._raw.transfer(request))
+
+        # 4. Whole-window io stages: buffer (write-back) or observe
+        #    (write-through) so a following WRITE_ARRAY can use the words.
+        if (window is not None and window[2] == IO_ARRAY_BASE
+                and request.op is BusOp.WRITE
+                and request.burst_data is not None):
+            mem_index = window[1]
+            if self.policy is WritePolicy.WRITE_BACK:
+                self._pending_stage = (mem_index, request)
+                yield self._hit_wait
+                return self._local()
+            response = yield from self._raw.transfer(request)
+            if response.ok:
+                self._observed_stage = (mem_index, list(request.burst_data))
+            return response
+
+        # 5. Everything else passes through untouched (status/diagnostic
+        #    registers, io fetches, non-memory addresses).
+        response = yield from self._raw.transfer(request)
+        if (self._pending_install is not None and window is not None
+                and response.ok and request.op is BusOp.READ
+                and window[2] == IO_ARRAY_BASE):
+            alloc, start, dim, mem_index = self._pending_install
+            self._pending_install = None
+            if (window[1] == mem_index and request.burst_length == dim
+                    and len(response.burst_data) == dim):
+                words = [word & 0xFFFFFFFF for word in response.burst_data]
+                lines = yield from self._prepare_lines(alloc, start, dim)
+                self._finalize_install(alloc, start, words, lines, dirty=False)
+        else:
+            self._pending_install = None
+        return response
+
+    # -- opcode dispatch -----------------------------------------------------------------
+    def _dispatch(self, command: MemCommand, request: BusRequest, base: int,
+                  mem_index: int) -> Generator[object, None, BusResponse]:
+        opcode = command.opcode
+        if opcode is not MemOpcode.WRITE_ARRAY and self._pending_stage is not None:
+            yield from self._flush_stage()
+        if opcode is MemOpcode.READ:
+            return (yield from self._op_read(command, request, mem_index))
+        if opcode is MemOpcode.WRITE:
+            return (yield from self._op_write(command, request, mem_index))
+        if opcode is MemOpcode.READ_ARRAY:
+            return (yield from self._op_read_array(command, request, mem_index))
+        if opcode is MemOpcode.WRITE_ARRAY:
+            return (yield from self._op_write_array(command, request, base,
+                                                    mem_index))
+        # ALLOC/FREE/RESERVE/RELEASE bookkeeping happens in the domain's
+        # interconnect snoop hook, synchronously at bus completion — the
+        # shim only runs the flush barriers that must precede the command.
+        if opcode is MemOpcode.RESERVE:
+            alloc = self.domain.find_alloc(mem_index, command.vptr)
+            if alloc is not None and alloc.reserved_by is None:
+                # Acquiring the semaphore is a flush barrier: every cache's
+                # dirty data of the allocation reaches memory first.
+                yield from self.domain.flush_alloc(self, alloc)
+            return (yield from self._raw.transfer(request))
+        if opcode is MemOpcode.RELEASE:
+            alloc = self.domain.find_alloc(mem_index, command.vptr)
+            if alloc is not None:
+                yield from self._flush_own_dirty(alloc, alloc.vptr,
+                                                 alloc.end_vptr)
+            return (yield from self._raw.transfer(request))
+        if opcode in (MemOpcode.ALLOC, MemOpcode.FREE):
+            return (yield from self._raw.transfer(request))
+        # QUERY / NOP / unknown: plain passthrough.
+        self.stats.uncached_ops += 1
+        return (yield from self._raw.transfer(request))
+
+    # -- scalar read ----------------------------------------------------------------------
+    def _op_read(self, command: MemCommand, request: BusRequest, mem_index: int
+                 ) -> Generator[object, None, BusResponse]:
+        located = self.domain.resolve(mem_index, command.vptr, command.offset)
+        if located is None:
+            self.stats.uncached_ops += 1
+            return (yield from self._raw.transfer(request))
+        alloc, index = located
+        line_no = self.geometry.line_number(alloc.element_byte(index))
+        line = self._lookup(mem_index, alloc.uid, line_no)
+        if line is not None and line.covers(index) \
+                and line.present[line.slot_of(index)]:
+            self.stats.hits += 1
+            yield self._hit_wait
+            return self._local(data=line.words[line.slot_of(index)])
+        self.stats.misses += 1
+        first, words, _line = yield from self._fill(alloc, line_no)
+        if words is None or not first <= index < first + len(words):
+            self.stats.fallbacks += 1
+            return (yield from self._raw.transfer(request))
+        # Even when the fetched line could not stay resident (invalidated by
+        # a concurrent writer mid-fill), the fetched words are a correct
+        # read serialized at the moment the burst completed on the bus.
+        return self._local(data=words[index - first])
+
+    # -- scalar write ---------------------------------------------------------------------
+    def _op_write(self, command: MemCommand, request: BusRequest, mem_index: int
+                  ) -> Generator[object, None, BusResponse]:
+        """Scalar write with reservation-aware retry.
+
+        A foreign master may hold (or acquire, while this write is in
+        flight on the bus) the allocation's coherence semaphore; the
+        uncached platform would refuse the write only under that exact
+        interleaving.  The snooping cache instead serializes the write
+        behind the critical section: stall, then retry.  True misuse still
+        errors — after the retry bound the write is forwarded and the
+        wrapper's NACK surfaces.
+        """
+        for _attempt in range(self._max_stalls):
+            response = yield from self._op_write_once(command, request,
+                                                      mem_index)
+            if response is not None:
+                return response
+            self.stats.reservation_stalls += 1
+            yield self._stall_wait
+        self.stats.uncached_ops += 1
+        return (yield from self._raw.transfer(request))
+
+    def _foreign_reserved(self, mem_index: int, vptr: int) -> bool:
+        """True when a *different* master currently holds the semaphore."""
+        return self.domain.is_foreign_reserved(mem_index, vptr, self.master_id)
+
+    def _op_write_once(self, command: MemCommand, request: BusRequest,
+                       mem_index: int
+                       ) -> Generator[object, None, Optional[BusResponse]]:
+        """One attempt of :meth:`_op_write`; ``None`` asks for a retry."""
+        located = self.domain.resolve(mem_index, command.vptr, command.offset)
+        if located is None:
+            self.stats.uncached_ops += 1
+            return (yield from self._raw.transfer(request))
+        alloc, index = located
+        if alloc.reserved_by is not None and alloc.reserved_by != self.master_id:
+            return None
+        value = canonical_word(command.data, alloc.data_type)
+        write_through = (self.policy is WritePolicy.WRITE_THROUGH
+                         or alloc.reserved_by is not None)
+        if write_through:
+            # Reservation-held writes always go to memory so their
+            # visibility matches the uncached platform.
+            yield from self.domain.acquire_exclusive(self, alloc, index, 1)
+            response = yield from self._raw.transfer(request)
+            if response.ok:
+                self.stats.write_throughs += 1
+                # A remote fill may have re-installed the pre-write value
+                # while the write was waiting for the bus: scrub again.
+                self.domain.invalidate_range(
+                    alloc.mem_index, alloc.element_byte(index),
+                    alloc.element_byte(index + 1), requester=self)
+                self._update_clean(alloc, index, value)
+            elif self._foreign_reserved(mem_index, command.vptr):
+                return None  # a reservation won the bus race: retry
+            return response
+        line_no = self.geometry.line_number(alloc.element_byte(index))
+        line = self._lookup(mem_index, alloc.uid, line_no)
+        if line is None:
+            self.stats.misses += 1
+            _first, _words, line = yield from self._fill(alloc, line_no)
+        else:
+            self.stats.hits += 1
+        if self._foreign_reserved(mem_index, command.vptr):
+            return None  # reservation acquired while the fill was on the bus
+        if line is not None and line.state is not MSIState.MODIFIED:
+            yield from self.domain.acquire_exclusive(
+                self, alloc, line.first_index, line.n_slots)
+            if self._foreign_reserved(mem_index, command.vptr):
+                return None
+            if self.domain.any_remote_modified(self, mem_index, line.lo_byte,
+                                               line.hi_byte):
+                # The upgrade snoop gave up on a blocked writeback: do not
+                # take MODIFIED against a surviving remote owner.
+                line = None
+        if line is None or not self._is_resident(line):
+            # No way available, or the line was invalidated while the
+            # upgrade snoop was writing remote data back: write to memory.
+            self.stats.fallbacks += 1
+            yield from self.domain.acquire_exclusive(self, alloc, index, 1)
+            response = yield from self._raw.transfer(request)
+            if response.ok:
+                self.domain.invalidate_range(
+                    alloc.mem_index, alloc.element_byte(index),
+                    alloc.element_byte(index + 1), requester=self)
+                self._update_clean(alloc, index, value)
+            elif self._foreign_reserved(mem_index, command.vptr):
+                return None
+            return response
+        # acquire_exclusive returns with no surviving remote copy and no
+        # trailing yield, so taking MODIFIED here cannot race a remote fill.
+        line.state = MSIState.MODIFIED
+        slot = line.slot_of(index)
+        line.words[slot] = value
+        line.present[slot] = True
+        line.dirty[slot] = True
+        yield self._hit_wait
+        return self._local()
+
+    def _update_clean(self, alloc: SharedAllocation, index: int, value: int
+                      ) -> None:
+        """Refresh a resident slot after a write that reached memory."""
+        line_no = self.geometry.line_number(alloc.element_byte(index))
+        line = self._lookup(alloc.mem_index, alloc.uid, line_no)
+        if line is not None and line.covers(index):
+            slot = line.slot_of(index)
+            line.words[slot] = value
+            line.present[slot] = True
+            line.dirty[slot] = False
+
+    # -- array read -----------------------------------------------------------------------
+    def _op_read_array(self, command: MemCommand, request: BusRequest,
+                       mem_index: int) -> Generator[object, None, BusResponse]:
+        located = self.domain.resolve_range(mem_index, command.vptr,
+                                            command.offset, command.dim)
+        if located is None:
+            self.stats.uncached_ops += 1
+            return (yield from self._raw.transfer(request))
+        alloc, start = located
+        words = self._collect(alloc, start, command.dim)
+        if words is not None:
+            self.stats.array_hits += 1
+            self._pending_fetch = (mem_index, command.dim, words)
+            yield self._hit_wait
+            return self._local(data=command.dim)
+        self.stats.array_misses += 1
+        yield from self._flush_own_dirty(alloc, alloc.element_byte(start),
+                                         alloc.element_byte(start + command.dim))
+        yield from self.domain.snoop_read(self, alloc, start, command.dim)
+        response = yield from self._raw.transfer(request)
+        if response.ok:
+            self._pending_install = (alloc, start, command.dim, mem_index)
+        return response
+
+    def _collect(self, alloc: SharedAllocation, start: int, dim: int
+                 ) -> Optional[List[int]]:
+        """All ``dim`` words from resident lines, or None on any gap."""
+        words: List[int] = []
+        index = start
+        while index < start + dim:
+            line_no = self.geometry.line_number(alloc.element_byte(index))
+            line = self._lookup(alloc.mem_index, alloc.uid, line_no)
+            if line is None or not line.covers(index):
+                return None
+            upto = min(start + dim, line.first_index + line.n_slots)
+            for element in range(index, upto):
+                slot = line.slot_of(element)
+                if not line.present[slot]:
+                    return None
+                words.append(line.words[slot])
+            index = upto
+        return words
+
+    # -- array write ----------------------------------------------------------------------
+    def _op_write_array(self, command: MemCommand, request: BusRequest,
+                        base: int, mem_index: int
+                        ) -> Generator[object, None, BusResponse]:
+        """Array write with the same reservation-aware retry as scalar
+        writes (see :meth:`_op_write`); the staged words survive retries."""
+        staged: Optional[List[int]] = None
+        if self._pending_stage is not None:
+            stage_mem, stage_request = self._pending_stage
+            if stage_mem == mem_index and stage_request.burst_data is not None \
+                    and len(stage_request.burst_data) >= command.dim:
+                staged = list(stage_request.burst_data[:command.dim])
+        for _attempt in range(self._max_stalls):
+            response = yield from self._op_write_array_once(
+                command, request, base, mem_index, staged)
+            if response is not None:
+                return response
+            self.stats.reservation_stalls += 1
+            yield self._stall_wait
+        if self._pending_stage is not None:
+            yield from self._flush_stage()
+        self.stats.uncached_ops += 1
+        return (yield from self._raw.transfer(request))
+
+    def _op_write_array_once(self, command: MemCommand, request: BusRequest,
+                             base: int, mem_index: int,
+                             staged: Optional[List[int]]
+                             ) -> Generator[object, None, Optional[BusResponse]]:
+        """One attempt of :meth:`_op_write_array`; ``None`` asks to retry."""
+        located = self.domain.resolve_range(mem_index, command.vptr,
+                                            command.offset, command.dim)
+        if located is None:
+            if self._pending_stage is not None:
+                yield from self._flush_stage()
+            self.stats.uncached_ops += 1
+            return (yield from self._raw.transfer(request))
+        alloc, start = located
+        if alloc.reserved_by is not None and alloc.reserved_by != self.master_id:
+            return None
+        absorb = (self.policy is WritePolicy.WRITE_BACK and staged is not None
+                  and alloc.reserved_by is None)
+        canon = [canonical_word(word, alloc.data_type)
+                 for word in (staged or [])]
+        if absorb:
+            self._pending_stage = None
+            lines = yield from self._prepare_lines(alloc, start, command.dim)
+            yield from self.domain.acquire_exclusive(self, alloc, start,
+                                                     command.dim)
+            # acquire_exclusive ends synchronously, and the readiness check
+            # plus _finalize_install never suspend, so MODIFIED ownership
+            # cannot race remote fills.  The check runs *before* anything
+            # is installed: a write that ends up forwarded (and possibly
+            # NACKed) must never leave speculative dirty data behind.
+            ready = (
+                self._range_prepared(alloc, start, command.dim, lines)
+                and not self.domain.any_remote_modified(
+                    self, alloc.mem_index, alloc.element_byte(start),
+                    alloc.element_byte(start + command.dim)))
+            if ready:
+                self._finalize_install(alloc, start, canon, lines, dirty=True)
+                self.stats.array_absorbs += 1
+                yield self._hit_wait
+                return self._local(data=command.dim)
+            # Cannot keep the whole range resident: send the data to memory
+            # instead, exactly like the passthrough path (own dirty flushed
+            # before the payload is staged — the writebacks reuse the io
+            # array — and the cache only updated after memory accepted it).
+            self.stats.fallbacks += 1
+            yield from self._flush_own_dirty(
+                alloc, alloc.element_byte(start),
+                alloc.element_byte(start + command.dim))
+            yield from self._restage(mem_index, staged or [], base)
+            response = yield from self._raw.transfer(request)
+            if not response.ok:
+                if self._foreign_reserved(mem_index, command.vptr):
+                    return None  # a reservation won the bus race: retry
+                return response
+            self.domain.invalidate_range(
+                mem_index, alloc.element_byte(start),
+                alloc.element_byte(start + command.dim), requester=self)
+            lines = yield from self._prepare_lines(alloc, start, command.dim)
+            self._finalize_install(alloc, start, canon, lines, dirty=False)
+            return response
+        # Passthrough (write-through, reservation held by self, or nothing
+        # staged through this shim).  Writebacks run *before* the payload
+        # is (re)staged: flush_own_dirty and the upgrade snoop reuse the
+        # wrapper's per-master io array and would clobber a staged payload.
+        yield from self._flush_own_dirty(
+            alloc, alloc.element_byte(start),
+            alloc.element_byte(start + command.dim))
+        yield from self.domain.acquire_exclusive(self, alloc, start,
+                                                 command.dim)
+        if self._pending_stage is not None:
+            yield from self._flush_stage()
+        elif staged is not None:
+            # Retry (or write-back fallback): the io array no longer holds
+            # the payload — stage it again before re-issuing.
+            yield from self._restage(mem_index, staged, base)
+        response = yield from self._raw.transfer(request)
+        if not response.ok:
+            if self._foreign_reserved(mem_index, command.vptr):
+                return None  # a reservation won the bus race: retry
+            return response
+        # The data just landed in memory: scrub remote copies that were
+        # re-installed while the write waited for the bus.
+        self.domain.invalidate_range(
+            mem_index, alloc.element_byte(start),
+            alloc.element_byte(start + command.dim), requester=self)
+        observed = None
+        if staged is not None:
+            observed = canon
+        elif (self._observed_stage is not None
+              and self._observed_stage[0] == mem_index
+              and len(self._observed_stage[1]) >= command.dim):
+            observed = [canonical_word(word, alloc.data_type)
+                        for word in self._observed_stage[1][:command.dim]]
+        self._observed_stage = None
+        if observed is not None:
+            lines = yield from self._prepare_lines(alloc, start, command.dim)
+            self._finalize_install(alloc, start, observed, lines, dirty=False)
+        else:
+            for line in self.lines_overlapping(
+                    mem_index, alloc.element_byte(start),
+                    alloc.element_byte(start + command.dim)):
+                self.drop_line(line)
+        return response
+
+    def _range_prepared(self, alloc: SharedAllocation, start: int, count: int,
+                        lines: Dict[int, "CacheLine"]) -> bool:
+        """Synchronous: every line covering the range is prepared and still
+        resident, so a dirty install of the whole range cannot fail."""
+        for line_no in self._line_numbers(alloc, start, count):
+            line = lines.get(line_no)
+            if line is None or not self._is_resident(line):
+                return False
+        return True
+
+    # -- staging helpers ---------------------------------------------------------------
+    def _flush_stage(self) -> Generator[object, None, None]:
+        """Forward a buffered io stage to the memory module."""
+        if self._pending_stage is None:
+            return
+        _mem_index, stage_request = self._pending_stage
+        self._pending_stage = None
+        yield from self._raw.transfer(stage_request)
+
+    def _restage(self, mem_index: int, words: List[int], base: int
+                 ) -> Generator[object, None, None]:
+        yield from self._raw.burst_write(
+            base + IO_ARRAY_BASE, [word & 0xFFFFFFFF for word in words],
+            tag=f"{self.name}.restage")
+
+    # -- fills, installs, evictions ------------------------------------------------------
+    def _is_resident(self, line: CacheLine) -> bool:
+        return line in self._sets[self.geometry.set_index(line.line_no)]
+
+    def _line_numbers(self, alloc: SharedAllocation, start: int, count: int
+                      ) -> List[int]:
+        """Distinct line numbers covering ``alloc[start:start+count]``."""
+        first_line = self.geometry.line_number(alloc.element_byte(start))
+        last_line = self.geometry.line_number(
+            alloc.element_byte(start + count) - 1)
+        return list(range(first_line, last_line + 1))
+
+    def _fill(self, alloc: SharedAllocation, line_no: int
+              ) -> Generator[object, None,
+                             Tuple[int, Optional[List[int]], Optional[CacheLine]]]:
+        """Fetch the allocation-clamped line ``line_no`` with one burst.
+
+        Returns ``(first_element, words, line)``.  ``words`` is ``None``
+        when the fetch itself failed; ``line`` is ``None`` when the data
+        could not stay resident (no victim available, or a concurrent
+        writer invalidated the placeholder mid-fill — the placeholder is
+        registered in the directory *before* the first suspension exactly
+        so that remote upgrades drop it and the stale payload is never
+        installed).
+        """
+        first, count = self._element_span(alloc, line_no)
+        if count <= 0:
+            return first, None, None
+        line = self._lookup(alloc.mem_index, alloc.uid, line_no)
+        if line is None:
+            room = yield from self._make_room(self.geometry.set_index(line_no))
+            if room:
+                line = CacheLine(alloc, line_no, first, count)
+                self._sets[self.geometry.set_index(line_no)].insert(0, line)
+        yield from self.domain.snoop_read(self, alloc, first, count)
+        base = self._window_base[alloc.mem_index]
+        fill_command = MemCommand(MemOpcode.READ_ARRAY, sm_addr=alloc.mem_index,
+                                  vptr=alloc.vptr, offset=first, dim=count)
+        ack = yield from self._raw.burst_write(
+            base + REG_COMMAND, fill_command.to_words(),
+            tag=f"{self.name}.fill")
+        if not ack.ok:
+            self._drop_if_empty(line)
+            return first, None, None
+        payload = yield from self._raw.burst_read(
+            base + IO_ARRAY_BASE, count, tag=f"{self.name}.fill")
+        if not payload.ok or len(payload.burst_data) != count:
+            self._drop_if_empty(line)
+            return first, None, None
+        self.stats.fills += 1
+        words = [word & 0xFFFFFFFF for word in payload.burst_data]
+        if line is None or not self._is_resident(line):
+            return first, words, None
+        for slot, word in enumerate(words):
+            if not line.dirty[slot]:  # dirty data is newer than memory
+                line.words[slot] = word
+                line.present[slot] = True
+        return first, words, line
+
+    def _drop_if_empty(self, line: Optional[CacheLine]) -> None:
+        """Remove a placeholder that never received any data."""
+        if line is not None and not any(line.present) and self._is_resident(line):
+            ways = self._sets[self.geometry.set_index(line.line_no)]
+            ways.remove(line)
+
+    def _prepare_lines(self, alloc: SharedAllocation, start: int, count: int
+                       ) -> Generator[object, None, Dict[int, CacheLine]]:
+        """Make every line covering the range resident (placeholders for the
+        missing ones); may suspend for eviction writebacks."""
+        prepared: Dict[int, CacheLine] = {}
+        for line_no in self._line_numbers(alloc, start, count):
+            span_first, span_count = self._element_span(alloc, line_no)
+            if span_count <= 0:
+                continue
+            line = self._lookup(alloc.mem_index, alloc.uid, line_no)
+            if line is None:
+                room = yield from self._make_room(
+                    self.geometry.set_index(line_no))
+                if not room:
+                    continue
+                line = CacheLine(alloc, line_no, span_first, span_count)
+                self._sets[self.geometry.set_index(line_no)].insert(0, line)
+            prepared[line_no] = line
+        return prepared
+
+    def _finalize_install(self, alloc: SharedAllocation, start: int,
+                          words: List[int], lines: Dict[int, CacheLine],
+                          dirty: bool) -> bool:
+        """Synchronously copy ``words`` (canonical) into the prepared lines.
+
+        Lines that were invalidated (or evicted) while preparation or the
+        data transfer suspended are skipped — and for clean installs any
+        range a remote cache has dirty/MODIFIED is skipped too, so a fetch
+        that predates a remote write can never go resident.  Returns True
+        when the whole range ended up resident.
+        """
+        complete = True
+        end = start + len(words)
+        for line_no in self._line_numbers(alloc, start, len(words)):
+            line = lines.get(line_no)
+            if line is None or not self._is_resident(line):
+                complete = False
+                continue
+            if not dirty and self.domain.any_remote_modified(
+                    self, alloc.mem_index, line.lo_byte, line.hi_byte):
+                complete = False
+                continue
+            for element in range(max(start, line.first_index),
+                                 min(end, line.first_index + line.n_slots)):
+                slot = line.slot_of(element)
+                if dirty or not line.dirty[slot]:
+                    line.words[slot] = words[element - start]
+                    line.present[slot] = True
+                    if dirty:
+                        line.dirty[slot] = True
+            if dirty:
+                line.state = MSIState.MODIFIED
+        return complete
+
+    def _make_room(self, set_index: int) -> Generator[object, None, bool]:
+        """Free one way in ``set_index`` (LRU victim, writeback when dirty)."""
+        ways = self._sets[set_index]
+        if len(ways) < self.geometry.ways:
+            return True
+        for line in reversed(list(ways)):
+            if not line.has_dirty():
+                self.drop_line(line, evicted=True)
+                return True
+        for line in reversed(list(ways)):
+            holder = line.alloc.reserved_by
+            if holder is not None and holder != self.master_id:
+                continue  # cannot write back while a foreign master holds it
+            ok = yield from self.writeback_line(line, self._raw)
+            if ok:
+                self.drop_line(line, evicted=True)
+                return True
+        return False
+
+    # -- writebacks ----------------------------------------------------------------------
+    def writeback_line(self, line: CacheLine, port
+                       ) -> Generator[object, None, bool]:
+        """Write the line's dirty runs back to its memory module via ``port``.
+
+        Returns True when every dirty element reached memory (dirty flags
+        cleared); False leaves the remaining runs dirty for a later retry.
+        """
+        alloc = line.alloc
+        if alloc.reserved_by is not None and alloc.reserved_by != port.master_id:
+            return False
+        base = self._window_base[line.mem_index]
+        for slot_start, length in line.dirty_runs():
+            if self.domain.find_alloc(line.mem_index, alloc.vptr) is not alloc:
+                # The allocation died (FREE, possibly re-ALLOC reusing the
+                # vptr range) while an earlier run's transfer suspended us:
+                # writing the dead data now would corrupt the new owner.
+                return False
+            first_element = line.first_index + slot_start
+            # Snapshot what actually goes on the bus: the owner may re-dirty
+            # a slot while the transfer suspends this process, and a dirty
+            # flag may only be cleared for the exact value that reached
+            # memory (the snoop loop retries until the line drains).
+            written = list(line.words[slot_start:slot_start + length])
+            if length == 1:
+                command = MemCommand(
+                    MemOpcode.WRITE, sm_addr=line.mem_index, vptr=alloc.vptr,
+                    offset=first_element, data=written[0])
+                response = yield from port.burst_write(
+                    base + REG_COMMAND, command.to_words(),
+                    tag=f"{self.name}.writeback")
+            else:
+                stage = yield from port.burst_write(
+                    base + IO_ARRAY_BASE, written,
+                    tag=f"{self.name}.writeback")
+                if not stage.ok:
+                    return False
+                if self.domain.find_alloc(line.mem_index,
+                                          alloc.vptr) is not alloc:
+                    return False  # allocation died while the stage ran
+                command = MemCommand(
+                    MemOpcode.WRITE_ARRAY, sm_addr=line.mem_index,
+                    vptr=alloc.vptr, offset=first_element, dim=length)
+                response = yield from port.burst_write(
+                    base + REG_COMMAND, command.to_words(),
+                    tag=f"{self.name}.writeback")
+            if not response.ok:
+                return False
+            for slot in range(slot_start, slot_start + length):
+                if line.words[slot] == written[slot - slot_start]:
+                    line.dirty[slot] = False
+        self.stats.writebacks += 1
+        return True
+
+    def _flush_own_dirty(self, alloc: SharedAllocation, lo_byte: int,
+                         hi_byte: int) -> Generator[object, None, None]:
+        for line in self.dirty_lines_overlapping(alloc, lo_byte, hi_byte):
+            ok = yield from self.writeback_line(line, self._raw)
+            if ok:
+                line.downgrade()
+
+    def flush(self) -> Generator[object, None, int]:
+        """Write back every dirty line (explicit barrier); returns the count."""
+        flushed = 0
+        for ways in self._sets:
+            for line in list(ways):
+                if line.has_dirty():
+                    ok = yield from self.writeback_line(line, self._raw)
+                    if ok:
+                        line.downgrade()
+                        flushed += 1
+        return flushed
+
+    # -- reporting -----------------------------------------------------------------------
+    def report(self) -> dict:
+        """Summary dictionary merged into the platform's simulation report."""
+        return {
+            "name": self.name,
+            "master_id": self.master_id,
+            "geometry": self.geometry.describe(),
+            "policy": self.policy.value,
+            "capacity_bytes": self.geometry.capacity_bytes,
+            "resident_lines": self.resident_lines(),
+            **self.stats.as_dict(),
+        }

@@ -203,6 +203,7 @@ class SharedBus(Module):
         self.stats = BusStats()
         self._master_ports: Dict[int, MasterPort] = {}
         self._pending: Dict[int, Tuple[MasterPort, BusRequest]] = {}
+        self._snoopers: List = []
         self._request_event = self.add_event(Event(f"{name}.request"))
         self.add_process(self._run, name="channel")
 
@@ -210,6 +211,11 @@ class SharedBus(Module):
     def attach_slave(self, name: str, base: int, size: int, slave: BusSlave) -> None:
         """Map ``slave`` at ``[base, base+size)`` on this bus."""
         self.address_map.add_region(name, base, size, slave)
+
+    def add_snooper(self, snooper) -> None:
+        """Register ``snooper(request, response)``, called after every
+        completed transfer (cache-coherence hooks, protocol checkers)."""
+        self._snoopers.append(snooper)
 
     def _register_port(self, port: MasterPort) -> None:
         if port.master_id in self._master_ports:
@@ -256,6 +262,8 @@ class SharedBus(Module):
             response.slave_cycles = slave_cycles
             response.total_cycles = slave_cycles + self.arbitration_cycles
             self._account(request, response)
+            for snooper in self._snoopers:
+                snooper(request, response)
             port._response = response
             port._completion.notify()
 

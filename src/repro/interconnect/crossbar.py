@@ -52,6 +52,7 @@ class Crossbar(Module):
         self._master_ports: Dict[int, MasterPort] = {}
         self._channels: List[_Channel] = []
         self._slave_to_channel: Dict[int, _Channel] = {}
+        self._snoopers: List = []
         self._decode_error_event = self.add_event(Event(f"{name}.decode_error"))
 
     # -- construction-time wiring -------------------------------------------------
@@ -66,6 +67,11 @@ class Crossbar(Module):
             self.add_process(
                 lambda ch=channel: self._run_channel(ch), name=f"channel_{name}"
             )
+
+    def add_snooper(self, snooper) -> None:
+        """Register ``snooper(request, response)``, called after every
+        completed transfer on any channel (cache-coherence hooks)."""
+        self._snoopers.append(snooper)
 
     def _register_port(self, port: MasterPort) -> None:
         if port.master_id in self._master_ports:
@@ -138,6 +144,8 @@ class Crossbar(Module):
             channel.busy_cycles += response.total_cycles
             channel.transactions += 1
             self._account(request, response)
+            for snooper in self._snoopers:
+                snooper(request, response)
             port._response = response
             port._completion.notify()
 

@@ -10,6 +10,7 @@ wrapped slave unchanged.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
@@ -106,3 +107,47 @@ class BusMonitor(BusSlave):
         """Number of transfers per request tag."""
         counts: Counter = Counter(t.tag for t in self.transfers if t.tag)
         return dict(counts)
+
+    def latency_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """Per-op p50/p95/max slave-latency percentiles (in cycles).
+
+        Keys are the op names (``read``/``write``) plus ``all``; an op with
+        no observed transfers is omitted.  Percentiles use the
+        nearest-rank method, so they are deterministic and always equal to
+        one of the observed latencies.
+        """
+        by_op: Dict[str, List[int]] = {}
+        for transfer in self.transfers:
+            by_op.setdefault(transfer.op.value, []).append(transfer.cycles)
+            by_op.setdefault("all", []).append(transfer.cycles)
+        return {op: _percentile_summary(latencies)
+                for op, latencies in sorted(by_op.items())}
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-ready summary block (counts + latency percentiles)."""
+        return {
+            "name": self.name,
+            "transactions": self.transaction_count,
+            "reads": self.op_counts.get(BusOp.READ, 0),
+            "writes": self.op_counts.get(BusOp.WRITE, 0),
+            "total_cycles": self.total_cycles(),
+            "latency_percentiles": self.latency_percentiles(),
+        }
+
+
+def _nearest_rank(ordered: List[int], quantile: float) -> int:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _percentile_summary(latencies: List[int]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "p50": _nearest_rank(ordered, 0.50),
+        "p95": _nearest_rank(ordered, 0.95),
+        "max": ordered[-1],
+    }

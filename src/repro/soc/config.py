@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..cache.geometry import CacheConfig
 from ..kernel.simtime import NS
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
@@ -88,6 +89,15 @@ class PlatformConfig:
     #: than a memory wrapper FSM; the default ratio of 3:1 versus
     #: ``idle_tick_work`` reflects that.
     pe_tick_work: int = 0
+    #: Per-PE L1 data cache configuration; ``None`` (the default) builds the
+    #: flat PE -> interconnect -> memory platform, bit-identical to the
+    #: pre-cache model.  A :class:`~repro.cache.geometry.CacheConfig` places
+    #: one L1 cache per PE, kept coherent with MSI snooping.
+    cache: Optional[CacheConfig] = None
+    #: Wrap every memory module in a :class:`~repro.interconnect.monitor.BusMonitor`
+    #: (timing-transparent) and surface per-memory transaction counts and
+    #: latency percentiles in ``interconnect_stats``.
+    monitor_memories: bool = False
     #: Base byte address of the first memory window on the interconnect.
     memory_base_address: int = 0x1000_0000
     #: Address stride between consecutive memory windows.
@@ -106,6 +116,11 @@ class PlatformConfig:
             raise ValueError("idle tick work must be >= 0")
         if self.pe_tick_work < 0:
             raise ValueError("PE tick work must be >= 0")
+        if self.cache is not None and not isinstance(self.cache, CacheConfig):
+            raise ValueError(
+                f"cache must be a CacheConfig or None, got "
+                f"{type(self.cache).__name__}"
+            )
 
     # -- derived helpers -----------------------------------------------------------
     def memory_base(self, index: int) -> int:
@@ -116,7 +131,10 @@ class PlatformConfig:
 
     def describe(self) -> str:
         """One-line summary used in logs and benchmark tables."""
-        return (
+        text = (
             f"{self.num_pes} PE / {self.num_memories} x {self.memory_kind.value} "
             f"memory / {self.interconnect.value} ({self.arbitration.value})"
         )
+        if self.cache is not None:
+            text += f" / {self.cache.describe()}"
+        return text

@@ -27,9 +27,12 @@ import time as _wallclock
 import warnings
 from typing import Callable, List, Optional, Union
 
+from ..cache.coherence import CoherenceDomain
+from ..cache.l1 import L1Cache
 from ..interconnect.arbiter import make_arbiter
 from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
+from ..interconnect.monitor import BusMonitor
 from ..kernel import Event, Module, Simulator
 from ..memory.host_memory import HostMemory
 from ..memory.modeled_dynamic_memory import ModeledDynamicMemory
@@ -124,11 +127,28 @@ class Platform:
         self.memories: List[DynamicMemory] = [
             self._build_memory(index) for index in range(config.num_memories)
         ]
+        #: Timing-transparent per-memory traffic probes (``monitor_memories``).
+        self.monitors: List[BusMonitor] = []
         for index, memory in enumerate(self.memories):
+            slave = memory
+            if config.monitor_memories:
+                slave = BusMonitor(memory, name=f"smem{index}.monitor")
+                self.monitors.append(slave)
             self.interconnect.attach_slave(
                 f"smem{index}", config.memory_base(index), REGISTER_WINDOW_BYTES,
-                memory,
+                slave,
             )
+        #: One L1 cache per PE plus their coherence domain (``config.cache``).
+        self.caches: List[L1Cache] = []
+        self.coherence: Optional[CoherenceDomain] = None
+        #: Window base address -> memory index (shared by the coherence
+        #: domain's bus snooper and every per-PE cache shim).
+        self._windows = {config.memory_base(index): index
+                         for index in range(config.num_memories)}
+        if config.cache is not None:
+            self.coherence = CoherenceDomain()
+            self.coherence.attach_interconnect(self.interconnect,
+                                               self._windows)
         self.processors: List[TaskProcessor] = []
         self._pending_tasks: List[TaskFunction] = []
         self.ticker: Optional[MemoryIdleTicker] = None
@@ -191,6 +211,14 @@ class Platform:
                 f"{self.config.num_pes} PEs)"
             )
         port = self.interconnect.master_port(pe_index, name=f"pe{pe_index}")
+        if self.coherence is not None:
+            assert self.config.cache is not None
+            cache = L1Cache(
+                f"pe{pe_index}.l1", self.config.cache, port, self.coherence,
+                self._windows, self.config.clock_period,
+            )
+            self.caches.append(cache)
+            port = cache.port
         apis = [
             SharedMemoryAPI(
                 port,
@@ -258,6 +286,15 @@ class Platform:
             "decode_errors": self.interconnect.stats.decode_errors,
             "utilization": self.interconnect.utilization(self.simulator.now),
         }
+        if self.monitors:
+            interconnect_stats["memory_monitors"] = [
+                monitor.stats() for monitor in self.monitors
+            ]
+            interconnect_stats["memory_transactions"] = sum(
+                monitor.transaction_count for monitor in self.monitors
+            )
+        if self.coherence is not None:
+            interconnect_stats["coherence"] = self.coherence.stats.as_dict()
         memory_reports = []
         for memory in self.memories:
             if isinstance(memory, SharedMemoryWrapper):
@@ -280,6 +317,7 @@ class Platform:
             pe_reports=[p.report() for p in self.processors],
             memory_reports=memory_reports,
             interconnect_stats=interconnect_stats,
+            cache_reports=[cache.report() for cache in self.caches],
             results={p.name: p.stats.result for p in self.processors},
             finished={p.name: p.finished for p in self.processors},
         )

@@ -10,6 +10,7 @@ paper's Section 4 does.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -26,6 +27,8 @@ class SimulationReport:
     pe_reports: List[dict] = field(default_factory=list)
     memory_reports: List[dict] = field(default_factory=list)
     interconnect_stats: Dict[str, float] = field(default_factory=dict)
+    #: Per-PE L1 cache summaries (empty when the platform runs uncached).
+    cache_reports: List[dict] = field(default_factory=list)
     results: Dict[str, object] = field(default_factory=dict)
     #: Per-PE completion flags: ``{pe_name: True/False}``.  A run that ends
     #: on ``max_time`` leaves unfinished PEs with ``False`` here and their
@@ -46,10 +49,22 @@ class SimulationReport:
 
     @property
     def simulation_speed(self) -> float:
-        """Simulated cycles per host second (the paper's speed metric)."""
+        """Simulated cycles per host second (the paper's speed metric).
+
+        ``float("inf")`` when the wall-clock resolution rounded the run's
+        duration down to zero; JSON views serialise that as ``None``
+        (see :meth:`simulation_speed_or_none`) because ``Infinity`` is not
+        valid JSON.
+        """
         if self.wallclock_seconds <= 0:
             return float("inf")
         return self.simulated_cycles / self.wallclock_seconds
+
+    @property
+    def simulation_speed_or_none(self) -> Optional[float]:
+        """The speed metric, with non-finite values clamped to ``None``."""
+        speed = self.simulation_speed
+        return speed if math.isfinite(speed) else None
 
     @property
     def all_pes_finished(self) -> bool:
@@ -78,6 +93,23 @@ class SimulationReport:
         """Total interconnect transactions."""
         return int(self.interconnect_stats.get("transactions", 0))
 
+    # -- cache metrics ----------------------------------------------------------
+    def total_cache_hits(self) -> int:
+        """Cache lookups served locally across every PE's L1 (the numerator
+        of :meth:`cache_hit_rate`; absorbed array writes are not lookups)."""
+        return sum(report.get("hits", 0) + report.get("array_hits", 0)
+                   for report in self.cache_reports)
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate L1 hit rate over all PEs (0.0 when caches are off)."""
+        lookups = sum(report.get("hits", 0) + report.get("misses", 0)
+                      + report.get("array_hits", 0)
+                      + report.get("array_misses", 0)
+                      for report in self.cache_reports)
+        if not lookups:
+            return 0.0
+        return self.total_cache_hits() / lookups
+
     # -- formatting ----------------------------------------------------------------
     def summary(self) -> str:
         """Multi-line human-readable summary."""
@@ -91,20 +123,33 @@ class SimulationReport:
             f"PEs finished:    {sum(1 for r in self.pe_reports if r.get('finished'))}"
             f"/{len(self.pe_reports)}",
         ]
+        if self.cache_reports:
+            lines.append(
+                f"L1 caches:       {len(self.cache_reports)} x "
+                f"{self.cache_reports[0].get('geometry', '?')} "
+                f"({self.cache_reports[0].get('policy', '?')}), "
+                f"hit rate {self.cache_hit_rate() * 100:.1f}%"
+            )
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
-        """Plain-dict view (JSON-serialisable) used by the benches."""
+        """Plain-dict view (JSON-serialisable) used by the benches.
+
+        ``simulation_speed`` is clamped to ``None`` when the wall clock
+        rounded to zero: ``float("inf")`` would serialise as the
+        non-standard ``Infinity`` token most JSON parsers reject.
+        """
         return {
             "description": self.description,
             "simulated_time": self.simulated_time,
             "simulated_cycles": self.simulated_cycles,
             "wallclock_seconds": self.wallclock_seconds,
-            "simulation_speed": self.simulation_speed,
+            "simulation_speed": self.simulation_speed_or_none,
             "kernel_stats": dict(self.kernel_stats),
             "interconnect_stats": dict(self.interconnect_stats),
             "pe_reports": list(self.pe_reports),
             "memory_reports": list(self.memory_reports),
+            "cache_reports": list(self.cache_reports),
             "finished": dict(self.finished),
         }
 
@@ -142,7 +187,8 @@ class SweepPoint:
         row.update(self.parameters)
         row["simulated_cycles"] = self.report.simulated_cycles
         row["wallclock_seconds"] = round(self.report.wallclock_seconds, 4)
-        row["simulation_speed"] = round(self.report.simulation_speed, 1)
+        speed = self.report.simulation_speed_or_none
+        row["simulation_speed"] = None if speed is None else round(speed, 1)
         return row
 
 

@@ -38,7 +38,9 @@ from .workloads import (
     make_matmul_producer_task,
     make_matmul_worker_task,
     make_producer_task,
+    make_stencil_task,
     matmul_reference,
+    stencil_reference,
 )
 
 
@@ -151,6 +153,37 @@ def _gsm_encode(config, *, frames: int = 1, seed: int = 42,
         checks=[check],
         description=(f"gsm_encode: {len(channels)} channel(s) x "
                      f"{frames} frame(s), {placement} placement"),
+    )
+
+
+@workload.register("stencil")
+def _stencil(config, *, size: int = 64, iterations: int = 1, stride: int = 1,
+             seed: int = 0):
+    """One 3-point stencil per PE, scalar traffic with tunable locality.
+
+    ``stride`` permutes the traversal order without changing the result
+    (see :mod:`repro.sw.workloads.stencil`): the cache-sensitivity bench
+    sweeps it to move the same workload between cache-friendly and
+    cache-hostile behaviour.
+    """
+    if size < 2:
+        raise WorkloadError("stencil needs at least 2 elements per buffer")
+    blocks = [
+        [((seed * 37 + pe * 23 + i * 11) % 4096) for i in range(size)]
+        for pe in range(config.num_pes)
+    ]
+    tasks = [
+        make_stencil_task(block, iterations=iterations, stride=stride,
+                          memory_index=pe % config.num_memories)
+        for pe, block in enumerate(blocks)
+    ]
+    expected = {f"pe{pe}": stencil_reference(block, iterations)
+                for pe, block in enumerate(blocks)}
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "stencil output")],
+        description=(f"stencil: {size} elements x {iterations} sweep(s), "
+                     f"stride {stride}"),
     )
 
 

@@ -21,12 +21,14 @@ from .producer_consumer import (
     make_consumer_task,
     make_producer_task,
 )
+from .stencil import coprime_stride, make_stencil_task, stencil_reference
 
 __all__ = [
     "CTRL_DONE",
     "CTRL_HEAD",
     "CTRL_TAIL",
     "CTRL_WORDS",
+    "coprime_stride",
     "fir_reference",
     "flatten",
     "make_consumer_task",
@@ -34,5 +36,7 @@ __all__ = [
     "make_matmul_producer_task",
     "make_matmul_worker_task",
     "make_producer_task",
+    "make_stencil_task",
     "matmul_reference",
+    "stencil_reference",
 ]

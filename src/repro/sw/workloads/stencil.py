@@ -1,0 +1,89 @@
+"""1-D stencil workload with tunable memory locality.
+
+Each processing element smooths its own buffer with a 3-point stencil
+(``out[i] = (left + 2*mid + right) / 4``, edges clamped), all buffers living
+in dynamic shared memory and every element moved with *scalar* API reads
+and writes — the traffic pattern the per-PE L1 caches are built for.
+
+The ``stride`` parameter permutes the traversal order (element ``k`` of the
+sweep processes index ``k * stride mod size``, with ``stride`` coprime to
+``size`` so every index is visited exactly once).  The computed result is
+identical for every stride; only the *locality* changes: ``stride=1`` walks
+lines sequentially (cache friendly), large strides jump across lines on
+every access (cache hostile).  That makes the workload a pure
+cache-sensitivity probe: same answer, same operation count, different hit
+rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List, Sequence
+
+from ...memory.protocol import DataType
+from ..task import TaskContext
+
+MASK = 0xFFFFFFFF
+
+
+def coprime_stride(stride: int, size: int) -> int:
+    """The smallest stride >= ``stride`` coprime to ``size`` (so the strided
+    traversal is a permutation)."""
+    if size <= 1:
+        return 1
+    stride = max(1, stride)
+    while math.gcd(stride, size) != 1:
+        stride += 1
+    return stride
+
+
+def stencil_reference(values: Sequence[int], iterations: int = 1) -> List[int]:
+    """Pure-Python reference of the clamped 3-point stencil."""
+    current = [value & MASK for value in values]
+    size = len(current)
+    for _ in range(iterations):
+        previous = current
+        current = []
+        for index in range(size):
+            left = previous[max(0, index - 1)]
+            right = previous[min(size - 1, index + 1)]
+            current.append(((left + 2 * previous[index] + right) >> 2) & MASK)
+    return current
+
+
+def make_stencil_task(values: Sequence[int], iterations: int = 1,
+                      stride: int = 1, memory_index: int = 0):
+    """Task running ``iterations`` stencil sweeps over ``values``.
+
+    Returns the smoothed buffer (read back from shared memory with one
+    array transfer, so the final answer always crosses the memory system).
+    """
+    values = [value & MASK for value in values]
+    size = len(values)
+    stride = coprime_stride(stride, size)
+
+    def task(ctx: TaskContext) -> Generator[object, None, List[int]]:
+        smem = ctx.smem(memory_index)
+        src_vptr = yield from smem.alloc(size, DataType.UINT32)
+        dst_vptr = yield from smem.alloc(size, DataType.UINT32)
+        yield from smem.write_array(src_vptr, values)
+        source, destination = src_vptr, dst_vptr
+        for _ in range(iterations):
+            for step in range(size):
+                index = (step * stride) % size
+                left = yield from smem.read(source, offset=max(0, index - 1))
+                mid = yield from smem.read(source, offset=index)
+                right = yield from smem.read(source,
+                                             offset=min(size - 1, index + 1))
+                value = ((left + 2 * mid + right) >> 2) & MASK
+                yield from smem.write(destination, value, offset=index)
+                yield from ctx.compute_ops(alu=4, local=3)
+            source, destination = destination, source
+        result = yield from smem.read_array(source, size)
+        yield from smem.free(dst_vptr)
+        yield from smem.free(src_vptr)
+        ctx.note(f"stencil: {iterations} sweep(s) over {size} elements, "
+                 f"stride {stride}")
+        return result
+
+    return task

@@ -1,5 +1,7 @@
 """Tests for the deprecated back-compat shims delegating to repro.api."""
 
+import warnings
+
 import pytest
 
 from repro.analysis import run_sweep
@@ -67,3 +69,32 @@ class TestRunSweepShim:
         with pytest.warns(DeprecationWarning):
             with pytest.raises(ValueError, match="no tasks for you"):
                 run_sweep(base, {}, bad_tasks)
+
+
+class TestShimsWarnExactlyOnce:
+    """Each shim call must emit exactly one DeprecationWarning — no more
+    (duplicated warnings drown real ones), no fewer (the deprecation must
+    stay visible until the shims are dropped)."""
+
+    def test_run_platform_warns_exactly_once_per_call(self):
+        config = PlatformConfig(num_pes=1, num_memories=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_platform(config, [make_fir_task(SAMPLES, TAPS)])
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "run_platform" in str(w.message)]
+        assert len(deprecations) == 1
+
+    def test_run_sweep_warns_exactly_once_per_call(self):
+        base = PlatformConfig(num_pes=1, num_memories=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_sweep(base, {}, lambda config: [make_fir_task(SAMPLES, TAPS)])
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "run_sweep" in str(w.message)]
+        assert len(deprecations) == 1
+        # run_sweep delegates to the new runner internally without routing
+        # through its own deprecated sibling.
+        assert not any("run_platform" in str(w.message) for w in caught)

@@ -1,0 +1,89 @@
+"""Unit tests for cache geometry/config validation and builder wiring."""
+
+import pytest
+
+from repro.api import BuilderError, PlatformBuilder
+from repro.cache import CacheConfig, CacheError, CacheGeometry, WritePolicy
+from repro.soc import PlatformConfig
+
+
+class TestCacheGeometry:
+    def test_defaults(self):
+        geometry = CacheGeometry()
+        assert geometry.sets == 64
+        assert geometry.ways == 2
+        assert geometry.line_bytes == 32
+        assert geometry.capacity_bytes == 64 * 2 * 32
+        assert geometry.describe() == "64x2x32B"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sets": 0}, {"sets": -1}, {"ways": 0},
+        {"line_bytes": 0}, {"line_bytes": 3}, {"line_bytes": 24},
+        {"line_bytes": 2},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(CacheError):
+            CacheGeometry(**kwargs)
+
+    def test_address_arithmetic(self):
+        geometry = CacheGeometry(sets=4, ways=1, line_bytes=16)
+        assert geometry.line_number(0) == 0
+        assert geometry.line_number(15) == 0
+        assert geometry.line_number(16) == 1
+        assert geometry.line_base(3) == 48
+        # Modulo placement wraps around the sets.
+        assert geometry.set_index(5) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(CacheError):
+            CacheConfig(geometry="not a geometry")
+        with pytest.raises(CacheError):
+            CacheConfig(policy="write_back")  # must be the enum
+        with pytest.raises(CacheError):
+            CacheConfig(hit_cycles=-1)
+        config = CacheConfig()
+        assert config.policy is WritePolicy.WRITE_BACK
+        assert "write_back" in config.describe()
+
+    def test_config_is_hashable_for_grids(self):
+        assert hash(CacheConfig()) == hash(CacheConfig())
+
+
+class TestBuilderCacheMethods:
+    def test_l1_cache_stages_config(self):
+        config = (PlatformBuilder().pes(2)
+                  .l1_cache(sets=8, ways=4, line_bytes=64,
+                            policy="write_through", hit_cycles=2)
+                  .build())
+        assert config.cache is not None
+        assert config.cache.geometry == CacheGeometry(8, 4, 64)
+        assert config.cache.policy is WritePolicy.WRITE_THROUGH
+        assert config.cache.hit_cycles == 2
+        assert "l1 8x4x64B write_through" in config.describe()
+
+    def test_no_cache_resets(self):
+        config = PlatformBuilder().l1_cache().no_cache().build()
+        assert config.cache is None
+
+    def test_default_is_uncached(self):
+        config = PlatformBuilder().build()
+        assert config.cache is None
+        assert config.monitor_memories is False
+        assert "l1" not in config.describe()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BuilderError, match="write policy"):
+            PlatformBuilder().l1_cache(policy="write_around")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(BuilderError, match="cache description"):
+            PlatformBuilder().l1_cache(line_bytes=12)
+
+    def test_monitored_flag(self):
+        assert PlatformBuilder().monitored().build().monitor_memories is True
+        assert (PlatformBuilder().monitored().monitored(False).build()
+                .monitor_memories is False)
+
+    def test_platform_config_rejects_bad_cache(self):
+        with pytest.raises(ValueError, match="CacheConfig"):
+            PlatformConfig(cache="yes please")

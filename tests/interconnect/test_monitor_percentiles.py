@@ -1,0 +1,138 @@
+"""Tests for the BusMonitor's per-op latency percentile aggregation."""
+
+from repro.interconnect.bus import BusSlave
+from repro.interconnect.monitor import BusMonitor, _nearest_rank
+from repro.interconnect.transaction import BusOp, BusRequest, BusResponse
+
+
+class FixedLatencySlave(BusSlave):
+    """Answers every request after a latency taken from a schedule."""
+
+    def __init__(self, latencies):
+        self.latencies = list(latencies)
+        self.calls = 0
+
+    def access(self, request, offset):
+        return BusResponse(data=offset)
+
+    def latency(self, request):
+        latency = self.latencies[self.calls % len(self.latencies)]
+        self.calls += 1
+        return latency
+
+
+def drive(monitor, request, offset=0):
+    generator = monitor.serve(request, offset)
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+def read(master=0, address=0):
+    return BusRequest(master, BusOp.READ, address)
+
+
+def write(master=0, address=0):
+    return BusRequest(master, BusOp.WRITE, address, data=1)
+
+
+class TestNearestRank:
+    def test_empty_sample(self):
+        assert _nearest_rank([], 0.5) == 0
+
+    def test_single_sample(self):
+        assert _nearest_rank([7], 0.5) == 7
+        assert _nearest_rank([7], 0.95) == 7
+
+    def test_known_percentiles(self):
+        ordered = list(range(1, 11))  # 1..10
+        assert _nearest_rank(ordered, 0.50) == 5
+        assert _nearest_rank(ordered, 0.95) == 10
+
+
+class TestLatencyPercentiles:
+    def test_per_op_split_and_values(self):
+        monitor = BusMonitor(FixedLatencySlave([1, 2, 3, 4, 5, 6, 7, 8, 9, 10]))
+        for _ in range(10):
+            drive(monitor, read())
+        summary = monitor.latency_percentiles()
+        assert set(summary) == {"read", "all"}
+        assert summary["read"]["count"] == 10
+        assert summary["read"]["p50"] == 5
+        assert summary["read"]["p95"] == 10
+        assert summary["read"]["max"] == 10
+
+    def test_reads_and_writes_aggregate_separately(self):
+        monitor = BusMonitor(FixedLatencySlave([2]))
+        drive(monitor, read())
+        drive(monitor, write())
+        drive(monitor, write())
+        summary = monitor.latency_percentiles()
+        assert summary["read"]["count"] == 1
+        assert summary["write"]["count"] == 2
+        assert summary["all"]["count"] == 3
+
+    def test_empty_monitor(self):
+        monitor = BusMonitor(FixedLatencySlave([1]))
+        assert monitor.latency_percentiles() == {}
+
+    def test_stats_block_is_json_ready(self):
+        import json
+
+        monitor = BusMonitor(FixedLatencySlave([3]), name="probe")
+        drive(monitor, read())
+        block = monitor.stats()
+        assert block["name"] == "probe"
+        assert block["transactions"] == 1
+        assert block["reads"] == 1
+        assert block["writes"] == 0
+        json.dumps(block)
+
+
+class TestPlatformSurfacing:
+    def test_monitored_platform_reports_percentiles(self):
+        from repro.api import PlatformBuilder
+        from repro.memory import DataType
+        from repro.soc import Platform
+
+        def task(ctx):
+            smem = ctx.smem(0)
+            vptr = yield from smem.alloc(8, DataType.UINT32)
+            yield from smem.write_array(vptr, list(range(8)))
+            yield from smem.read_array(vptr, 8)
+            yield from smem.free(vptr)
+            return True
+
+        platform = Platform(
+            PlatformBuilder().pes(1).wrapper_memories(1).monitored().build())
+        platform.add_task(task)
+        report = platform.run()
+        stats = report.interconnect_stats
+        assert stats["memory_transactions"] > 0
+        monitors = stats["memory_monitors"]
+        assert len(monitors) == 1
+        percentiles = monitors[0]["latency_percentiles"]
+        assert "write" in percentiles and "all" in percentiles
+        assert percentiles["all"]["p50"] >= 1
+        assert percentiles["all"]["max"] >= percentiles["all"]["p95"] \
+            >= percentiles["all"]["p50"]
+
+    def test_unmonitored_platform_omits_the_block(self):
+        from repro.api import PlatformBuilder
+        from repro.memory import DataType
+        from repro.soc import Platform
+
+        def task(ctx):
+            smem = ctx.smem(0)
+            vptr = yield from smem.alloc(2, DataType.UINT32)
+            yield from smem.free(vptr)
+            return True
+
+        platform = Platform(
+            PlatformBuilder().pes(1).wrapper_memories(1).build())
+        platform.add_task(task)
+        report = platform.run()
+        assert "memory_monitors" not in report.interconnect_stats
+        assert "memory_transactions" not in report.interconnect_stats

@@ -1,0 +1,104 @@
+"""Golden-file and round-trip coverage for SignalTracer's VCD dump.
+
+The dump itself was untested: these tests pin the exact VCD text produced
+by a deterministic run against a committed golden file, and independently
+re-parse the dump to verify it reconstructs the recorded value changes
+(so the format stays readable by standard VCD consumers).
+"""
+
+import os
+import re
+
+from repro.kernel import Module, Signal, Simulator
+from repro.kernel.trace import SignalTracer
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_trace.vcd")
+
+
+def build_traced_run():
+    """A deterministic two-signal run: a counter and a toggling flag."""
+    top = Module("top")
+    mod = Module("m", parent=top)
+    counter = mod.add_signal(Signal(0, name="counter"))
+    flag = mod.add_signal(Signal(False, name="flag"))
+
+    tracer_box = {}
+
+    def writer():
+        for step in range(1, 4):
+            yield 10
+            counter.write(step * 5)
+            flag.write(step % 2 == 0)
+            yield 0
+            tracer_box["tracer"].sample()
+
+    mod.add_process(writer)
+    sim = Simulator(top)
+    tracer = SignalTracer(sim)
+    tracer_box["tracer"] = tracer
+    tracer.watch(counter)
+    tracer.watch(flag)
+    sim.run()
+    return tracer
+
+
+def parse_vcd(text):
+    """Minimal VCD reader: returns ``{signal_name: [(time, value), ...]}``.
+
+    Understands the subset SignalTracer emits: ``$var`` definitions,
+    ``#<time>`` stamps, ``b<binary> <id>`` vectors, ``<0|1><id>`` scalars
+    and ``s<string> <id>`` strings.
+    """
+    names = {}
+    for match in re.finditer(r"\$var wire \d+ (\S+) (\S+) \$end", text):
+        names[match.group(1)] = match.group(2)
+    histories = {name: [] for name in names.values()}
+    time = None
+    body = text.split("$enddefinitions $end", 1)[1]
+    for token in body.strip().splitlines():
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("#"):
+            time = int(token[1:])
+        elif token.startswith("b"):
+            bits, ident = token[1:].split()
+            histories[names[ident]].append((time, int(bits, 2)))
+        elif token.startswith("s"):
+            value, ident = token[1:].split()
+            histories[names[ident]].append((time, value))
+        else:
+            value, ident = token[0], token[1:]
+            histories[names[ident]].append((time, int(value)))
+    return histories
+
+
+class TestVcdGolden:
+    def test_dump_matches_golden_file(self):
+        text = build_traced_run().to_vcd()
+        with open(GOLDEN_PATH) as handle:
+            golden = handle.read()
+        assert text == golden, (
+            "VCD output changed; if deliberate, regenerate "
+            "tests/kernel/golden_trace.vcd and explain the delta"
+        )
+
+    def test_reparse_round_trip_reconstructs_history(self):
+        tracer = build_traced_run()
+        histories = parse_vcd(tracer.to_vcd())
+        assert histories["counter"] == [(0, 0), (10, 5), (20, 10), (30, 15)]
+        # Booleans dump as scalar 0/1 changes.
+        assert histories["flag"] == [(0, 0), (20, 1), (30, 0)]
+        # The re-parsed histories must agree with the tracer's own record
+        # (booleans modulo int coercion).
+        assert histories["counter"] == tracer.history("counter")
+        assert histories["flag"] == [(t, int(v))
+                                     for t, v in tracer.history("flag")]
+
+    def test_header_shape(self):
+        text = build_traced_run().to_vcd()
+        assert text.startswith("$timescale 1ps $end\n")
+        assert "$scope module trace $end" in text
+        assert "$enddefinitions $end" in text
+        assert text.endswith("\n")
