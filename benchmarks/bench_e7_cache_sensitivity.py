@@ -8,7 +8,9 @@ traversal stride (and with it the locality) changes — across:
 * write policy: caches off, write-through, write-back;
 * traversal stride: sequential (stride 1) vs. line-hostile (stride 17);
 * PE count (coherence pressure grows with sharers);
-* cache geometry (capacity sweep at a fixed PE count).
+* cache geometry (capacity sweep at a fixed PE count);
+* interconnect topology (bus x crossbar x mesh, caches off vs write-back —
+  the L1 layer must remove shared-memory traffic on every topology).
 
 Reported per point: shared-memory transactions observed by the per-memory
 :class:`~repro.interconnect.monitor.BusMonitor` probes, aggregate L1 hit
@@ -41,13 +43,21 @@ GEOMETRIES = [(4, 2, 16), (16, 2, 16), (64, 2, 32)]
 SIZE = 64
 ITERATIONS = 1
 GEOMETRY_PES = 2
+#: Topology axis: stride-1 stencil, caches off vs write-back, per topology.
+TOPOLOGIES = ["shared_bus", "crossbar", "mesh"]
+TOPOLOGY_PES = 2
 
 
-def _scenario(name, pes, stride, policy=None, geometry=None, size=SIZE):
+def _scenario(name, pes, stride, policy=None, geometry=None, size=SIZE,
+              topology="shared_bus"):
     builder = (PlatformBuilder()
                .pes(pes)
                .wrapper_memories(1)
                .monitored())
+    if topology == "crossbar":
+        builder = builder.crossbar()
+    elif topology == "mesh":
+        builder = builder.mesh()
     if policy is not None:
         sets, ways, line_bytes = geometry or (64, 2, 32)
         builder = builder.l1_cache(sets=sets, ways=ways, line_bytes=line_bytes,
@@ -76,6 +86,11 @@ def make_scenarios(pe_counts, geometries):
                 f"geom{sets}x{ways}x{line_bytes}-s{stride}", GEOMETRY_PES,
                 stride, policy="write_back",
                 geometry=(sets, ways, line_bytes)))
+    for topology in TOPOLOGIES:
+        scenarios.append(_scenario(f"{topology}-off-s1", TOPOLOGY_PES, 1,
+                                   topology=topology))
+        scenarios.append(_scenario(f"{topology}-wb-s1", TOPOLOGY_PES, 1,
+                                   policy="write_back", topology=topology))
     return scenarios
 
 
@@ -135,6 +150,14 @@ def test_e7_cache_sensitivity(benchmark, request):
         # forwards, so it can never do worse on the sequential sweep.
         assert (mem_txns(f"write_back-p{pes}-s1")
                 <= mem_txns(f"write_through-p{pes}-s1"))
+    for topology in TOPOLOGIES:
+        # The L1 layer must remove shared-memory traffic on every topology,
+        # and the stencil results stay bit-identical (raise_for_status
+        # above already enforced the workload's reference check).
+        assert (mem_txns(f"{topology}-wb-s1")
+                < mem_txns(f"{topology}-off-s1"))
+        assert (results[f"{topology}-wb-s1"].report.results
+                == results[f"{topology}-off-s1"].report.results)
     if not quick:
         sets, ways, line_bytes = GEOMETRIES[0]  # capacity-starved point
         small = f"geom{sets}x{ways}x{line_bytes}"

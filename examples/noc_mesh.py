@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Mesh NoC demo: a 4x4 wormhole mesh with a per-link heat summary.
+
+`repro.noc` adds a third interconnect topology next to the shared bus and
+the crossbar: a packet-switched 2D mesh with XY dimension-order wormhole
+routing and physically separate request/response networks.  This example
+builds a 4x4 mesh carrying eight GSM encoder channels against four dynamic
+shared memories placed in the far corner, runs the workload, and renders:
+
+* the platform summary (same `SimulationReport` as every other topology),
+* end-to-end packet latency percentiles (inject -> completion),
+* a per-link "heat" table of the busiest links — the XY route structure
+  is directly visible in which links carry the traffic.
+
+Run with:  python examples/noc_mesh.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+
+ROWS = COLS = 4
+PES = 8
+MEMORIES = 4
+
+
+def main():
+    config = (PlatformBuilder()
+              .pes(PES)
+              .wrapper_memories(MEMORIES)
+              .mesh(rows=ROWS, cols=COLS,       # 16 routers, 2 networks
+                    flit_bytes=4,               # 32-bit links
+                    link_cycles=1, router_cycles=1)
+              .build())
+    # Dedicated placement: PE i keeps its buffers in memory i % 4, so the
+    # traffic spreads over all four memory-corner nodes (striped placement
+    # with a single frame would aim everything at smem0).
+    scenario = Scenario(name="noc-mesh-demo", config=config,
+                        workload="gsm_encode",
+                        params={"frames": 1, "seed": 42,
+                                "placement": "dedicated"}, seed=42)
+    [result] = ExperimentRunner(scenarios=[scenario]).run()
+    result.raise_for_status()
+    report = result.report
+
+    print(report.summary())
+    noc = report.interconnect_stats["noc"]
+    print(f"\nmesh:            {noc['rows']}x{noc['cols']}, "
+          f"{noc['flit_bytes']} B flits, "
+          f"{noc['link_cycles']}c links / {noc['router_cycles']}c routers")
+    print(f"packets / flits: {noc['packets']} / {noc['flits']} "
+          f"(avg {noc['average_hops']} hops)")
+    latency = noc["latency_percentiles"]
+    print(f"packet latency:  p50={latency['p50']} p95={latency['p95']} "
+          f"max={latency['max']} cycles end-to-end")
+
+    # Per-link heat: the XY routes from the PE corner (nodes 0..7) to the
+    # memory corner (nodes 15, 14, 13, 12) light up specific links.
+    links = sorted(noc["links"].items(),
+                   key=lambda item: -item[1]["busy_cycles"])
+    print(f"\n{'link':<16} {'packets':>8} {'flits':>8} {'busy cyc':>9} "
+          f"{'util':>7}")
+    utilization = noc.get("link_utilization", {})
+    for name, stats in links[:12]:
+        if not stats["packets"]:
+            break
+        print(f"{name:<16} {stats['packets']:>8} {stats['flits']:>8} "
+              f"{stats['busy_cycles']:>9} "
+              f"{utilization.get(name, 0.0) * 100:>6.2f}%")
+    contention = noc["router_contention"]
+    if contention:
+        hottest = max(contention, key=lambda node: contention[node])
+        print(f"\nbusiest router:  n{hottest} "
+              f"({contention[hottest]} packets waited behind a grant)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@ The package is organised as the paper's Figure 1:
 * :mod:`repro.kernel` — SystemC-like discrete-event simulation kernel;
 * :mod:`repro.isa` / :mod:`repro.iss` — ARM-like instruction set and ISS;
 * :mod:`repro.interconnect` — shared bus / crossbar with arbitration;
+* :mod:`repro.noc` — packet-switched 2D-mesh NoC interconnect (wormhole
+  routers, XY routing, link-level statistics);
 * :mod:`repro.memory` — host memory layer, static memories, heap, and the
   fully-modelled dynamic memory baseline;
 * :mod:`repro.wrapper` — the paper's contribution: the host-backed dynamic
@@ -53,7 +55,7 @@ or, with a registered workload (see :data:`repro.sw.workload`)::
     [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -63,6 +65,7 @@ __all__ = [
     "iss",
     "kernel",
     "memory",
+    "noc",
     "soc",
     "sw",
     "wrapper",

@@ -1,5 +1,11 @@
-"""Analysis helpers: evaluation metrics and parameter-sweep drivers."""
+"""Analysis helpers: evaluation metrics, perf-file diffs and sweeps."""
 
+from .bench_compare import (
+    compare_bench_entries,
+    compare_bench_files,
+    format_comparison,
+    regressions,
+)
 from .metrics import (
     cycles_per_operation,
     degradation,
@@ -14,9 +20,13 @@ from .sweep import best_point, expand_grid, run_sweep, sweep_table
 
 __all__ = [
     "best_point",
+    "compare_bench_entries",
+    "compare_bench_files",
     "cycles_per_operation",
     "degradation",
     "expand_grid",
+    "format_comparison",
+    "regressions",
     "geometric_mean",
     "harmonic_mean",
     "overhead",

@@ -1,0 +1,150 @@
+"""Diff two ``BENCH_kernel.json`` perf files.
+
+The perf recorder (:mod:`repro.api.perf`) accumulates one normalized
+record per ``bench/scenario`` key, but comparing two snapshots — the
+checked-in baseline against a fresh run, or two CI artifacts — was a
+by-hand affair.  :func:`compare_bench_files` pairs the entries of two
+files and computes per-key deltas; :func:`format_comparison` renders them
+as the usual aligned table; ``python -m repro.analysis.bench_compare``
+wraps both as a command line tool::
+
+    $ python -m repro.analysis.bench_compare old.json new.json
+    key                      old c/s    new c/s    delta    wallclock
+    ...
+
+Rates use ``cycles_per_second`` by default (the paper's simulation-speed
+metric); any numeric field of the records can be compared instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..api.perf import load_bench_entries
+from ..soc.stats import format_table
+
+#: Default metric compared between the two files.
+DEFAULT_METRIC = "cycles_per_second"
+
+
+def compare_bench_entries(old: Dict[str, dict], new: Dict[str, dict],
+                          metric: str = DEFAULT_METRIC) -> List[dict]:
+    """Pair two entry maps by key and compute per-key rows.
+
+    Every row carries the old/new ``metric`` values, the relative delta
+    (positive = ``new`` is faster for rate metrics), the old/new
+    wall-clock and a status: ``both``, ``added`` (only in ``new``) or
+    ``removed`` (only in ``old``).  Rows are sorted by key.
+    """
+    rows: List[dict] = []
+    for key in sorted(set(old) | set(new)):
+        old_entry, new_entry = old.get(key), new.get(key)
+        row: dict = {"key": key}
+        if old_entry is None:
+            row["status"] = "added"
+        elif new_entry is None:
+            row["status"] = "removed"
+        else:
+            row["status"] = "both"
+        row["old"] = _metric_of(old_entry, metric)
+        row["new"] = _metric_of(new_entry, metric)
+        row["delta"] = _relative_delta(row["old"], row["new"])
+        row["old_wallclock"] = _metric_of(old_entry, "wallclock_seconds")
+        row["new_wallclock"] = _metric_of(new_entry, "wallclock_seconds")
+        rows.append(row)
+    return rows
+
+
+def compare_bench_files(old_path: str, new_path: str,
+                        metric: str = DEFAULT_METRIC) -> List[dict]:
+    """Load two ``BENCH_kernel.json`` files and diff their entries."""
+    return compare_bench_entries(load_bench_entries(old_path),
+                                 load_bench_entries(new_path), metric=metric)
+
+
+def format_comparison(rows: List[dict], metric: str = DEFAULT_METRIC) -> str:
+    """Render comparison rows as an aligned text table."""
+    if not rows:
+        return "(no bench entries on either side)"
+    display = []
+    for row in rows:
+        display.append({
+            "bench/scenario": row["key"],
+            f"old {metric}": _fmt_value(row["old"]),
+            f"new {metric}": _fmt_value(row["new"]),
+            "delta": _fmt_delta(row["delta"], row["status"]),
+            "old s": _fmt_value(row["old_wallclock"]),
+            "new s": _fmt_value(row["new_wallclock"]),
+        })
+    return format_table(display)
+
+
+def regressions(rows: List[dict], threshold: float) -> List[dict]:
+    """Rows of both files whose metric dropped by more than ``threshold``
+    (a fraction: 0.1 = 10% slower)."""
+    return [row for row in rows
+            if row["status"] == "both" and row["delta"] is not None
+            and row["delta"] < -threshold]
+
+
+def _metric_of(entry: Optional[dict], metric: str) -> Optional[float]:
+    if entry is None:
+        return None
+    value = entry.get(metric)
+    return value if isinstance(value, (int, float)) else None
+
+
+def _relative_delta(old: Optional[float], new: Optional[float]
+                    ) -> Optional[float]:
+    if old is None or new is None or old == 0:
+        return None
+    return (new - old) / old
+
+
+def _fmt_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value < 100:
+        return f"{value:.4g}"
+    return f"{value:,.0f}"
+
+
+def _fmt_delta(delta: Optional[float], status: str) -> str:
+    if delta is None:
+        return status if status != "both" else "-"
+    return f"{delta * 100:+.1f}%"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a non-zero exit code on regressions when
+    ``--fail-threshold`` is given."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench_compare",
+        description="Diff two BENCH_kernel.json perf snapshots.",
+    )
+    parser.add_argument("old", help="baseline BENCH_kernel.json")
+    parser.add_argument("new", help="candidate BENCH_kernel.json")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"record field to compare "
+                             f"(default: {DEFAULT_METRIC})")
+    parser.add_argument("--fail-threshold", type=float, default=None,
+                        metavar="FRACTION",
+                        help="exit 1 when any shared key's metric dropped "
+                             "by more than this fraction (e.g. 0.2)")
+    args = parser.parse_args(argv)
+    rows = compare_bench_files(args.old, args.new, metric=args.metric)
+    print(format_comparison(rows, metric=args.metric))
+    if args.fail_threshold is not None:
+        slower = regressions(rows, args.fail_threshold)
+        if slower:
+            keys = ", ".join(row["key"] for row in slower)
+            print(f"\nregressions past {args.fail_threshold * 100:.0f}%: "
+                  f"{keys}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

@@ -8,7 +8,7 @@ the same way.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def speedup(baseline_seconds: float, optimised_seconds: float) -> float:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Union
 from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
+from ..noc.config import NocConfig
 from ..soc.config import (
     ArbitrationKind,
     InterconnectKind,
@@ -127,6 +128,31 @@ class PlatformBuilder:
         if arbitration_cycles is not None:
             self._set(arbitration_cycles=arbitration_cycles)
         return self
+
+    def mesh(self, rows: Optional[int] = None, cols: Optional[int] = None,
+             *, flit_bytes: int = 4, link_cycles: int = 1,
+             router_cycles: int = 1, buffer_packets: int = 2,
+             memory_nodes: Optional[tuple] = None,
+             pe_nodes: Optional[tuple] = None) -> "PlatformBuilder":
+        """Use the packet-switched 2D-mesh NoC interconnect.
+
+        ``rows``/``cols`` default to a near-square mesh sized for the
+        platform; the remaining knobs are the link width (bytes per flit),
+        link/router pipeline latencies in cycles, the per-port input
+        buffer depth (packets) and optional explicit node placements.
+        """
+        try:
+            noc = NocConfig(
+                rows=rows, cols=cols, flit_bytes=flit_bytes,
+                link_cycles=link_cycles, router_cycles=router_cycles,
+                buffer_packets=buffer_packets,
+                memory_nodes=(tuple(memory_nodes)
+                              if memory_nodes is not None else None),
+                pe_nodes=tuple(pe_nodes) if pe_nodes is not None else None,
+            )
+        except ValueError as exc:
+            raise BuilderError(f"invalid mesh description: {exc}") from exc
+        return self._set(interconnect=InterconnectKind.MESH, noc=noc)
 
     def shared_bus(self,
                    arbitration: Union[ArbitrationKind, str] = ArbitrationKind.ROUND_ROBIN,

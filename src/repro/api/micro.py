@@ -14,7 +14,7 @@ replace the per-bench copies of the command-driving loop:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from ..interconnect.bus import BusOp, BusRequest, SharedBus
 from ..kernel import Module

@@ -29,7 +29,7 @@ are), which matches the dedicated snoop networks of bus-based MPSoCs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..memory.protocol import (
@@ -104,6 +104,33 @@ class DomainStats:
         }
 
 
+class FillGuard:
+    """Tracks one in-flight clean line fetch so conflicting writes can
+    poison it before the fetched (now stale) data goes resident.
+
+    Between a fetch being *served* by the memory and its payload being
+    *installed* by the requesting cache, the requester's process is
+    suspended; on interconnects where completion lags service (the mesh
+    NoC's response network, a crossbar channel racing another), a write
+    can complete at the memory inside that window.  The write's
+    invalidation hook cannot see the not-yet-resident line, so it marks
+    the guard instead and the install is skipped.
+    """
+
+    __slots__ = ("owner", "mem_index", "lo", "hi", "poisoned")
+
+    def __init__(self, owner, mem_index: int, lo: int, hi: int) -> None:
+        self.owner = owner
+        self.mem_index = mem_index
+        self.lo = lo
+        self.hi = hi
+        self.poisoned = False
+
+    def overlaps(self, mem_index: int, lo: int, hi: int) -> bool:
+        return (self.mem_index == mem_index and self.lo < hi
+                and lo < self.hi)
+
+
 class CoherenceDomain:
     """Snooping MSI coherence glue shared by every L1 cache of a platform."""
 
@@ -113,6 +140,8 @@ class CoherenceDomain:
         self._allocs: Dict[int, List[SharedAllocation]] = {}
         self._next_uid = 1
         self.stats = DomainStats()
+        #: In-flight clean fetches awaiting install (see :class:`FillGuard`).
+        self._fills: List[FillGuard] = []
         #: Interconnect window map used by the bus snooper:
         #: window base address -> memory index.
         self._windows: Dict[int, int] = {}
@@ -319,6 +348,28 @@ class CoherenceDomain:
                     self.stats.snoop_writebacks += 1
                     line.downgrade()
 
+    # -- in-flight fill tracking -------------------------------------------------
+    def begin_fill(self, owner, mem_index: int, lo_byte: int,
+                   hi_byte: int) -> FillGuard:
+        """Register a clean fetch of ``[lo_byte, hi_byte)`` about to fly."""
+        guard = FillGuard(owner, mem_index, lo_byte, hi_byte)
+        self._fills.append(guard)
+        return guard
+
+    def end_fill(self, guard: FillGuard) -> None:
+        """Deregister a fetch (installed or abandoned)."""
+        try:
+            self._fills.remove(guard)
+        except ValueError:  # pragma: no cover - defensive double end
+            pass
+
+    def _poison_fills(self, mem_index: int, lo_byte: int, hi_byte: int,
+                      requester=None) -> None:
+        for guard in self._fills:
+            if guard.owner is not requester and guard.overlaps(
+                    mem_index, lo_byte, hi_byte):
+                guard.poisoned = True
+
     # -- non-bus invalidation ----------------------------------------------------
     def invalidate_range(self, mem_index: int, lo_byte: int, hi_byte: int,
                          requester=None, supersede_dirty: bool = False) -> int:
@@ -332,6 +383,7 @@ class CoherenceDomain:
         caller observed the memory write serialize after them, e.g. an
         uncached master's write on the bus).
         """
+        self._poison_fills(mem_index, lo_byte, hi_byte, requester=requester)
         dropped = 0
         for cache in self._caches:
             if cache is requester:
@@ -348,6 +400,11 @@ class CoherenceDomain:
         return dropped
 
     def _drop_range(self, mem_index: int, lo_byte: int, hi_byte: int) -> None:
+        # Allocation-lifetime scrub: in-flight fetches of the dead (or
+        # recycled) range must not install either, whoever owns them.
+        for guard in self._fills:
+            if guard.overlaps(mem_index, lo_byte, hi_byte):
+                guard.poisoned = True
         for cache in self._caches:
             for line in cache.lines_overlapping(mem_index, lo_byte, hi_byte):
                 cache.drop_line(line, silent=True)

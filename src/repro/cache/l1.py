@@ -315,8 +315,10 @@ class L1Cache:
         self._observed_stage: Optional[Tuple[int, List[int]]] = None
         #: Words staged for the io fetch of a cache-served READ_ARRAY.
         self._pending_fetch: Optional[Tuple[int, int, List[int]]] = None
-        #: Range of a forwarded READ_ARRAY to install from its io fetch.
-        self._pending_install: Optional[Tuple[SharedAllocation, int, int, int]] = None
+        #: Range of a forwarded READ_ARRAY to install from its io fetch,
+        #: plus the fill guard covering it:
+        #: ``(alloc, start, dim, mem_index, guard)``.
+        self._pending_install: Optional[Tuple] = None
         domain.register_cache(self)
         self.port = CachedPort(self, port)
 
@@ -494,15 +496,19 @@ class L1Cache:
         if (self._pending_install is not None and window is not None
                 and response.ok and request.op is BusOp.READ
                 and window[2] == IO_ARRAY_BASE):
-            alloc, start, dim, mem_index = self._pending_install
+            alloc, start, dim, mem_index, guard = self._pending_install
             self._pending_install = None
             if (window[1] == mem_index and request.burst_length == dim
-                    and len(response.burst_data) == dim):
+                    and len(response.burst_data) == dim
+                    and not guard.poisoned):
                 words = [word & 0xFFFFFFFF for word in response.burst_data]
                 lines = yield from self._prepare_lines(alloc, start, dim)
-                self._finalize_install(alloc, start, words, lines, dirty=False)
+                if not guard.poisoned:
+                    self._finalize_install(alloc, start, words, lines,
+                                           dirty=False)
+            self.domain.end_fill(guard)
         else:
-            self._pending_install = None
+            self._clear_pending_install()
         return response
 
     # -- opcode dispatch -----------------------------------------------------------------
@@ -612,7 +618,13 @@ class L1Cache:
             # Reservation-held writes always go to memory so their
             # visibility matches the uncached platform.
             yield from self.domain.acquire_exclusive(self, alloc, index, 1)
-            response = yield from self._raw.transfer(request)
+            guard = self.domain.begin_fill(self, alloc.mem_index,
+                                           alloc.element_byte(index),
+                                           alloc.element_byte(index + 1))
+            try:
+                response = yield from self._raw.transfer(request)
+            finally:
+                self.domain.end_fill(guard)
             if response.ok:
                 self.stats.write_throughs += 1
                 # A remote fill may have re-installed the pre-write value
@@ -620,7 +632,8 @@ class L1Cache:
                 self.domain.invalidate_range(
                     alloc.mem_index, alloc.element_byte(index),
                     alloc.element_byte(index + 1), requester=self)
-                self._update_clean(alloc, index, value)
+                if not guard.poisoned:
+                    self._update_clean(alloc, index, value)
             elif self._foreign_reserved(mem_index, command.vptr):
                 return None  # a reservation won the bus race: retry
             return response
@@ -648,12 +661,19 @@ class L1Cache:
             # upgrade snoop was writing remote data back: write to memory.
             self.stats.fallbacks += 1
             yield from self.domain.acquire_exclusive(self, alloc, index, 1)
-            response = yield from self._raw.transfer(request)
+            guard = self.domain.begin_fill(self, alloc.mem_index,
+                                           alloc.element_byte(index),
+                                           alloc.element_byte(index + 1))
+            try:
+                response = yield from self._raw.transfer(request)
+            finally:
+                self.domain.end_fill(guard)
             if response.ok:
                 self.domain.invalidate_range(
                     alloc.mem_index, alloc.element_byte(index),
                     alloc.element_byte(index + 1), requester=self)
-                self._update_clean(alloc, index, value)
+                if not guard.poisoned:
+                    self._update_clean(alloc, index, value)
             elif self._foreign_reserved(mem_index, command.vptr):
                 return None
             return response
@@ -697,9 +717,22 @@ class L1Cache:
         yield from self._flush_own_dirty(alloc, alloc.element_byte(start),
                                          alloc.element_byte(start + command.dim))
         yield from self.domain.snoop_read(self, alloc, start, command.dim)
-        response = yield from self._raw.transfer(request)
+        guard = self.domain.begin_fill(
+            self, mem_index, alloc.element_byte(start),
+            alloc.element_byte(start + command.dim))
+        # The guard deliberately outlives this call on success (it is
+        # consumed when the io fetch installs, or by
+        # _clear_pending_install), so only failure paths may end it here.
+        try:
+            response = yield from self._raw.transfer(request)
+        except BaseException:
+            self.domain.end_fill(guard)
+            raise
         if response.ok:
-            self._pending_install = (alloc, start, command.dim, mem_index)
+            self._pending_install = (alloc, start, command.dim, mem_index,
+                                     guard)
+        else:
+            self.domain.end_fill(guard)
         return response
 
     def _collect(self, alloc: SharedAllocation, start: int, dim: int
@@ -793,16 +826,26 @@ class L1Cache:
                 alloc, alloc.element_byte(start),
                 alloc.element_byte(start + command.dim))
             yield from self._restage(mem_index, staged or [], base)
-            response = yield from self._raw.transfer(request)
-            if not response.ok:
-                if self._foreign_reserved(mem_index, command.vptr):
-                    return None  # a reservation won the bus race: retry
-                return response
-            self.domain.invalidate_range(
-                mem_index, alloc.element_byte(start),
-                alloc.element_byte(start + command.dim), requester=self)
-            lines = yield from self._prepare_lines(alloc, start, command.dim)
-            self._finalize_install(alloc, start, canon, lines, dirty=False)
+            guard = self.domain.begin_fill(
+                self, mem_index, alloc.element_byte(start),
+                alloc.element_byte(start + command.dim))
+            try:
+                response = yield from self._raw.transfer(request)
+                if not response.ok:
+                    if self._foreign_reserved(mem_index, command.vptr):
+                        return None  # a reservation won the bus race: retry
+                    return response
+                self.domain.invalidate_range(
+                    mem_index, alloc.element_byte(start),
+                    alloc.element_byte(start + command.dim), requester=self)
+                if not guard.poisoned:
+                    lines = yield from self._prepare_lines(alloc, start,
+                                                           command.dim)
+                    if not guard.poisoned:
+                        self._finalize_install(alloc, start, canon, lines,
+                                               dirty=False)
+            finally:
+                self.domain.end_fill(guard)
             return response
         # Passthrough (write-through, reservation held by self, or nothing
         # staged through this shim).  Writebacks run *before* the payload
@@ -819,33 +862,42 @@ class L1Cache:
             # Retry (or write-back fallback): the io array no longer holds
             # the payload — stage it again before re-issuing.
             yield from self._restage(mem_index, staged, base)
-        response = yield from self._raw.transfer(request)
-        if not response.ok:
-            if self._foreign_reserved(mem_index, command.vptr):
-                return None  # a reservation won the bus race: retry
-            return response
-        # The data just landed in memory: scrub remote copies that were
-        # re-installed while the write waited for the bus.
-        self.domain.invalidate_range(
-            mem_index, alloc.element_byte(start),
-            alloc.element_byte(start + command.dim), requester=self)
-        observed = None
-        if staged is not None:
-            observed = canon
-        elif (self._observed_stage is not None
-              and self._observed_stage[0] == mem_index
-              and len(self._observed_stage[1]) >= command.dim):
-            observed = [canonical_word(word, alloc.data_type)
-                        for word in self._observed_stage[1][:command.dim]]
-        self._observed_stage = None
-        if observed is not None:
-            lines = yield from self._prepare_lines(alloc, start, command.dim)
-            self._finalize_install(alloc, start, observed, lines, dirty=False)
-        else:
-            for line in self.lines_overlapping(
-                    mem_index, alloc.element_byte(start),
-                    alloc.element_byte(start + command.dim)):
-                self.drop_line(line)
+        guard = self.domain.begin_fill(
+            self, mem_index, alloc.element_byte(start),
+            alloc.element_byte(start + command.dim))
+        try:
+            response = yield from self._raw.transfer(request)
+            if not response.ok:
+                if self._foreign_reserved(mem_index, command.vptr):
+                    return None  # a reservation won the bus race: retry
+                return response
+            # The data just landed in memory: scrub remote copies that were
+            # re-installed while the write waited for the bus.
+            self.domain.invalidate_range(
+                mem_index, alloc.element_byte(start),
+                alloc.element_byte(start + command.dim), requester=self)
+            observed = None
+            if staged is not None:
+                observed = canon
+            elif (self._observed_stage is not None
+                  and self._observed_stage[0] == mem_index
+                  and len(self._observed_stage[1]) >= command.dim):
+                observed = [canonical_word(word, alloc.data_type)
+                            for word in self._observed_stage[1][:command.dim]]
+            self._observed_stage = None
+            if observed is not None and not guard.poisoned:
+                lines = yield from self._prepare_lines(alloc, start,
+                                                       command.dim)
+                if not guard.poisoned:
+                    self._finalize_install(alloc, start, observed, lines,
+                                           dirty=False)
+            else:
+                for line in self.lines_overlapping(
+                        mem_index, alloc.element_byte(start),
+                        alloc.element_byte(start + command.dim)):
+                    self.drop_line(line)
+        finally:
+            self.domain.end_fill(guard)
         return response
 
     def _range_prepared(self, alloc: SharedAllocation, start: int, count: int,
@@ -857,6 +909,12 @@ class L1Cache:
             if line is None or not self._is_resident(line):
                 return False
         return True
+
+    def _clear_pending_install(self) -> None:
+        """Abandon a staged READ_ARRAY install (unexpected interleaving)."""
+        if self._pending_install is not None:
+            self.domain.end_fill(self._pending_install[4])
+            self._pending_install = None
 
     # -- staging helpers ---------------------------------------------------------------
     def _flush_stage(self) -> Generator[object, None, None]:
@@ -911,19 +969,31 @@ class L1Cache:
         base = self._window_base[alloc.mem_index]
         fill_command = MemCommand(MemOpcode.READ_ARRAY, sm_addr=alloc.mem_index,
                                   vptr=alloc.vptr, offset=first, dim=count)
-        ack = yield from self._raw.burst_write(
-            base + REG_COMMAND, fill_command.to_words(),
-            tag=f"{self.name}.fill")
-        if not ack.ok:
-            self._drop_if_empty(line)
-            return first, None, None
-        payload = yield from self._raw.burst_read(
-            base + IO_ARRAY_BASE, count, tag=f"{self.name}.fill")
+        guard = self.domain.begin_fill(self, alloc.mem_index,
+                                       alloc.element_byte(first),
+                                       alloc.element_byte(first + count))
+        try:
+            ack = yield from self._raw.burst_write(
+                base + REG_COMMAND, fill_command.to_words(),
+                tag=f"{self.name}.fill")
+            if not ack.ok:
+                self._drop_if_empty(line)
+                return first, None, None
+            payload = yield from self._raw.burst_read(
+                base + IO_ARRAY_BASE, count, tag=f"{self.name}.fill")
+        finally:
+            self.domain.end_fill(guard)
         if not payload.ok or len(payload.burst_data) != count:
             self._drop_if_empty(line)
             return first, None, None
         self.stats.fills += 1
         words = [word & 0xFFFFFFFF for word in payload.burst_data]
+        if guard.poisoned:
+            # A conflicting write completed at the memory while the payload
+            # was in flight: the words are a correct read (serialized when
+            # the fill was served) but are stale *now* — do not install.
+            self._drop_if_empty(line)
+            return first, words, None
         if line is None or not self._is_resident(line):
             return first, words, None
         for slot, word in enumerate(words):

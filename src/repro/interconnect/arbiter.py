@@ -16,7 +16,7 @@ easy to unit-test and to swap in configuration sweeps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 
 class Arbiter:

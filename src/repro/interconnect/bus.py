@@ -85,6 +85,18 @@ class MasterStats:
     wait_cycles: int = 0
     errors: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready view (one row of the per-master stats table)."""
+        return {
+            "transactions": self.transactions,
+            "reads": self.reads,
+            "writes": self.writes,
+            "words": self.words,
+            "busy_cycles": self.busy_cycles,
+            "wait_cycles": self.wait_cycles,
+            "errors": self.errors,
+        }
+
 
 @dataclass
 class BusStats:
@@ -100,6 +112,16 @@ class BusStats:
         if master_id not in self.per_master:
             self.per_master[master_id] = MasterStats()
         return self.per_master[master_id]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view including the per-master breakdown."""
+        return {
+            "transactions": self.transactions,
+            "busy_cycles": self.busy_cycles,
+            "decode_errors": self.decode_errors,
+            "per_master": {master_id: stats.as_dict() for master_id, stats
+                           in sorted(self.per_master.items())},
+        }
 
 
 class MasterPort:

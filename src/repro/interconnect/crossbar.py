@@ -99,8 +99,14 @@ class Crossbar(Module):
             # Complete after one cycle with a decode error; the completion
             # event may not have been bound yet (that normally happens when
             # the master first waits on it), so bind it explicitly here.
+            # The failed transfer is accounted per master exactly like the
+            # shared bus does, so topology comparisons see the same columns.
             self.stats.decode_errors += 1
-            port._response = decode_error_response()
+            response = decode_error_response()
+            response.slave_cycles = 1
+            response.total_cycles = 1
+            self._account(request, response)
+            port._response = response
             sim = self._decode_error_event._sim
             if sim is not None:
                 port._completion._bind(sim)

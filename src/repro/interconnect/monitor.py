@@ -120,7 +120,7 @@ class BusMonitor(BusSlave):
         for transfer in self.transfers:
             by_op.setdefault(transfer.op.value, []).append(transfer.cycles)
             by_op.setdefault("all", []).append(transfer.cycles)
-        return {op: _percentile_summary(latencies)
+        return {op: percentile_summary(latencies)
                 for op, latencies in sorted(by_op.items())}
 
     def stats(self) -> Dict[str, object]:
@@ -143,8 +143,12 @@ def _nearest_rank(ordered: List[int], quantile: float) -> int:
     return ordered[min(rank, len(ordered)) - 1]
 
 
-def _percentile_summary(latencies: List[int]) -> Dict[str, float]:
+def percentile_summary(latencies: List[int]) -> Dict[str, float]:
+    """p50/p95/max nearest-rank summary of a latency sample (shared by the
+    per-slave monitors and the NoC's end-to-end packet statistics)."""
     ordered = sorted(latencies)
+    if not ordered:
+        return {"count": 0, "p50": 0, "p95": 0, "max": 0}
     return {
         "count": len(ordered),
         "p50": _nearest_rank(ordered, 0.50),

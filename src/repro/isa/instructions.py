@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 #: Number of general-purpose registers (R15 = PC, R14 = LR, R13 = SP).
 NUM_REGISTERS = 16

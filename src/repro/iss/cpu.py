@@ -12,7 +12,7 @@ is how the ISS plugs into the co-simulation platform in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..isa.encoding import decode

@@ -12,7 +12,7 @@ experiments can report how much host memory the simulation actually holds.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

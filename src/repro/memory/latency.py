@@ -9,7 +9,7 @@ data-dependent behaviour (e.g. page-hit/page-miss DRAM models).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 

@@ -1,0 +1,115 @@
+"""Mesh network-on-chip configuration.
+
+A :class:`NocConfig` describes the third interconnect topology of the
+platform (``InterconnectKind.MESH``): a 2D mesh of packet routers with
+XY dimension-order wormhole routing.  The knobs map directly onto the
+hardware parameters a NoC generator would expose:
+
+* ``rows`` / ``cols`` — mesh dimensions (``None`` = derived from the
+  platform's PE/memory counts, near-square);
+* ``flit_bytes`` — link width: how many payload bytes one flit carries;
+* ``link_cycles`` — cycles one flit needs to traverse one link;
+* ``router_cycles`` — router pipeline depth (route computation, virtual
+  channel allocation and switch traversal) paid once per hop by the head
+  flit;
+* ``buffer_packets`` — input buffer depth of a router port, in packets;
+  a full buffer exerts backpressure, so an upstream link stays held
+  exactly like a blocked wormhole worm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Parameters of the 2D-mesh packet-switched interconnect."""
+
+    #: Mesh rows (``None`` = derived from the platform size).
+    rows: Optional[int] = None
+    #: Mesh columns (``None`` = derived from the platform size).
+    cols: Optional[int] = None
+    #: Payload bytes per flit (the link width).
+    flit_bytes: int = 4
+    #: Cycles one flit needs to traverse one link.
+    link_cycles: int = 1
+    #: Router pipeline depth in cycles (paid per hop by the head flit).
+    router_cycles: int = 1
+    #: Input buffer depth per router port, in packets (backpressure bound).
+    buffer_packets: int = 2
+    #: Explicit node of every memory module (``None`` = spread from the
+    #: far corner of the mesh, opposite the PEs).
+    memory_nodes: Optional[Tuple[int, ...]] = None
+    #: Explicit node of every processing element (``None`` = row-major
+    #: from node 0, wrapping).
+    pe_nodes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        for label, value in (("rows", self.rows), ("cols", self.cols)):
+            if value is not None and value <= 0:
+                raise ValueError(f"mesh {label} must be positive, got {value}")
+        if self.flit_bytes <= 0:
+            raise ValueError("flit_bytes must be positive")
+        if self.link_cycles <= 0:
+            raise ValueError("link_cycles must be positive")
+        if self.router_cycles < 0:
+            raise ValueError("router_cycles must be >= 0")
+        if self.buffer_packets <= 0:
+            raise ValueError("buffer_packets must be positive")
+        for label, nodes in (("memory_nodes", self.memory_nodes),
+                             ("pe_nodes", self.pe_nodes)):
+            if nodes is None:
+                continue
+            if not isinstance(nodes, tuple):
+                raise ValueError(f"{label} must be a tuple of node indices")
+            for node in nodes:
+                if node < 0:
+                    raise ValueError(f"{label} entries must be >= 0")
+
+    # -- resolution -------------------------------------------------------------
+    @property
+    def has_dims(self) -> bool:
+        """True when both mesh dimensions are explicit."""
+        return self.rows is not None and self.cols is not None
+
+    def resolve(self, num_masters: int, num_slaves: int) -> "NocConfig":
+        """A copy with concrete mesh dimensions.
+
+        When ``rows``/``cols`` are unset, the smallest near-square grid
+        holding ``max(num_masters, num_slaves)`` nodes is chosen (PEs and
+        memories may share nodes, so either count alone bounds the mesh).
+        """
+        rows, cols = self.rows, self.cols
+        if rows is None or cols is None:
+            need = max(1, num_masters, num_slaves)
+            if cols is None and rows is None:
+                cols = max(1, math.isqrt(need - 1) + 1) if need > 1 else 1
+                rows = -(-need // cols)
+            elif cols is None:
+                cols = -(-need // rows)
+            else:
+                rows = -(-need // cols)
+        resolved = NocConfig(
+            rows=rows, cols=cols, flit_bytes=self.flit_bytes,
+            link_cycles=self.link_cycles, router_cycles=self.router_cycles,
+            buffer_packets=self.buffer_packets,
+            memory_nodes=self.memory_nodes, pe_nodes=self.pe_nodes,
+        )
+        num_nodes = rows * cols
+        for label, nodes in (("memory_nodes", resolved.memory_nodes),
+                             ("pe_nodes", resolved.pe_nodes)):
+            if nodes is not None and any(n >= num_nodes for n in nodes):
+                raise ValueError(
+                    f"{label} {nodes} reference nodes outside the "
+                    f"{rows}x{cols} mesh"
+                )
+        return resolved
+
+    def describe(self) -> str:
+        """Short summary used in platform descriptions."""
+        dims = (f"{self.rows}x{self.cols}" if self.has_dims else "auto")
+        return (f"mesh {dims}, {self.flit_bytes}B flits, "
+                f"{self.link_cycles}c links, {self.router_cycles}c routers")

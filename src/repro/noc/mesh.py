@@ -1,0 +1,492 @@
+"""Packet-switched 2D-mesh network-on-chip interconnect.
+
+:class:`MeshNoc` is the platform's third interconnect topology, a drop-in
+next to :class:`~repro.interconnect.bus.SharedBus` and
+:class:`~repro.interconnect.crossbar.Crossbar`: it exposes the exact same
+master-port surface (``master_port`` / ``attach_slave`` / ``add_snooper`` /
+``stats`` / ``utilization``), so processing elements, the shared-memory
+API and the MSI coherence layer run unchanged on it.
+
+Internally it is a ``rows x cols`` grid of wormhole routers:
+
+* every master's network interface injects *request packets* at its node;
+  the packet is chopped into flits (one head flit plus the payload at
+  ``flit_bytes`` per flit) and routed **XY dimension-order** — all the
+  column hops first, then the row hops — which is deadlock-free on a mesh;
+* each router output port arbitrates **round-robin over its input lanes**
+  (one virtual channel per input side, plus the local lane) and forwards
+  the head flit after ``router_cycles`` of pipeline and ``link_cycles`` on
+  the wire, while the body flits stream behind it — the port stays held
+  for the full ``flits x link_cycles`` serialization, exactly a wormhole
+  worm crossing the switch;
+* ports have ``buffer_packets`` of input buffering; a full downstream
+  buffer exerts backpressure, so the upstream channel stays held (blocked
+  worm) until credit returns;
+* *responses* travel on a physically separate network with the same
+  geometry, so request/response dependencies can never cycle — the
+  classic two-network deadlock-freedom argument;
+* the addressed slave is served one request at a time by its node's
+  server process (round-robin across masters, cycle-true ``serve``
+  generators like the other interconnects); snoopers fire at request
+  packet completion — synchronously, in slave service order — which is
+  what keeps the MSI coherence domain's shadow state authoritative.
+
+Per-link, per-router and end-to-end latency counters are collected in a
+:class:`~repro.noc.stats.NocStats` and surfaced through the platform's
+``interconnect_stats["noc"]`` block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..interconnect.address_map import AddressDecodeError, AddressMap
+from ..interconnect.arbiter import RoundRobinArbiter
+from ..interconnect.bus import BusSlave, BusStats, MasterPort
+from ..interconnect.transaction import (
+    BusOp,
+    BusRequest,
+    BusResponse,
+    ResponseStatus,
+    decode_error_response,
+)
+from ..kernel import Event, Module
+from ..kernel.simtime import NS
+from .config import NocConfig
+from .packet import (
+    LOCAL_LANE,
+    Packet,
+    entry_lane,
+    flits_for_payload,
+    request_payload_bytes,
+    response_payload_bytes,
+)
+from .stats import NocStats
+
+
+class _OutputPort:
+    """One directed channel: a router output port (or inject/eject port).
+
+    Holds per-input-lane packet queues, the round-robin lane arbiter, the
+    wakeup events and the occupancy bookkeeping used for backpressure.
+    ``capacity`` is in packets; ``None`` means unbounded (injection ports,
+    which model the master-side network-interface queue).
+    """
+
+    __slots__ = ("key", "name", "node", "queues", "arbiter", "event",
+                 "credit_event", "capacity", "occupancy", "stats")
+
+    def __init__(self, key: Tuple, name: str, node: int,
+                 capacity: Optional[int], stats) -> None:
+        self.key = key
+        self.name = name
+        self.node = node
+        self.queues: Dict[int, deque] = {}
+        self.arbiter = RoundRobinArbiter()
+        self.event: Optional[Event] = None
+        self.credit_event: Optional[Event] = None
+        self.capacity = capacity
+        self.occupancy = 0
+        self.stats = stats
+
+    def has_room(self) -> bool:
+        return self.capacity is None or self.occupancy < self.capacity
+
+    def enqueue(self, lane: int, packet: Packet) -> None:
+        queue = self.queues.get(lane)
+        if queue is None:
+            queue = self.queues[lane] = deque()
+        queue.append(packet)
+        self.occupancy += 1
+        self.event.notify()
+
+    def waiting_lanes(self) -> List[int]:
+        return sorted(lane for lane, queue in self.queues.items() if queue)
+
+
+class _SlaveServer:
+    """Per-slave service point at the slave's mesh node."""
+
+    __slots__ = ("slave", "node", "name", "pending", "arbiter", "event")
+
+    def __init__(self, slave: BusSlave, node: int, name: str) -> None:
+        self.slave = slave
+        self.node = node
+        self.name = name
+        self.pending: Dict[int, Packet] = {}
+        self.arbiter = RoundRobinArbiter()
+        self.event: Optional[Event] = None
+
+
+class MeshNoc(Module):
+    """A 2D-mesh wormhole NoC with the SharedBus/Crossbar port surface."""
+
+    def __init__(
+        self,
+        name: str = "noc",
+        period: int = 10 * NS,
+        config: Optional[NocConfig] = None,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(name, parent)
+        if period <= 0:
+            raise ValueError("noc period must be positive")
+        config = config if config is not None else NocConfig(rows=2, cols=2)
+        if not config.has_dims:
+            config = config.resolve(1, 1)
+        self.period = period
+        self.config = config
+        self.rows: int = config.rows
+        self.cols: int = config.cols
+        self.num_nodes = self.rows * self.cols
+        self.address_map = AddressMap()
+        self.stats = BusStats()
+        self.noc_stats = NocStats()
+        self._master_ports: Dict[int, MasterPort] = {}
+        self._snoopers: List = []
+        self._inflight: set = set()
+        self._servers: Dict[int, _SlaveServer] = {}
+        self._slave_count = 0
+        #: One port dict per physical network ("req" carries requests
+        #: outward, "resp" carries responses back — separate networks).
+        self._nets: Dict[str, Dict[Tuple, _OutputPort]] = {
+            "req": {}, "resp": {},
+        }
+        self._decode_event = self.add_event(Event(f"{name}.decode_error"))
+        for label in ("req", "resp"):
+            self._build_network(label)
+
+    # -- construction ------------------------------------------------------------
+    def _build_network(self, label: str) -> None:
+        cols, rows = self.cols, self.rows
+        for node in range(self.num_nodes):
+            row, col = divmod(node, cols)
+            self._add_port(label, ("inj", node), f"n{node}.inject",
+                           node, capacity=None)
+            self._add_port(label, ("ej", node), f"n{node}.eject",
+                           node, capacity=self.config.buffer_packets)
+            neighbours = []
+            if col + 1 < cols:
+                neighbours.append(("E", node + 1))
+            if col > 0:
+                neighbours.append(("W", node - 1))
+            if row + 1 < rows:
+                neighbours.append(("S", node + cols))
+            if row > 0:
+                neighbours.append(("N", node - cols))
+            for direction, neighbour in neighbours:
+                self._add_port(label, ("link", node, direction),
+                               f"n{node}->n{neighbour}", node,
+                               capacity=self.config.buffer_packets)
+
+    def _add_port(self, label: str, key: Tuple, display: str, node: int,
+                  capacity: Optional[int]) -> None:
+        name = f"{label}:{display}"
+        port = _OutputPort(key, name, node, capacity,
+                           self.noc_stats.link(name))
+        port.event = self.add_event(Event(f"{self.name}.{name}.req"))
+        port.credit_event = self.add_event(Event(f"{self.name}.{name}.credit"))
+        self._nets[label][key] = port
+        self.add_process(lambda p=port, net=label: self._run_port(net, p),
+                         name=f"{label}_{display}")
+
+    # -- placement ---------------------------------------------------------------
+    def node_of_master(self, master_id: int) -> int:
+        """Mesh node of a master (row-major from node 0 by default)."""
+        nodes = self.config.pe_nodes
+        if nodes:
+            return nodes[master_id % len(nodes)]
+        return master_id % self.num_nodes
+
+    def node_of_slave(self, slave_index: int) -> int:
+        """Mesh node of the ``slave_index``-th attached slave.
+
+        Defaults to spreading slaves from the far corner of the mesh
+        backwards, opposite the masters filling it from node 0.
+        """
+        nodes = self.config.memory_nodes
+        if nodes:
+            return nodes[slave_index % len(nodes)]
+        return self.num_nodes - 1 - (slave_index % self.num_nodes)
+
+    # -- construction-time wiring --------------------------------------------------
+    def attach_slave(self, name: str, base: int, size: int,
+                     slave: BusSlave) -> None:
+        """Map ``slave`` at ``[base, base+size)`` and give it a node."""
+        self.address_map.add_region(name, base, size, slave)
+        if id(slave) not in self._servers:
+            node = self.node_of_slave(self._slave_count)
+            self._slave_count += 1
+            server = _SlaveServer(slave, node, name)
+            server.event = self.add_event(Event(f"{self.name}.{name}.serve"))
+            self._servers[id(slave)] = server
+            self.add_process(lambda s=server: self._run_server(s),
+                             name=f"serve_{name}")
+
+    def add_snooper(self, snooper) -> None:
+        """Register ``snooper(request, response)``, called at request-packet
+        completion (slave service order) — the same hook point the shared
+        bus and crossbar provide, so coherence glue works unchanged."""
+        self._snoopers.append(snooper)
+
+    def _register_port(self, port: MasterPort) -> None:
+        if port.master_id in self._master_ports:
+            raise ValueError(f"master id {port.master_id} registered twice")
+        self._master_ports[port.master_id] = port
+
+    def master_port(self, master_id: int, name: str = "") -> MasterPort:
+        """Create (and register) a new master port on this mesh."""
+        return MasterPort(self, master_id, name)
+
+    # -- MasterPort protocol (same duck-type as SharedBus) --------------------------
+    def sim_now(self) -> int:
+        """Current simulated time (0 before elaboration)."""
+        sim = self._decode_event._sim
+        return sim.now if sim is not None else 0
+
+    def time_to_cycles(self, duration: int) -> int:
+        """Convert a kernel duration to whole interconnect cycles."""
+        return duration // self.period
+
+    def _post(self, port: MasterPort, request: BusRequest) -> None:
+        if port.master_id in self._inflight:
+            raise RuntimeError(
+                f"master {port.master_id} posted a request while one is "
+                f"outstanding"
+            )
+        try:
+            slave, offset, _region = self.address_map.decode(request.address)
+        except AddressDecodeError:
+            # Complete after one cycle with a decode error (the completion
+            # event may not have been bound yet — bind it explicitly, like
+            # the crossbar's decode path does).
+            self.stats.decode_errors += 1
+            response = decode_error_response()
+            response.slave_cycles = 1
+            response.total_cycles = 1
+            self._account(request, response)
+            port._response = response
+            sim = self._decode_event._sim
+            if sim is not None:
+                port._completion._bind(sim)
+            port._completion.notify(self.period)
+            return
+        self._inflight.add(port.master_id)
+        now = self.sim_now()
+        src = self.node_of_master(port.master_id)
+        dst = self._servers[id(slave)].node
+        packet = Packet(
+            request=request,
+            src_node=src,
+            dst_node=dst,
+            flits=flits_for_payload(request_payload_bytes(request),
+                                    self.config.flit_bytes),
+            inject_time=now,
+            post_time=now,
+            slave=slave,
+            offset=offset,
+        )
+        packet.path, packet.lanes = self._route(src, dst, request.master_id)
+        self._inject("req", packet)
+
+    # -- routing -----------------------------------------------------------------
+    def _route(self, src: int, dst: int, lane0: int
+               ) -> Tuple[List[Tuple], List[int]]:
+        """XY dimension-order path from ``src`` to ``dst``.
+
+        Returns the ordered port keys and, for each, the input lane the
+        packet occupies there (master/originator id at injection, the
+        entry side everywhere else).
+        """
+        cols = self.cols
+        path: List[Tuple] = [("inj", src)]
+        lanes: List[int] = [lane0]
+        row, col = divmod(src, cols)
+        dst_row, dst_col = divmod(dst, cols)
+        node = src
+        lane = LOCAL_LANE
+        while col != dst_col:
+            direction = "E" if dst_col > col else "W"
+            path.append(("link", node, direction))
+            lanes.append(lane)
+            lane = entry_lane(direction)
+            col += 1 if dst_col > col else -1
+            node = row * cols + col
+        while row != dst_row:
+            direction = "S" if dst_row > row else "N"
+            path.append(("link", node, direction))
+            lanes.append(lane)
+            lane = entry_lane(direction)
+            row += 1 if dst_row > row else -1
+            node = row * cols + col
+        path.append(("ej", node))
+        lanes.append(lane)
+        return path, lanes
+
+    def _inject(self, label: str, packet: Packet) -> None:
+        self.noc_stats.record_packet(packet.flits, packet.hops)
+        inject_port = self._nets[label][packet.path[0]]
+        inject_port.enqueue(packet.lanes[0], packet)
+
+    # -- per-port router process ---------------------------------------------------
+    def _run_port(self, label: str, port: _OutputPort):
+        period = self.period
+        config = self.config
+        net = self._nets[label]
+        while True:
+            lanes = port.waiting_lanes()
+            if not lanes:
+                yield port.event
+                continue
+            if len(lanes) > 1:
+                port.stats.contended_grants += 1
+                waiting = sum(len(port.queues[lane]) for lane in lanes) - 1
+                self.noc_stats.record_contention(port.node, waiting)
+            winner = port.arbiter.grant(lanes)
+            packet = port.queues[winner].popleft()
+            # Router pipeline: route computation, VC and switch allocation.
+            for _ in range(config.router_cycles):
+                yield period
+            # The head flit crosses the link...
+            yield config.link_cycles * period
+            tail_cycles = (packet.flits - 1) * config.link_cycles
+            if packet.hop + 1 < len(packet.path):
+                # ...and is handed downstream while the body flits still
+                # stream over this channel (wormhole pipelining).  A full
+                # downstream buffer blocks the worm here.
+                yield from self._forward(net, port, packet)
+                if tail_cycles:
+                    yield tail_cycles * period
+            else:
+                # Terminal (ejection) port: the payload is in the body
+                # flits, so delivery happens once the tail arrived.
+                if tail_cycles:
+                    yield tail_cycles * period
+                self._eject(packet)
+            port.stats.busy_cycles += (config.router_cycles
+                                       + packet.flits * config.link_cycles)
+            port.stats.packets += 1
+            port.stats.flits += packet.flits
+            port.occupancy -= 1
+            port.credit_event.notify()
+
+    def _forward(self, net: Dict[Tuple, _OutputPort], port: _OutputPort,
+                 packet: Packet):
+        next_port = net[packet.path[packet.hop + 1]]
+        while not next_port.has_room():
+            blocked_from = self.sim_now()
+            yield next_port.credit_event
+            port.stats.blocked_cycles += (
+                (self.sim_now() - blocked_from) // self.period
+            )
+        packet.hop += 1
+        next_port.enqueue(packet.lanes[packet.hop], packet)
+
+    def _eject(self, packet: Packet) -> None:
+        if packet.is_response:
+            self._complete(packet)
+            return
+        server = self._servers[id(packet.slave)]
+        server.pending[packet.request.master_id] = packet
+        server.event.notify()
+
+    # -- slave service ------------------------------------------------------------
+    def _run_server(self, server: _SlaveServer):
+        period = self.period
+        while True:
+            if not server.pending:
+                yield server.event
+                continue
+            winner = server.arbiter.grant(sorted(server.pending))
+            packet = server.pending.pop(winner)
+            request = packet.request
+            generator = server.slave.serve(request, packet.offset)
+            cycles = 0
+            while True:
+                try:
+                    next(generator)
+                except StopIteration as stop:
+                    cycles += 1
+                    yield period
+                    response = (stop.value if stop.value is not None
+                                else BusResponse())
+                    break
+                cycles += 1
+                yield period
+            response.slave_cycles = cycles
+            # Packet completion: the transaction took effect at the slave.
+            # Snoopers observe it here, in service order, before any other
+            # master can see the new state — identical to the bus hook.
+            for snooper in self._snoopers:
+                snooper(request, response)
+            self._inject_response(server, packet, response)
+
+    def _inject_response(self, server: _SlaveServer, packet: Packet,
+                         response: BusResponse) -> None:
+        reply = Packet(
+            request=packet.request,
+            src_node=server.node,
+            dst_node=packet.src_node,
+            flits=flits_for_payload(
+                response_payload_bytes(packet.request, response),
+                self.config.flit_bytes),
+            inject_time=self.sim_now(),
+            post_time=packet.post_time,
+            response=response,
+        )
+        reply.path, reply.lanes = self._route(server.node, packet.src_node,
+                                              packet.request.master_id)
+        self._inject("resp", reply)
+
+    def _complete(self, packet: Packet) -> None:
+        response = packet.response
+        now = self.sim_now()
+        response.total_cycles = (now - packet.post_time) // self.period
+        self._account(packet.request, response)
+        self.noc_stats.record_latency(response.total_cycles)
+        self._inflight.discard(packet.request.master_id)
+        port = self._master_ports[packet.request.master_id]
+        port._response = response
+        port._completion.notify()
+
+    # -- accounting ---------------------------------------------------------------
+    def _account(self, request: BusRequest, response: BusResponse) -> None:
+        self.stats.transactions += 1
+        self.stats.busy_cycles += response.total_cycles
+        per_master = self.stats.master(request.master_id)
+        per_master.transactions += 1
+        per_master.words += request.word_count
+        per_master.busy_cycles += response.total_cycles
+        if request.op is BusOp.READ:
+            per_master.reads += 1
+        else:
+            per_master.writes += 1
+        if response.status is not ResponseStatus.OK:
+            per_master.errors += 1
+
+    # -- reporting ----------------------------------------------------------------
+    def utilization(self, elapsed_time: int) -> float:
+        """Average link utilization across both networks (0.0-1.0)."""
+        ports = sum(len(net) for net in self._nets.values())
+        if elapsed_time <= 0 or not ports:
+            return 0.0
+        elapsed_cycles = elapsed_time // self.period
+        if elapsed_cycles <= 0:
+            return 0.0
+        busy = self.noc_stats.total_busy_cycles()
+        return min(1.0, busy / (elapsed_cycles * ports))
+
+    def noc_summary(self, elapsed_time: int = 0) -> dict:
+        """JSON-ready NoC block for ``interconnect_stats`` (mesh shape,
+        packet/flit totals, latency percentiles, per-link counters)."""
+        summary = {
+            "rows": self.rows,
+            "cols": self.cols,
+            "flit_bytes": self.config.flit_bytes,
+            "link_cycles": self.config.link_cycles,
+            "router_cycles": self.config.router_cycles,
+        }
+        summary.update(self.noc_stats.as_dict(
+            elapsed_cycles=elapsed_time // self.period if elapsed_time else 0))
+        return summary

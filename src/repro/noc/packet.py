@@ -1,0 +1,96 @@
+"""Network packets: bus transactions chopped into flits.
+
+The mesh carries two packet kinds on two physically separate networks:
+
+* a *request* packet wraps one :class:`~repro.interconnect.transaction.BusRequest`
+  travelling from a master's network interface to the node of the
+  addressed slave;
+* a *response* packet wraps the matching
+  :class:`~repro.interconnect.transaction.BusResponse` on the way back.
+
+A packet is ``1 + ceil(payload_bytes / flit_bytes)`` flits long: one head
+flit carrying the route/command and as many body flits as the payload
+needs.  Reads request no payload, so their request packet is head-only;
+burst writes carry their words outward and burst reads carry them back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..interconnect.transaction import BusOp, BusRequest, BusResponse, WORD_SIZE
+
+#: Input-lane index of traffic entering a router from its local port
+#: (network interface); link lanes use the direction indices below.
+LOCAL_LANE = 4
+
+#: Direction name -> input-lane index at the downstream router.
+_ENTRY_LANE = {"E": 0, "W": 1, "S": 2, "N": 3}  # entered from the W/E/N/S side
+
+
+def flits_for_payload(payload_bytes: int, flit_bytes: int) -> int:
+    """Total flits of a packet carrying ``payload_bytes`` of data."""
+    return 1 + -(-payload_bytes // flit_bytes)
+
+
+def request_payload_bytes(request: BusRequest) -> int:
+    """Bytes a request packet carries besides its head flit."""
+    if request.op is BusOp.WRITE:
+        return request.word_count * WORD_SIZE
+    return 0
+
+
+def response_payload_bytes(request: BusRequest, response: BusResponse) -> int:
+    """Bytes the matching response packet carries back."""
+    if request.op is BusOp.READ:
+        words = len(response.burst_data) if response.burst_data else 1
+        return words * WORD_SIZE
+    return 0
+
+
+@dataclass
+class Packet:
+    """One packet in flight on a mesh network."""
+
+    #: The transaction this packet belongs to.
+    request: BusRequest
+    #: Source and destination node indices.
+    src_node: int
+    dst_node: int
+    #: Total length in flits (head + body).
+    flits: int
+    #: Port keys the packet traverses, in order (see ``MeshNoc``).
+    path: List[Tuple] = field(default_factory=list)
+    #: Input lane of the packet at each port of :attr:`path`.
+    lanes: List[int] = field(default_factory=list)
+    #: Index of the port the packet currently occupies.
+    hop: int = 0
+    #: Simulated time the packet entered its network.
+    inject_time: int = 0
+    #: Simulated time the master posted the transaction (requests only).
+    post_time: int = 0
+    #: Decoded slave-side target (requests only).
+    slave: object = None
+    offset: int = 0
+    #: The carried response (response packets only).
+    response: Optional[BusResponse] = None
+
+    @property
+    def is_response(self) -> bool:
+        return self.response is not None
+
+    @property
+    def hops(self) -> int:
+        """Number of ports (inject + links + eject) on the path."""
+        return len(self.path)
+
+    def describe(self) -> str:  # pragma: no cover - debugging helper
+        kind = "resp" if self.is_response else "req"
+        return (f"{kind} m{self.request.master_id} "
+                f"n{self.src_node}->n{self.dst_node} {self.flits}f")
+
+
+def entry_lane(direction: str) -> int:
+    """Input-lane index at the router a ``direction`` link feeds into."""
+    return _ENTRY_LANE[direction]

@@ -19,6 +19,7 @@ from ..cache.geometry import CacheConfig
 from ..kernel.simtime import NS
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
+from ..noc.config import NocConfig
 from ..sw.instruction_costs import ARM7_LIKE, CostModel
 from ..wrapper.delays import WrapperDelays
 
@@ -37,6 +38,7 @@ class InterconnectKind(enum.Enum):
 
     SHARED_BUS = "shared_bus"
     CROSSBAR = "crossbar"
+    MESH = "mesh"
 
 
 class ArbitrationKind(enum.Enum):
@@ -63,6 +65,10 @@ class PlatformConfig:
     interconnect: InterconnectKind = InterconnectKind.SHARED_BUS
     #: Arbitration policy (shared bus only).
     arbitration: ArbitrationKind = ArbitrationKind.ROUND_ROBIN
+    #: Mesh NoC parameters (``InterconnectKind.MESH`` only).  ``None``
+    #: derives a near-square mesh sized for the platform; see
+    #: :meth:`resolved_noc`.
+    noc: Optional[NocConfig] = None
     #: Clock period of the platform in kernel time units.
     clock_period: int = 10 * NS
     #: Fixed interconnect overhead cycles per transfer.
@@ -121,6 +127,11 @@ class PlatformConfig:
                 f"cache must be a CacheConfig or None, got "
                 f"{type(self.cache).__name__}"
             )
+        if self.noc is not None and not isinstance(self.noc, NocConfig):
+            raise ValueError(
+                f"noc must be a NocConfig or None, got "
+                f"{type(self.noc).__name__}"
+            )
 
     # -- derived helpers -----------------------------------------------------------
     def memory_base(self, index: int) -> int:
@@ -129,11 +140,20 @@ class PlatformConfig:
             raise ValueError(f"memory index {index} out of range")
         return self.memory_base_address + index * self.memory_window_stride
 
+    def resolved_noc(self) -> NocConfig:
+        """The mesh parameters with concrete dimensions for this platform."""
+        base = self.noc if self.noc is not None else NocConfig()
+        return base.resolve(self.num_pes, self.num_memories)
+
     def describe(self) -> str:
         """One-line summary used in logs and benchmark tables."""
+        topology = self.interconnect.value
+        if self.interconnect is InterconnectKind.MESH:
+            noc = self.resolved_noc()
+            topology = f"mesh {noc.rows}x{noc.cols}"
         text = (
             f"{self.num_pes} PE / {self.num_memories} x {self.memory_kind.value} "
-            f"memory / {self.interconnect.value} ({self.arbitration.value})"
+            f"memory / {topology} ({self.arbitration.value})"
         )
         if self.cache is not None:
             text += f" / {self.cache.describe()}"

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time as _wallclock
 import warnings
-from typing import Callable, List, Optional, Union
+from typing import List, Optional, Union
 
 from ..cache.coherence import CoherenceDomain
 from ..cache.l1 import L1Cache
@@ -33,6 +33,7 @@ from ..interconnect.arbiter import make_arbiter
 from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
 from ..interconnect.monitor import BusMonitor
+from ..noc.mesh import MeshNoc
 from ..kernel import Event, Module, Simulator
 from ..memory.host_memory import HostMemory
 from ..memory.modeled_dynamic_memory import ModeledDynamicMemory
@@ -164,6 +165,9 @@ class Platform:
     # -- construction helpers ---------------------------------------------------------
     def _build_interconnect(self):
         config = self.config
+        if config.interconnect is InterconnectKind.MESH:
+            return MeshNoc("noc", period=config.clock_period,
+                           config=config.resolved_noc(), parent=self.top)
         if config.interconnect is InterconnectKind.CROSSBAR:
             return Crossbar("xbar", period=config.clock_period,
                             arbitration_cycles=config.arbitration_cycles,
@@ -280,12 +284,15 @@ class Platform:
 
     def _build_report(self, wallclock_seconds: float) -> SimulationReport:
         assert self.simulator is not None
+        # BusStats.as_dict carries the uniform counters (including the
+        # per-master columns) for every topology.
         interconnect_stats = {
-            "transactions": self.interconnect.stats.transactions,
-            "busy_cycles": self.interconnect.stats.busy_cycles,
-            "decode_errors": self.interconnect.stats.decode_errors,
+            **self.interconnect.stats.as_dict(),
             "utilization": self.interconnect.utilization(self.simulator.now),
         }
+        if isinstance(self.interconnect, MeshNoc):
+            interconnect_stats["noc"] = self.interconnect.noc_summary(
+                self.simulator.now)
         if self.monitors:
             interconnect_stats["memory_monitors"] = [
                 monitor.stats() for monitor in self.monitors

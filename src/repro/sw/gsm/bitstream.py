@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from .encoder import GsmFrameParameters
-from .tables import FRAME_BITS, LAR_BITS, RPE_PULSES, SUBFRAME_BITS, SUBFRAMES_PER_FRAME
+from .tables import FRAME_BITS, LAR_BITS, SUBFRAME_BITS, SUBFRAMES_PER_FRAME
 
 #: Upper nibble of the first byte in the conventional "gsm" file format.
 MAGIC = 0xD

@@ -15,12 +15,7 @@ from .encoder import GsmFrameParameters
 from .lpc import ShortTermState, short_term_synthesis
 from .ltp import ltp_synthesis
 from .rpe import rpe_decode
-from .tables import (
-    FRAME_SAMPLES,
-    LTP_MAX_LAG,
-    SUBFRAME_SAMPLES,
-    SUBFRAMES_PER_FRAME,
-)
+from .tables import FRAME_SAMPLES, LTP_MAX_LAG, SUBFRAMES_PER_FRAME
 
 
 @dataclass

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from .arith import abs_s, add, asl, asr, l_add, mult, mult_r, norm, saturate, sub
+from .arith import abs_s, add, asl, asr, mult, mult_r, saturate, sub
 from .tables import RPE_FAC, RPE_H, RPE_NRFAC, RPE_PULSES, SUBFRAME_SAMPLES
 
 

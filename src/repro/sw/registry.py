@@ -24,7 +24,7 @@ and instantiate it with ``workload.create("my_kernel", config, size=128)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from .task import TaskFunction
 

@@ -12,7 +12,7 @@ workloads (GSM) and by the evaluation benches.
 from __future__ import annotations
 
 import time as _wallclock
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from ..interconnect.bus import MasterPort

@@ -49,7 +49,14 @@ def make_producer_task(items: List[int], fifo_depth: int, shared: dict,
             yield from smem.release(ctrl_vptr)
             pushed += 1
             yield from ctx.compute_ops(alu=4, local=2)
+        # The done flag lives in the reservation-guarded control block: an
+        # unguarded write NACKs when it lands inside the consumer's
+        # reserve/release critical section (a race the mesh interconnect's
+        # longer round trips expose reliably).
+        while not (yield from smem.try_reserve(ctrl_vptr)):
+            yield ctx.poll_interval_cycles * ctx.clock_period
         yield from smem.write(ctrl_vptr, 1, offset=CTRL_DONE)
+        yield from smem.release(ctrl_vptr)
         ctx.note(f"producer: pushed {pushed} items")
         return pushed
 

@@ -31,7 +31,6 @@ from ..memory.dynamic_base import DynamicMemorySlave
 from ..memory.host_memory import HostMemory
 from ..memory.protocol import (
     DATA_TYPE_SIZES,
-    DataType,
     Endianness,
     MemCommand,
     MemOpcode,

@@ -17,7 +17,7 @@ element instead of a simulated allocator walk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from ..memory.dynamic_base import decode_element, encode_element, to_signed

@@ -2,9 +2,10 @@
 
 * caches off => the platform is the bit-identical flat model (covered by
   ``tests/perf`` golden counters; re-checked here via the report shape);
-* caches on => ``gsm_encode`` (4 PEs, shared bus and crossbar) produces
-  bit-identical encoder output versus cache-off while the per-memory
-  BusMonitor probes observe *strictly fewer* shared-memory transactions;
+* caches on => ``gsm_encode`` (4 PEs — shared bus, crossbar and mesh)
+  produces bit-identical encoder output versus cache-off while the
+  per-memory BusMonitor probes observe *strictly fewer* shared-memory
+  transactions;
 * the ``producer_consumer`` ordering workload stays correct under MSI.
 """
 
@@ -13,10 +14,17 @@ import pytest
 from repro.api import ExperimentRunner, PlatformBuilder, Scenario
 
 
-def gsm_scenario(policy=None, crossbar=False, pes=4):
+def apply_topology(builder, topology):
+    if topology == "crossbar":
+        return builder.crossbar()
+    if topology == "mesh":
+        return builder.mesh(rows=2, cols=2)
+    return builder
+
+
+def gsm_scenario(policy=None, topology="shared_bus", pes=4):
     builder = PlatformBuilder().pes(pes).wrapper_memories(1).monitored()
-    if crossbar:
-        builder = builder.crossbar()
+    builder = apply_topology(builder, topology)
     if policy is not None:
         builder = builder.l1_cache(policy=policy)
     return Scenario(
@@ -34,12 +42,11 @@ def run(scenario):
     return result.report
 
 
-@pytest.mark.parametrize("crossbar", [False, True],
-                         ids=["shared_bus", "crossbar"])
+@pytest.mark.parametrize("topology", ["shared_bus", "crossbar", "mesh"])
 @pytest.mark.parametrize("policy", ["write_back", "write_through"])
-def test_gsm_bit_exact_with_fewer_memory_transactions(policy, crossbar):
-    flat = run(gsm_scenario(None, crossbar))
-    cached = run(gsm_scenario(policy, crossbar))
+def test_gsm_bit_exact_with_fewer_memory_transactions(policy, topology):
+    flat = run(gsm_scenario(None, topology))
+    cached = run(gsm_scenario(policy, topology))
     # Bit-identical encoder output: the caches may only change *where*
     # data lives, never what the software computes.
     assert cached.results == flat.results
@@ -58,14 +65,12 @@ def test_write_back_beats_write_through_on_gsm():
             <= write_through.interconnect_stats["memory_transactions"])
 
 
-@pytest.mark.parametrize("crossbar", [False, True],
-                         ids=["shared_bus", "crossbar"])
+@pytest.mark.parametrize("topology", ["shared_bus", "crossbar", "mesh"])
 @pytest.mark.parametrize("policy", ["write_back", "write_through"])
-def test_producer_consumer_ordering_under_caches(policy, crossbar):
+def test_producer_consumer_ordering_under_caches(policy, topology):
     def scenario(with_policy):
         builder = PlatformBuilder().pes(2).wrapper_memories(1)
-        if crossbar:
-            builder = builder.crossbar()
+        builder = apply_topology(builder, topology)
         if with_policy is not None:
             builder = builder.l1_cache(sets=4, ways=2, line_bytes=16,
                                        policy=with_policy)

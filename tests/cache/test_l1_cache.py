@@ -1,7 +1,6 @@
 """Behavioural unit tests of one PE's L1 cache (hits, fills, evictions,
 canonical storage, array absorption, reporting)."""
 
-import pytest
 
 from repro.api import PlatformBuilder
 from repro.memory import DataType

@@ -1,6 +1,6 @@
 """MSI snooping coherence suite: invalidate-on-remote-write,
 writeback-on-remote-read, false sharing, reservation interplay and
-allocation lifetime scrubbing — on both interconnects."""
+allocation lifetime scrubbing — on all three interconnect topologies."""
 
 import pytest
 
@@ -9,13 +9,15 @@ from repro.memory import DataType
 from repro.soc import Platform
 
 
-def run_pair(task0, task1, policy="write_back", crossbar=False, sets=8,
-             ways=2, line_bytes=16):
+def run_pair(task0, task1, policy="write_back", topology="shared_bus",
+             sets=8, ways=2, line_bytes=16):
     builder = (PlatformBuilder().pes(2).wrapper_memories(1).monitored()
                .l1_cache(sets=sets, ways=ways, line_bytes=line_bytes,
                          policy=policy))
-    if crossbar:
+    if topology == "crossbar":
         builder = builder.crossbar()
+    elif topology == "mesh":
+        builder = builder.mesh(rows=2, cols=2)
     platform = Platform(builder.build())
     platform.add_task(task0)
     platform.add_task(task1)
@@ -27,11 +29,10 @@ def wait_for(shared, key, ctx):
         yield 16 * ctx.clock_period
 
 
-@pytest.mark.parametrize("crossbar", [False, True],
-                         ids=["shared_bus", "crossbar"])
+@pytest.mark.parametrize("topology", ["shared_bus", "crossbar", "mesh"])
 @pytest.mark.parametrize("policy", ["write_back", "write_through"])
 class TestMSIProtocol:
-    def test_invalidate_on_remote_write(self, policy, crossbar):
+    def test_invalidate_on_remote_write(self, policy, topology):
         """A cached SHARED copy must not survive a remote write."""
         shared = {}
 
@@ -55,12 +56,12 @@ class TestMSIProtocol:
             return before, after
 
         platform, report = run_pair(writer, reader, policy=policy,
-                                    crossbar=crossbar)
+                                    topology=topology)
         before, after = report.results["pe1"]
         assert (before, after) == (0, 42)
         assert platform.caches[1].stats.invalidations_received >= 1
 
-    def test_writeback_on_remote_read_of_dirty_line(self, policy, crossbar):
+    def test_writeback_on_remote_read_of_dirty_line(self, policy, topology):
         """A remote read must observe another PE's (possibly dirty) write."""
         shared = {}
 
@@ -80,14 +81,14 @@ class TestMSIProtocol:
             return value
 
         platform, report = run_pair(writer, reader, policy=policy,
-                                    crossbar=crossbar)
+                                    topology=topology)
         assert report.results["pe1"] == 7
         if policy == "write_back":
             # The value crossed the memory via a snoop-triggered writeback.
             assert (platform.caches[0].stats.writebacks
                     + platform.coherence.stats.snoop_writebacks) >= 1
 
-    def test_false_sharing_race(self, policy, crossbar):
+    def test_false_sharing_race(self, policy, topology):
         """Two PEs ping-pong writes to different elements of one line."""
         shared = {}
 
@@ -117,11 +118,11 @@ class TestMSIProtocol:
             return True
 
         platform, report = run_pair(even_writer, odd_writer, policy=policy,
-                                    crossbar=crossbar)
+                                    topology=topology)
         # No update may be lost despite the line bouncing between owners.
         assert report.results["pe0"] == [107, 307, 207, 407]
 
-    def test_remote_read_array_sees_dirty_data(self, policy, crossbar):
+    def test_remote_read_array_sees_dirty_data(self, policy, topology):
         shared = {}
 
         def writer(ctx):
@@ -140,7 +141,7 @@ class TestMSIProtocol:
             return values
 
         _platform, report = run_pair(writer, reader, policy=policy,
-                                     crossbar=crossbar)
+                                     topology=topology)
         assert report.results["pe1"] == [i * 3 for i in range(8)]
 
 

@@ -6,7 +6,6 @@ shared-memory wrapper, and the encoded parameters must match the pure-Python
 reference encoder bit for bit.
 """
 
-import pytest
 
 from repro.soc import MemoryKind, Platform, PlatformConfig
 from repro.sw.gsm import (

@@ -14,14 +14,7 @@ Covers the corner cases the epoch-checked queues were introduced for:
 
 import pytest
 
-from repro.kernel import (
-    Event,
-    Module,
-    Simulator,
-    WaitCycles,
-    WaitDelta,
-    WaitEvent,
-)
+from repro.kernel import Event, Module, Simulator, WaitCycles, WaitDelta
 
 
 def build(top_builder):

@@ -1,0 +1,98 @@
+"""Acceptance: every registry workload runs bit-identical on the mesh.
+
+The ISSUE criteria for the NoC subsystem: all registry workloads must
+produce bit-identical results on ``InterconnectKind.MESH`` versus the flat
+shared bus — for the wrapper *and* the modelled memory, with caches off
+and on — and the platform report must carry the NoC statistics block.
+"""
+
+import pytest
+
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+from repro.soc import InterconnectKind
+
+WORKLOADS = [
+    ("gsm_encode", {"frames": 1, "seed": 42}, 4, 1),
+    ("stencil", {"size": 32, "iterations": 1, "stride": 1, "seed": 11}, 4, 1),
+    ("alloc_churn", {"iterations": 10, "gsm_frames": 1, "seed": 9}, 4, 1),
+    ("fir", {"num_samples": 32, "seed": 5}, 4, 2),
+    ("matmul", {"rows": 4, "inner": 3, "cols": 3, "seed": 2}, 3, 1),
+    ("producer_consumer",
+     {"num_items": 12, "fifo_depth": 4, "seed": 3}, 4, 2),
+]
+
+
+def run(workload, params, pes, mems, *, mesh=False, memory_kind="wrapper",
+        policy=None):
+    builder = PlatformBuilder().pes(pes).memories(mems, memory_kind)
+    if mesh:
+        builder = builder.mesh()
+    if policy is not None:
+        builder = builder.l1_cache(policy=policy)
+    scenario = Scenario(name=f"{workload}-acceptance", config=builder.build(),
+                        workload=workload, params=params, seed=17)
+    [result] = ExperimentRunner([scenario]).run()
+    result.raise_for_status()
+    return result.report
+
+
+@pytest.mark.parametrize("workload,params,pes,mems",
+                         WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def test_workload_bit_identical_on_mesh_wrapper(workload, params, pes, mems):
+    flat = run(workload, params, pes, mems, mesh=False)
+    meshed = run(workload, params, pes, mems, mesh=True)
+    assert meshed.results == flat.results
+    assert meshed.all_pes_finished
+
+
+@pytest.mark.parametrize("workload,params,pes,mems",
+                         [w for w in WORKLOADS
+                          if w[0] in ("gsm_encode", "stencil", "fir")],
+                         ids=["gsm_encode", "stencil", "fir"])
+def test_workload_bit_identical_on_mesh_modeled_memory(workload, params,
+                                                       pes, mems):
+    flat = run(workload, params, pes, mems, mesh=False,
+               memory_kind="modeled")
+    meshed = run(workload, params, pes, mems, mesh=True,
+                 memory_kind="modeled")
+    assert meshed.results == flat.results
+
+
+@pytest.mark.parametrize("policy", ["write_back", "write_through"])
+@pytest.mark.parametrize("workload,params,pes,mems",
+                         [w for w in WORKLOADS
+                          if w[0] in ("gsm_encode", "stencil")],
+                         ids=["gsm_encode", "stencil"])
+def test_workload_bit_identical_on_mesh_with_caches(workload, params, pes,
+                                                    mems, policy):
+    flat = run(workload, params, pes, mems, mesh=False)
+    cached = run(workload, params, pes, mems, mesh=True, policy=policy)
+    assert cached.results == flat.results
+    assert cached.cache_hit_rate() > 0.0
+
+
+def test_mesh_report_carries_noc_stats():
+    report = run("gsm_encode", {"frames": 1, "seed": 42}, 4, 2, mesh=True)
+    noc = report.interconnect_stats["noc"]
+    assert noc["rows"] * noc["cols"] >= 4
+    assert noc["packets"] == 2 * report.total_transactions()
+    assert noc["latency_percentiles"]["count"] == report.total_transactions()
+    assert "mesh" in report.description
+    # The uniform per-master columns exist on the mesh too.
+    per_master = report.interconnect_stats["per_master"]
+    assert set(per_master) == set(range(4))
+    assert all(row["transactions"] > 0 for row in per_master.values())
+
+
+def test_mesh_config_roundtrips_through_grid_overrides():
+    """`interconnect` works as a scenario-grid axis (the topology benches
+    rely on dataclasses.replace handling the enum)."""
+    import dataclasses
+
+    base = PlatformBuilder().pes(2).wrapper_memories(1).build()
+    meshed = dataclasses.replace(base, interconnect=InterconnectKind.MESH)
+    assert meshed.resolved_noc().rows * meshed.resolved_noc().cols >= 2
+    scenario = Scenario(name="grid-mesh", config=meshed, workload="fir",
+                        params={"num_samples": 16, "seed": 1}, seed=1)
+    [result] = ExperimentRunner([scenario]).run()
+    result.raise_for_status()

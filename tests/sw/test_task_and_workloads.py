@@ -4,7 +4,7 @@ import pytest
 
 from repro.api import run_tasks
 from repro.soc import PlatformConfig, Platform
-from repro.sw import ARM7_LIKE, FAST_CORE, CostModel, TaskError, estimate_loop_cycles
+from repro.sw import ARM7_LIKE, FAST_CORE, CostModel, estimate_loop_cycles
 from repro.sw.workloads import fir_reference, matmul_reference
 from repro.wrapper import ApiError
 

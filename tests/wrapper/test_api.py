@@ -1,6 +1,5 @@
 """Tests for the high-level shared-memory API driven over a real bus."""
 
-import pytest
 
 from repro.interconnect import SharedBus
 from repro.kernel import Module, Simulator

@@ -1,8 +1,7 @@
 """Tests for the SharedMemoryWrapper bus slave (functional + timing)."""
 
-import pytest
 
-from repro.interconnect import BusOp, BusRequest, ResponseStatus
+from repro.interconnect import BusOp, BusRequest
 from repro.memory import (
     IO_ARRAY_BASE,
     DataType,
