@@ -13,6 +13,12 @@ A second sweep turns the interconnect *topology* into an axis: the same
 PEs, comparing simulated cycles (interconnect contention), utilization and
 the mesh's packet latencies — the three-way comparison the NoC subsystem
 was built for.
+
+A third sweep crosses topology with the fabric's *arbitration policy*
+(round-robin, fixed-priority, weighted round-robin, TDMA): the encoded
+output must stay bit-identical whatever decides the grants, while the
+recorded ``e4_arbitration/...`` rows track what each policy costs in
+simulated cycles and host speed on each topology.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.api import (
     kernel_rates_table,
     scenario_grid,
 )
-from repro.soc import InterconnectKind, speed_degradation
+from repro.soc import ArbitrationKind, InterconnectKind, speed_degradation
 
 from common import emit, format_rows
 
@@ -40,6 +46,14 @@ TOPOLOGY_PE_COUNTS_QUICK = [4, 8]
 TOPOLOGY_MEMORIES = 4
 TOPOLOGIES = [InterconnectKind.SHARED_BUS, InterconnectKind.CROSSBAR,
               InterconnectKind.MESH]
+
+#: Arbitration-axis sweep: every fabric policy on every topology.
+ARBITRATION_PES = 4
+ARBITRATION_MEMORIES = 2
+ARBITRATION_POLICIES = [ArbitrationKind.ROUND_ROBIN,
+                        ArbitrationKind.FIXED_PRIORITY,
+                        ArbitrationKind.WEIGHTED_ROUND_ROBIN,
+                        ArbitrationKind.TDMA]
 
 
 def make_scenarios(pe_counts, memory_counts):
@@ -202,3 +216,81 @@ def test_e4_topology_sweep(benchmark, request):
         return (bus - xbar) / xbar
 
     assert bus_penalty(pe_counts[-1]) > bus_penalty(pe_counts[0])
+
+
+def make_arbitration_scenarios():
+    base = (PlatformBuilder()
+            .pes(ARBITRATION_PES)
+            .wrapper_memories(ARBITRATION_MEMORIES)
+            .build())
+    return scenario_grid(
+        "arbitration", base, "gsm_encode",
+        config_grid={"interconnect": TOPOLOGIES,
+                     "arbitration": ARBITRATION_POLICIES},
+        params={"frames": FRAMES, "seed": 7, "placement": "dedicated"},
+    )
+
+
+def test_e4_arbitration_sweep(benchmark):
+    """Every fabric arbitration policy on every topology (also --quick).
+
+    The policy may redistribute waiting — it must never change results:
+    the encoded GSM output is asserted bit-identical across all twelve
+    (topology, policy) points.  Rows land in BENCH_kernel.json under
+    ``e4_arbitration/...`` and feed the perf-smoke regression gate.
+    """
+    scenarios = make_arbitration_scenarios()
+    collected = {}
+
+    def run_sweep():
+        runner = ExperimentRunner(scenarios,
+                                  recorder=PerfRecorder("e4_arbitration"))
+        collected["results"] = runner.run()
+        return collected["results"]
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    reports = {}
+    for result in collected["results"]:
+        result.raise_for_status()
+        key = (result.overrides["interconnect"].value,
+               result.overrides["arbitration"].value)
+        reports[key] = result.report
+
+    rows = []
+    for topology in TOPOLOGIES:
+        for policy in ARBITRATION_POLICIES:
+            report = reports[(topology.value, policy.value)]
+            grants = report.interconnect_stats["arbitration"]["grant_counts"]
+            waits = [row["wait_cycles"] for _master, row in
+                     sorted(report.interconnect_stats["per_master"].items())]
+            rows.append({
+                "topology": topology.value,
+                "policy": policy.value,
+                "simulated_cycles": report.simulated_cycles,
+                "interconnect p95 (cyc)":
+                    report.interconnect_stats["latency_percentiles"]["p95"],
+                "wait cyc/PE": "/".join(str(w) for w in waits),
+                "grants": sum(grants.values()),
+            })
+    emit(
+        "e4_arbitration",
+        format_rows(rows)
+        + f"\n\n{ARBITRATION_PES} PEs, {ARBITRATION_MEMORIES} shared "
+        "memories, gsm_encode; identical encoder output across all "
+        "policies on every topology (asserted).\n\nkernel throughput "
+        "(also recorded in BENCH_kernel.json):\n"
+        + kernel_rates_table(collected["results"], bench="e4_arbitration"),
+    )
+
+    for topology in TOPOLOGIES:
+        baseline = reports[(topology.value, "round_robin")]
+        for policy in ARBITRATION_POLICIES:
+            report = reports[(topology.value, policy.value)]
+            # The arbitration policy must never change computed results.
+            assert report.results == baseline.results
+            # Every master was granted: even fixed priority drains all PEs.
+            grants = report.interconnect_stats["arbitration"]["grant_counts"]
+            assert set(grants) == set(range(ARBITRATION_PES))
+            assert report.interconnect_stats["arbitration"]["kind"] \
+                == policy.value

@@ -8,7 +8,10 @@ The package is organised as the paper's Figure 1:
 
 * :mod:`repro.kernel` — SystemC-like discrete-event simulation kernel;
 * :mod:`repro.isa` / :mod:`repro.iss` — ARM-like instruction set and ISS;
-* :mod:`repro.interconnect` — shared bus / crossbar with arbitration;
+* :mod:`repro.fabric` — the unified interconnect fabric layer: master
+  ports, address map, snoopers, uniform statistics and the pluggable
+  arbitration policies every topology shares;
+* :mod:`repro.interconnect` — the shared-bus / crossbar topologies;
 * :mod:`repro.noc` — packet-switched 2D-mesh NoC interconnect (wormhole
   routers, XY routing, link-level statistics);
 * :mod:`repro.memory` — host memory layer, static memories, heap, and the

@@ -22,6 +22,7 @@ import dataclasses
 from typing import Dict, Optional, Union
 
 from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
+from ..fabric import canonical_kind
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
 from ..noc.config import NocConfig
@@ -154,20 +155,74 @@ class PlatformBuilder:
             raise BuilderError(f"invalid mesh description: {exc}") from exc
         return self._set(interconnect=InterconnectKind.MESH, noc=noc)
 
-    def shared_bus(self,
-                   arbitration: Union[ArbitrationKind, str] = ArbitrationKind.ROUND_ROBIN,
-                   arbitration_cycles: Optional[int] = None) -> "PlatformBuilder":
-        """Use the shared bus with the given arbitration policy."""
-        if isinstance(arbitration, str):
+    def arbitration(self,
+                    kind: Union[ArbitrationKind, str] = ArbitrationKind.ROUND_ROBIN,
+                    *,
+                    weights=None,
+                    priority_order=None,
+                    schedule=None) -> "PlatformBuilder":
+        """Arbitration policy of every grant point of the interconnect.
+
+        Works on every topology — the bus channel, each crossbar channel
+        and each mesh slave server apply the same policy.  ``kind`` is an
+        :class:`~repro.soc.config.ArbitrationKind` or its value string;
+        the fabric aliases (``"priority"``, ``"weighted"``, ``"rr"``...)
+        are accepted.  Optional parameters:
+
+        * ``weights`` — weighted-RR grant budgets: a sequence indexed by
+          master id, or a ``{master_id: weight}`` mapping (gaps get 1);
+        * ``priority_order`` — fixed-priority order, most important first;
+        * ``schedule`` — TDMA slot schedule of master ids.
+
+        Unset parameters fall back to PE-count-derived defaults (see
+        :meth:`~repro.soc.config.PlatformConfig.arbitration_spec`).
+        """
+        if isinstance(kind, str):
             try:
-                arbitration = ArbitrationKind(arbitration)
+                kind = ArbitrationKind(canonical_kind(kind))
             except ValueError:
                 raise BuilderError(
-                    f"unknown arbitration {arbitration!r}; use one of "
+                    f"unknown arbitration {kind!r}; use one of "
                     f"{[k.value for k in ArbitrationKind]}"
                 ) from None
-        self._set(interconnect=InterconnectKind.SHARED_BUS,
-                  arbitration=arbitration)
+        elif not isinstance(kind, ArbitrationKind):
+            raise BuilderError(
+                f"arbitration kind must be an ArbitrationKind or string, "
+                f"got {type(kind).__name__}"
+            )
+        staged: Dict[str, object] = {"arbitration": kind}
+        if weights is not None:
+            if isinstance(weights, dict):
+                if not weights:
+                    raise BuilderError("arbitration weights must not be empty")
+                if not all(isinstance(master, int)
+                           and not isinstance(master, bool) and master >= 0
+                           for master in weights):
+                    raise BuilderError(
+                        f"arbitration weight keys must be non-negative "
+                        f"master ids, got {sorted(weights, key=repr)}"
+                    )
+                span = max(weights) + 1
+                weights = tuple(weights.get(i, 1) for i in range(span))
+            staged["arbitration_weights"] = tuple(weights)
+        if priority_order is not None:
+            staged["arbitration_priority"] = tuple(priority_order)
+        if schedule is not None:
+            staged["arbitration_schedule"] = tuple(schedule)
+        return self._set(**staged)
+
+    def shared_bus(self,
+                   arbitration: Union[ArbitrationKind, str, None] = None,
+                   arbitration_cycles: Optional[int] = None) -> "PlatformBuilder":
+        """Use the shared bus, optionally selecting an arbitration policy.
+
+        ``arbitration`` left unset keeps whatever :meth:`arbitration`
+        staged (or the round-robin default); passing a value delegates to
+        :meth:`arbitration`, so the same kinds and aliases are accepted.
+        """
+        self._set(interconnect=InterconnectKind.SHARED_BUS)
+        if arbitration is not None:
+            self.arbitration(arbitration)
         if arbitration_cycles is not None:
             self._set(arbitration_cycles=arbitration_cycles)
         return self

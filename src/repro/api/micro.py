@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from ..interconnect.bus import BusOp, BusRequest, SharedBus
+from ..fabric import BusOp, BusRequest
+from ..interconnect.bus import SharedBus
 from ..kernel import Module
 from ..memory.protocol import MemCommand, REGISTER_WINDOW_BYTES
 from ..wrapper.api import SharedMemoryAPI

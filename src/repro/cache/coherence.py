@@ -41,7 +41,7 @@ from ..memory.protocol import (
     REG_COMMAND,
     REGISTER_WINDOW_BYTES,
 )
-from ..interconnect.transaction import BusOp, BusRequest, BusResponse
+from ..fabric import BusOp, BusRequest, BusResponse, Fabric
 
 
 @dataclass
@@ -413,7 +413,11 @@ class CoherenceDomain:
     def attach_interconnect(self, interconnect, windows: Dict[int, int]) -> None:
         """Observe completed transfers on ``interconnect``.
 
-        ``windows`` maps window base addresses to memory indices.  The hook
+        ``interconnect`` must be a :class:`~repro.fabric.Fabric`: the
+        domain relies on the fabric's completion-point snooper contract
+        (fired synchronously, in slave service order), not on per-topology
+        duck typing.  ``windows`` maps window base addresses to memory
+        indices.  The hook
         is the domain's *authoritative* source for the shadow allocation
         map: ALLOC/FREE/RESERVE/RELEASE take effect the moment their
         command completes on the interconnect — synchronously inside the
@@ -423,6 +427,11 @@ class CoherenceDomain:
         additionally invalidate overlapping lines, so raw traffic injected
         next to cached PEs cannot leave stale data behind.
         """
+        if not isinstance(interconnect, Fabric):
+            raise TypeError(
+                f"coherence snooping requires a repro.fabric.Fabric "
+                f"interconnect, got {type(interconnect).__name__}"
+            )
         self._windows.update(windows)
         interconnect.add_snooper(self._on_bus_transfer)
 

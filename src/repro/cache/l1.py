@@ -39,7 +39,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..interconnect.transaction import (
+from ..fabric import (
     BusOp,
     BusRequest,
     BusResponse,

@@ -1,0 +1,74 @@
+"""repro.fabric — the unified interconnect fabric layer.
+
+One memory-access surface, many transports: every interconnect topology of
+the platform (shared bus, crossbar, 2D-mesh NoC) subclasses
+:class:`Fabric`, which owns the shared machinery — slave attachment via a
+validating address map, the :class:`MasterPort` issue/complete lifecycle,
+snooper registration, decode-error accounting, uniform
+:class:`BusStats`/:class:`MasterStats` counters with latency percentiles —
+while a pluggable :class:`ArbitrationPolicy` family (round-robin,
+fixed-priority, weighted round-robin, TDMA) decides who wins each
+contended grant, identically on every topology.
+
+Adding an arbitration policy or a topology is a one-class plug-in:
+policies implement :meth:`ArbitrationPolicy.grant`, topologies implement
+:meth:`Fabric._post` plus their transport timing.
+"""
+
+from .address_map import AddressDecodeError, AddressMap, AddressMapConflict, Region
+from .base import Fabric
+from .policy import (
+    POLICY_ALIASES,
+    POLICY_KINDS,
+    Arbiter,
+    ArbitrationPolicy,
+    ArbitrationSpec,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    WeightedRoundRobinArbiter,
+    canonical_kind,
+    make_arbiter,
+    make_policy,
+)
+from .port import BusSlave, MasterPort
+from .stats import BusStats, MasterStats, percentile_summary
+from .transaction import (
+    WORD_SIZE,
+    BusOp,
+    BusRequest,
+    BusResponse,
+    ResponseStatus,
+    decode_error_response,
+)
+
+__all__ = [
+    "AddressDecodeError",
+    "AddressMap",
+    "AddressMapConflict",
+    "Arbiter",
+    "ArbitrationPolicy",
+    "ArbitrationSpec",
+    "BusOp",
+    "BusRequest",
+    "BusResponse",
+    "BusSlave",
+    "BusStats",
+    "Fabric",
+    "FixedPriorityArbiter",
+    "MasterPort",
+    "MasterStats",
+    "POLICY_ALIASES",
+    "POLICY_KINDS",
+    "Region",
+    "ResponseStatus",
+    "RoundRobinArbiter",
+    "TdmaArbiter",
+    "WORD_SIZE",
+    "WeightedRoundRobinArbiter",
+    "canonical_kind",
+    "decode_error_response",
+    "make_arbiter",
+    "make_policy",
+    "percentile_summary",
+]

@@ -1,0 +1,336 @@
+"""The interconnect fabric base class.
+
+:class:`Fabric` owns everything the platform's interconnects have in
+common, so a topology only implements transport timing:
+
+* slave attachment through one shared, validating
+  :class:`~repro.interconnect.address_map.AddressMap` path (overlapping,
+  zero-size or name-clashing regions fail identically on every topology);
+* the :class:`~repro.fabric.port.MasterPort` issue/complete lifecycle —
+  port registration, request posting, response delivery and per-master
+  wait accounting;
+* snooper registration, fired once per completed transfer at the
+  topology's completion point (cache coherence hooks, protocol checkers);
+* decode-error accounting and the immediate-completion error path;
+* uniform :class:`~repro.fabric.stats.BusStats` accounting plus a
+  per-transaction latency sample, emitted by :meth:`interconnect_stats`
+  with the same ``percentile_summary`` columns for every topology;
+* arbitration-policy creation from one :class:`ArbitrationSpec`, so every
+  arbitration point of a topology (single bus channel, per-slave crossbar
+  channels, mesh slave servers) applies the same pluggable policy.
+
+Subclasses implement :meth:`_post` (route a request into the transport)
+and may hook :meth:`_on_attach` (per-slave transport state) and
+:meth:`_decorate_stats` (topology-specific report blocks).  They must
+assign ``self._anchor_event`` to one of their kernel events — the fabric
+uses it to observe simulated time and to bind completion events on the
+immediate decode-error path.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Union
+
+from ..kernel import Event, Module
+from .address_map import AddressMap, Region
+from .transaction import (
+    BusOp,
+    BusRequest,
+    BusResponse,
+    ResponseStatus,
+    decode_error_response,
+)
+from .policy import (
+    ArbitrationPolicy,
+    ArbitrationSpec,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    WeightedRoundRobinArbiter,
+)
+from .port import BusSlave, MasterPort
+from .stats import BusStats, percentile_summary
+
+
+def _infer_kind(policy: ArbitrationPolicy) -> str:
+    """Reported policy kind of a ready instance (legacy ``arbiter=``)."""
+    if isinstance(policy, TdmaArbiter):
+        return "tdma"
+    if isinstance(policy, WeightedRoundRobinArbiter):
+        return "weighted_round_robin"
+    if isinstance(policy, FixedPriorityArbiter):
+        return "fixed_priority"
+    if isinstance(policy, RoundRobinArbiter):
+        return "round_robin"
+    return type(policy).__name__
+
+
+class Fabric(Module):
+    """Common machinery of every interconnect topology.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    period:
+        Clock period of the interconnect in kernel time units.
+    arbitration_cycles:
+        Fixed overhead cycles added to every granted transfer (address
+        phase); topologies without a per-transfer address phase pass 0.
+    arbitration:
+        Arbitration policy description: an :class:`ArbitrationSpec`, a
+        policy-kind string, a ready :class:`ArbitrationPolicy` instance
+        (single-arbitration-point topologies only) or ``None`` for the
+        round-robin default.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period: int,
+        arbitration_cycles: int = 1,
+        arbitration: Union[ArbitrationSpec, ArbitrationPolicy, str, None] = None,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(name, parent)
+        if period <= 0:
+            raise ValueError(f"{type(self).__name__} period must be positive")
+        if arbitration_cycles < 0:
+            raise ValueError("arbitration cycles must be >= 0")
+        self.period = period
+        self.arbitration_cycles = arbitration_cycles
+        if isinstance(arbitration, ArbitrationPolicy):
+            self._policy_instance: Optional[ArbitrationPolicy] = arbitration
+            self.arbitration = ArbitrationSpec()
+            self._arbitration_kind = _infer_kind(arbitration)
+        else:
+            self._policy_instance = None
+            self.arbitration = ArbitrationSpec.coerce(arbitration)
+            self._arbitration_kind = self.arbitration.kind
+        self._instance_consumed = False
+        #: Policy instances handed out so far (for merged grant reporting).
+        self._policies: List[ArbitrationPolicy] = []
+        self.address_map = AddressMap()
+        self.stats = BusStats()
+        self._master_ports: Dict[int, MasterPort] = {}
+        self._snoopers: List = []
+        #: ``total_cycles`` of every completed transaction, in completion
+        #: order — the uniform latency column of ``interconnect_stats``.
+        #: A packed int64 array: one machine word per transaction, so
+        #: million-transfer runs cost megabytes, not a list of boxed ints.
+        self._latencies = array("q")
+        #: Subclasses must point this at one of their events; the fabric
+        #: reads simulated time through it (no event of its own, so the
+        #: kernel event set of each topology stays exactly as designed).
+        self._anchor_event: Optional[Event] = None
+
+    # -- arbitration -------------------------------------------------------------
+    def new_policy(self) -> ArbitrationPolicy:
+        """A fresh arbitration policy for one arbitration point.
+
+        Every grant point of a topology calls this once, so all points run
+        the same :class:`ArbitrationSpec`-described policy with independent
+        state.  A ready policy *instance* passed at construction is handed
+        out exactly once (it cannot be cloned): only single-point
+        topologies such as the shared bus accept one.
+        """
+        if self._policy_instance is not None:
+            policy, self._policy_instance = self._policy_instance, None
+            self._instance_consumed = True
+            self._policies.append(policy)
+            return policy
+        if self._instance_consumed:
+            raise RuntimeError(
+                f"{self.name}: a ready ArbitrationPolicy instance serves a "
+                f"single arbitration point; pass an ArbitrationSpec instead"
+            )
+        policy = self.arbitration.create()
+        self._policies.append(policy)
+        return policy
+
+    def _grant(self, policy: ArbitrationPolicy, requesters) -> int:
+        """Ask ``policy`` for a winner; ``None`` with requesters pending is
+        a policy bug and raises instead of letting the caller's grant loop
+        spin (or crash on a ``None`` lookup) without a diagnostic."""
+        winner = policy.grant(requesters)
+        if winner is None:
+            raise RuntimeError(
+                f"{self.name}: arbitration policy "
+                f"{type(policy).__name__} granted nobody with requesters "
+                f"pending ({list(requesters)})"
+            )
+        return winner
+
+    @property
+    def arbitration_policies(self) -> List[ArbitrationPolicy]:
+        """The policy instances created for this fabric's grant points."""
+        return list(self._policies)
+
+    def merged_grant_counts(self) -> Dict[int, int]:
+        """Grants per master id, summed over every arbitration point."""
+        merged: Dict[int, int] = {}
+        for policy in self._policies:
+            for master_id, count in getattr(policy, "grant_counts",
+                                            {}).items():
+                merged[master_id] = merged.get(master_id, 0) + count
+        return merged
+
+    # -- construction-time wiring ------------------------------------------------
+    def attach_slave(self, name: str, base: int, size: int,
+                     slave: BusSlave) -> None:
+        """Map ``slave`` at ``[base, base+size)`` on this fabric.
+
+        The one shared validation path of every topology: overlapping
+        regions, reused names, zero/negative sizes and negative bases all
+        raise here — identically on bus, crossbar and mesh — before any
+        topology-specific transport state is created.
+        """
+        region = self.address_map.add_region(name, base, size, slave)
+        self._on_attach(region, slave)
+
+    def _on_attach(self, region: Region, slave: BusSlave) -> None:
+        """Topology hook: build per-slave transport state (default none)."""
+
+    def add_snooper(self, snooper) -> None:
+        """Register ``snooper(request, response)``, called once per
+        completed transfer at the topology's completion point (cache
+        coherence hooks, protocol checkers)."""
+        self._snoopers.append(snooper)
+
+    def _fire_snoopers(self, request: BusRequest,
+                       response: BusResponse) -> None:
+        for snooper in self._snoopers:
+            snooper(request, response)
+
+    def _register_port(self, port: MasterPort) -> None:
+        if port.master_id in self._master_ports:
+            raise ValueError(f"master id {port.master_id} registered twice")
+        self._master_ports[port.master_id] = port
+
+    def master_port(self, master_id: int, name: str = "") -> MasterPort:
+        """Create (and register) a new master port on this fabric."""
+        return MasterPort(self, master_id, name)
+
+    # -- time helpers ------------------------------------------------------------
+    def sim_now(self) -> int:
+        """Current simulated time (0 before elaboration)."""
+        assert self._anchor_event is not None, (
+            f"{type(self).__name__} never assigned its anchor event"
+        )
+        sim = self._anchor_event._sim
+        return sim.now if sim is not None else 0
+
+    def time_to_cycles(self, duration: int) -> int:
+        """Convert a kernel duration to whole interconnect cycles."""
+        return duration // self.period
+
+    # -- master-side entry point ---------------------------------------------------
+    def _post(self, port: MasterPort, request: BusRequest) -> None:
+        """Route ``request`` into the transport (topology-specific)."""
+        raise NotImplementedError
+
+    # -- shared transfer machinery --------------------------------------------------
+    def _drive_slave(self, slave: BusSlave, request: BusRequest, offset: int):
+        """Advance ``slave.serve`` one interconnect cycle per ``yield``.
+
+        Driven with ``yield from`` inside a topology's channel/server
+        process; returns ``(response, slave_cycles)``.
+        """
+        generator = slave.serve(request, offset)
+        cycles = 0
+        while True:
+            try:
+                next(generator)
+            except StopIteration as stop:
+                cycles += 1
+                yield self.period
+                response = stop.value if stop.value is not None else BusResponse()
+                return response, cycles
+            cycles += 1
+            yield self.period
+
+    def _finish(self, port: MasterPort, request: BusRequest,
+                response: BusResponse) -> None:
+        """Complete a transfer: account, snoop, deliver, wake the master."""
+        self._account(request, response)
+        self._fire_snoopers(request, response)
+        port._response = response
+        port._completion.notify()
+
+    def _complete_decode_error(self, port: MasterPort,
+                               request: BusRequest) -> None:
+        """Immediate-completion decode-error path (no channel involved).
+
+        Completes after one interconnect cycle with a decode error; the
+        completion event may not have been bound yet (that normally
+        happens when the master first waits on it), so it is bound
+        explicitly here.  The failed transfer is accounted per master
+        exactly like a served one, so topology comparisons see the same
+        columns.
+        """
+        self.stats.decode_errors += 1
+        response = decode_error_response()
+        response.slave_cycles = 1
+        response.total_cycles = 1
+        self._account(request, response)
+        port._response = response
+        assert self._anchor_event is not None
+        sim = self._anchor_event._sim
+        if sim is not None:
+            port._completion._bind(sim)
+        port._completion.notify(self.period)
+
+    # -- accounting ---------------------------------------------------------------
+    def _account(self, request: BusRequest, response: BusResponse) -> None:
+        self.stats.transactions += 1
+        self.stats.busy_cycles += response.total_cycles
+        self._latencies.append(response.total_cycles)
+        per_master = self.stats.master(request.master_id)
+        per_master.transactions += 1
+        per_master.words += request.word_count
+        per_master.busy_cycles += response.total_cycles
+        if request.op is BusOp.READ:
+            per_master.reads += 1
+        else:
+            per_master.writes += 1
+        if response.status is not ResponseStatus.OK:
+            per_master.errors += 1
+
+    # -- reporting ----------------------------------------------------------------
+    def utilization(self, elapsed_time: int) -> float:
+        """Fraction of ``elapsed_time`` the fabric spent busy (0.0–1.0).
+
+        The default treats the fabric as one serialized channel (the
+        shared-bus view); concurrent topologies override it.
+        """
+        if elapsed_time <= 0:
+            return 0.0
+        busy_time = self.stats.busy_cycles * self.period
+        return min(1.0, busy_time / elapsed_time)
+
+    def interconnect_stats(self, elapsed_time: int = 0) -> Dict[str, object]:
+        """The uniform JSON-ready interconnect block of a platform report.
+
+        Same columns on every topology: the :class:`BusStats` counters
+        (with the per-master table), utilization, the end-to-end
+        transaction-latency percentiles and the merged arbitration grant
+        counts.  Topologies append their own blocks via
+        :meth:`_decorate_stats` (the mesh's ``"noc"`` section).
+        """
+        block: Dict[str, object] = {
+            **self.stats.as_dict(),
+            "utilization": self.utilization(elapsed_time),
+            "latency_percentiles": percentile_summary(self._latencies),
+            "arbitration": {
+                "kind": self._arbitration_kind,
+                "grant_counts": {master_id: count for master_id, count in
+                                 sorted(self.merged_grant_counts().items())},
+            },
+        }
+        self._decorate_stats(block, elapsed_time)
+        return block
+
+    def _decorate_stats(self, block: Dict[str, object],
+                        elapsed_time: int) -> None:
+        """Topology hook: add extra report sections (default none)."""

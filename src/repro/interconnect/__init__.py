@@ -1,20 +1,33 @@
-"""System interconnect models: shared bus, crossbar, arbiters, monitors.
+"""System interconnect topologies: shared bus, crossbar, monitors.
 
 The interconnect carries memory-mapped transactions between processing
 elements and memory modules (static memories and the dynamic shared-memory
-wrappers).  Both interconnects expose the same master-side interface
-(:class:`MasterPort`), so platform descriptions can switch topology freely.
+wrappers).  The shared machinery — master ports, slave attachment,
+arbitration policies, statistics — lives in :mod:`repro.fabric`; this
+package keeps the bus/crossbar topologies, the address map, the
+transaction types and the traffic monitor, plus backwards-compatible
+re-exports of the moved names (``MasterPort``, ``BusSlave``, ``BusStats``,
+``MasterStats`` and the arbiters), retained as deprecation shims for one
+release.
 """
 
-from .address_map import AddressDecodeError, AddressMap, AddressMapConflict, Region
-from .arbiter import (
+from ..fabric import (
     Arbiter,
+    ArbitrationPolicy,
+    ArbitrationSpec,
+    BusSlave,
+    BusStats,
+    Fabric,
     FixedPriorityArbiter,
+    MasterPort,
+    MasterStats,
     RoundRobinArbiter,
     TdmaArbiter,
+    WeightedRoundRobinArbiter,
     make_arbiter,
 )
-from .bus import BusSlave, BusStats, MasterPort, MasterStats, SharedBus
+from .address_map import AddressDecodeError, AddressMap, AddressMapConflict, Region
+from .bus import SharedBus
 from .crossbar import Crossbar
 from .monitor import BusMonitor, MonitoredTransfer
 from .transaction import (
@@ -31,6 +44,8 @@ __all__ = [
     "AddressMap",
     "AddressMapConflict",
     "Arbiter",
+    "ArbitrationPolicy",
+    "ArbitrationSpec",
     "BusMonitor",
     "BusOp",
     "BusRequest",
@@ -38,6 +53,7 @@ __all__ = [
     "BusSlave",
     "BusStats",
     "Crossbar",
+    "Fabric",
     "FixedPriorityArbiter",
     "MasterPort",
     "MasterStats",
@@ -48,6 +64,7 @@ __all__ = [
     "SharedBus",
     "TdmaArbiter",
     "WORD_SIZE",
+    "WeightedRoundRobinArbiter",
     "decode_error_response",
     "make_arbiter",
 ]

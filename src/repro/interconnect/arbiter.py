@@ -1,134 +1,32 @@
-"""Bus arbitration policies.
+"""Deprecated location of the arbitration policies.
 
-An arbiter chooses which of the masters with a pending request is granted
-the shared resource for the next transfer.  Three policies are provided:
-
-* :class:`RoundRobinArbiter` — fair rotation, the default for the platform.
-* :class:`FixedPriorityArbiter` — lower master id (or explicit priority list)
-  always wins; simple but can starve.
-* :class:`TdmaArbiter` — time-division slots, useful for predictable MPSoC
-  interconnects.
-
-Arbiters are deliberately stateless with respect to the kernel: they are
-plain policy objects invoked by the bus/crossbar models, which makes them
-easy to unit-test and to swap in configuration sweeps.
+The arbiters moved to :mod:`repro.fabric.policy` when the interconnect
+machinery was unified behind the fabric layer (they now serve every
+topology, not just the bus).  This shim re-exports the public names so
+existing imports keep working for one release; new code should import from
+:mod:`repro.fabric`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from ..fabric.policy import (
+    Arbiter,
+    ArbitrationPolicy,
+    ArbitrationSpec,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    WeightedRoundRobinArbiter,
+    make_arbiter,
+)
 
-
-class Arbiter:
-    """Interface shared by all arbitration policies."""
-
-    def grant(self, requesters: Sequence[int]) -> Optional[int]:
-        """Pick one master id from ``requesters`` (empty → ``None``)."""
-        raise NotImplementedError
-
-    def reset(self) -> None:
-        """Forget any internal rotation/slot state."""
-
-
-class FixedPriorityArbiter(Arbiter):
-    """Grants the requester with the highest static priority.
-
-    By default lower master ids have higher priority; an explicit priority
-    order (most-important first) may be supplied instead.
-    """
-
-    def __init__(self, priority_order: Optional[Sequence[int]] = None) -> None:
-        self._order = list(priority_order) if priority_order is not None else None
-        self.grant_counts: Dict[int, int] = {}
-
-    def grant(self, requesters: Sequence[int]) -> Optional[int]:
-        if not requesters:
-            return None
-        if self._order is None:
-            winner = min(requesters)
-        else:
-            ranked = [m for m in self._order if m in requesters]
-            winner = ranked[0] if ranked else min(requesters)
-        self.grant_counts[winner] = self.grant_counts.get(winner, 0) + 1
-        return winner
-
-    def reset(self) -> None:
-        self.grant_counts.clear()
-
-
-class RoundRobinArbiter(Arbiter):
-    """Rotating-priority arbitration: the last granted master becomes lowest."""
-
-    def __init__(self) -> None:
-        self._last_granted: Optional[int] = None
-        self.grant_counts: Dict[int, int] = {}
-
-    def grant(self, requesters: Sequence[int]) -> Optional[int]:
-        if not requesters:
-            return None
-        ordered = sorted(requesters)
-        if self._last_granted is None:
-            winner = ordered[0]
-        else:
-            after = [m for m in ordered if m > self._last_granted]
-            winner = after[0] if after else ordered[0]
-        self._last_granted = winner
-        self.grant_counts[winner] = self.grant_counts.get(winner, 0) + 1
-        return winner
-
-    def reset(self) -> None:
-        self._last_granted = None
-        self.grant_counts.clear()
-
-
-class TdmaArbiter(Arbiter):
-    """Time-division arbitration over a fixed slot schedule.
-
-    The schedule is a list of master ids; each call to :meth:`grant` advances
-    to the next slot.  If the slot owner is not requesting, the policy falls
-    back to round-robin among the requesters (work-conserving TDMA).
-    """
-
-    def __init__(self, schedule: Sequence[int]) -> None:
-        if not schedule:
-            raise ValueError("TDMA schedule must contain at least one slot")
-        self._schedule = list(schedule)
-        self._slot = 0
-        self._fallback = RoundRobinArbiter()
-        self.grant_counts: Dict[int, int] = {}
-        self.slot_misses = 0
-
-    def grant(self, requesters: Sequence[int]) -> Optional[int]:
-        if not requesters:
-            # The slot still elapses even when nobody is requesting.
-            self._slot = (self._slot + 1) % len(self._schedule)
-            return None
-        owner = self._schedule[self._slot]
-        self._slot = (self._slot + 1) % len(self._schedule)
-        if owner in requesters:
-            winner = owner
-        else:
-            self.slot_misses += 1
-            winner = self._fallback.grant(requesters)
-        self.grant_counts[winner] = self.grant_counts.get(winner, 0) + 1
-        return winner
-
-    def reset(self) -> None:
-        self._slot = 0
-        self._fallback.reset()
-        self.grant_counts.clear()
-        self.slot_misses = 0
-
-
-def make_arbiter(kind: str, **kwargs) -> Arbiter:
-    """Factory used by platform configuration files.
-
-    ``kind`` is one of ``"round_robin"``, ``"fixed_priority"`` or ``"tdma"``.
-    """
-    if kind == "round_robin":
-        return RoundRobinArbiter()
-    if kind == "fixed_priority":
-        return FixedPriorityArbiter(kwargs.get("priority_order"))
-    if kind == "tdma":
-        return TdmaArbiter(kwargs["schedule"])
-    raise ValueError(f"unknown arbiter kind {kind!r}")
+__all__ = [
+    "Arbiter",
+    "ArbitrationPolicy",
+    "ArbitrationSpec",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "TdmaArbiter",
+    "WeightedRoundRobinArbiter",
+    "make_arbiter",
+]

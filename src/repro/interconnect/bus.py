@@ -8,7 +8,8 @@ the addressed slave spends serving it (slaves are driven one cycle at a
 time, so cycle-true slave models such as the dynamic shared-memory wrapper's
 FSM behave exactly as the paper describes).
 
-Masters interact with the bus through a :class:`MasterPort`::
+Masters interact with the bus through a
+:class:`~repro.fabric.port.MasterPort`::
 
     # inside a kernel process
     response = yield from master_port.transfer(
@@ -17,180 +18,51 @@ Masters interact with the bus through a :class:`MasterPort`::
 
 The ``yield from`` suspends the calling process until the bus grants and the
 slave completes the transfer.
+
+The bus is the simplest :class:`~repro.fabric.Fabric` topology: one channel
+process, one arbitration point.  Everything but the grant loop — slave
+attachment, master ports, snoopers, statistics — is inherited from the
+fabric layer; :class:`BusSlave`, :class:`MasterPort`, :class:`BusStats` and
+:class:`MasterStats` are re-exported here for backwards compatibility (they
+live in :mod:`repro.fabric` now).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-from ..kernel import Event, Module
-from ..kernel.simtime import NS
-from .address_map import AddressDecodeError, AddressMap
-from .arbiter import Arbiter, RoundRobinArbiter
-from .transaction import (
+from ..fabric import (
+    AddressDecodeError,
+    ArbitrationPolicy,
+    ArbitrationSpec,
     BusOp,
     BusRequest,
     BusResponse,
+    BusSlave,
+    BusStats,
+    Fabric,
+    MasterPort,
+    MasterStats,
     ResponseStatus,
     decode_error_response,
 )
+from ..kernel import Event, Module
+from ..kernel.simtime import NS
+
+__all__ = [
+    "BusOp",
+    "BusRequest",
+    "BusResponse",
+    "BusSlave",
+    "BusStats",
+    "MasterPort",
+    "MasterStats",
+    "ResponseStatus",
+    "SharedBus",
+]
 
 
-class BusSlave:
-    """Base class for everything that can be mapped on the interconnect.
-
-    Slaves implement either:
-
-    * :meth:`access` and :meth:`latency` — the convenient fixed/function
-      latency flavour (static memories, peripherals); or
-    * :meth:`serve` directly — a generator the interconnect advances once per
-      clock cycle, for cycle-true models (the wrapper FSM).
-    """
-
-    def access(self, request: BusRequest, offset: int) -> BusResponse:
-        """Perform the access functionally and return the response."""
-        raise NotImplementedError(
-            f"{type(self).__name__} implements neither access() nor serve()"
-        )
-
-    def latency(self, request: BusRequest) -> int:
-        """Number of cycles :meth:`serve` should consume (default 1)."""
-        return 1
-
-    def serve(self, request: BusRequest, offset: int
-              ) -> Generator[None, None, BusResponse]:
-        """Cycle-driven service generator.
-
-        Each ``yield`` consumes one interconnect clock cycle; the returned
-        value is the transaction response.  The default implementation calls
-        :meth:`access` once and stretches the transfer to :meth:`latency`
-        cycles.
-        """
-        cycles = max(1, self.latency(request))
-        for _ in range(cycles - 1):
-            yield None
-        return self.access(request, offset)
-
-
-@dataclass
-class MasterStats:
-    """Per-master interconnect statistics."""
-
-    transactions: int = 0
-    reads: int = 0
-    writes: int = 0
-    words: int = 0
-    busy_cycles: int = 0
-    wait_cycles: int = 0
-    errors: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        """JSON-ready view (one row of the per-master stats table)."""
-        return {
-            "transactions": self.transactions,
-            "reads": self.reads,
-            "writes": self.writes,
-            "words": self.words,
-            "busy_cycles": self.busy_cycles,
-            "wait_cycles": self.wait_cycles,
-            "errors": self.errors,
-        }
-
-
-@dataclass
-class BusStats:
-    """Aggregate interconnect statistics."""
-
-    transactions: int = 0
-    busy_cycles: int = 0
-    decode_errors: int = 0
-    per_master: Dict[int, MasterStats] = field(default_factory=dict)
-
-    def master(self, master_id: int) -> MasterStats:
-        """Statistics record for ``master_id`` (created on first use)."""
-        if master_id not in self.per_master:
-            self.per_master[master_id] = MasterStats()
-        return self.per_master[master_id]
-
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-ready view including the per-master breakdown."""
-        return {
-            "transactions": self.transactions,
-            "busy_cycles": self.busy_cycles,
-            "decode_errors": self.decode_errors,
-            "per_master": {master_id: stats.as_dict() for master_id, stats
-                           in sorted(self.per_master.items())},
-        }
-
-
-class MasterPort:
-    """A master-side handle used to issue transactions on an interconnect."""
-
-    def __init__(self, interconnect: "SharedBus", master_id: int, name: str = "") -> None:
-        self._interconnect = interconnect
-        self.master_id = master_id
-        self.name = name or f"master{master_id}"
-        self._completion = Event(f"{self.name}.completion")
-        self._response: Optional[BusResponse] = None
-        interconnect._register_port(self)
-
-    @property
-    def last_response(self) -> Optional[BusResponse]:
-        """The response of the most recently completed transfer."""
-        return self._response
-
-    def transfer(self, request: BusRequest
-                 ) -> Generator[object, None, BusResponse]:
-        """Issue ``request`` and suspend until it completes (``yield from``)."""
-        if request.master_id != self.master_id:
-            request.master_id = self.master_id
-        post_time = self._interconnect.sim_now()
-        self._interconnect._post(self, request)
-        yield self._completion
-        response = self._response
-        assert response is not None, "bus completed a transfer without a response"
-        wait_cycles = self._interconnect.time_to_cycles(
-            self._interconnect.sim_now() - post_time
-        )
-        stats = self._interconnect.stats.master(self.master_id)
-        stats.wait_cycles += max(0, wait_cycles - response.total_cycles)
-        return response
-
-    # Convenience wrappers -----------------------------------------------------
-    def read(self, address: int, size: int = 4, tag: str = ""
-             ) -> Generator[object, None, BusResponse]:
-        """Scalar read helper (``yield from port.read(addr)``)."""
-        return self.transfer(
-            BusRequest(self.master_id, BusOp.READ, address, size=size, tag=tag)
-        )
-
-    def write(self, address: int, data: int, size: int = 4, tag: str = ""
-              ) -> Generator[object, None, BusResponse]:
-        """Scalar write helper."""
-        return self.transfer(
-            BusRequest(self.master_id, BusOp.WRITE, address, data=data, size=size,
-                       tag=tag)
-        )
-
-    def burst_read(self, address: int, length: int, tag: str = ""
-                   ) -> Generator[object, None, BusResponse]:
-        """Burst read helper (``length`` words)."""
-        return self.transfer(
-            BusRequest(self.master_id, BusOp.READ, address, burst_length=length,
-                       tag=tag)
-        )
-
-    def burst_write(self, address: int, words: List[int], tag: str = ""
-                    ) -> Generator[object, None, BusResponse]:
-        """Burst write helper."""
-        return self.transfer(
-            BusRequest(self.master_id, BusOp.WRITE, address, burst_data=list(words),
-                       tag=tag)
-        )
-
-
-class SharedBus(Module):
+class SharedBus(Fabric):
     """A single shared channel with configurable arbitration.
 
     Parameters
@@ -202,7 +74,12 @@ class SharedBus(Module):
     arbitration_cycles:
         Fixed overhead cycles added to every granted transfer (address phase).
     arbiter:
-        Arbitration policy; defaults to round-robin.
+        Ready arbitration policy instance (legacy spelling); defaults to
+        round-robin.  Mutually exclusive with ``arbitration``.
+    arbitration:
+        :class:`~repro.fabric.ArbitrationSpec` (or policy-kind string)
+        describing the policy — the fabric-era spelling shared with the
+        crossbar and the mesh.
     """
 
     def __init__(
@@ -210,53 +87,23 @@ class SharedBus(Module):
         name: str = "bus",
         period: int = 10 * NS,
         arbitration_cycles: int = 1,
-        arbiter: Optional[Arbiter] = None,
+        arbiter: Optional[ArbitrationPolicy] = None,
         parent: Optional[Module] = None,
+        arbitration: Union[ArbitrationSpec, str, None] = None,
     ) -> None:
-        super().__init__(name, parent)
-        if period <= 0:
-            raise ValueError("bus period must be positive")
-        if arbitration_cycles < 0:
-            raise ValueError("arbitration cycles must be >= 0")
-        self.period = period
-        self.arbitration_cycles = arbitration_cycles
-        self.arbiter = arbiter if arbiter is not None else RoundRobinArbiter()
-        self.address_map = AddressMap()
-        self.stats = BusStats()
-        self._master_ports: Dict[int, MasterPort] = {}
+        if arbiter is not None and arbitration is not None:
+            raise ValueError("pass either arbiter= or arbitration=, not both")
+        super().__init__(name, period,
+                         arbitration_cycles=arbitration_cycles,
+                         arbitration=arbiter if arbiter is not None
+                         else arbitration,
+                         parent=parent)
+        #: The single arbitration point of the serialized channel.
+        self.arbiter = self.new_policy()
         self._pending: Dict[int, Tuple[MasterPort, BusRequest]] = {}
-        self._snoopers: List = []
         self._request_event = self.add_event(Event(f"{name}.request"))
+        self._anchor_event = self._request_event
         self.add_process(self._run, name="channel")
-
-    # -- construction-time wiring ------------------------------------------------
-    def attach_slave(self, name: str, base: int, size: int, slave: BusSlave) -> None:
-        """Map ``slave`` at ``[base, base+size)`` on this bus."""
-        self.address_map.add_region(name, base, size, slave)
-
-    def add_snooper(self, snooper) -> None:
-        """Register ``snooper(request, response)``, called after every
-        completed transfer (cache-coherence hooks, protocol checkers)."""
-        self._snoopers.append(snooper)
-
-    def _register_port(self, port: MasterPort) -> None:
-        if port.master_id in self._master_ports:
-            raise ValueError(f"master id {port.master_id} registered twice")
-        self._master_ports[port.master_id] = port
-
-    def master_port(self, master_id: int, name: str = "") -> MasterPort:
-        """Create (and register) a new master port on this bus."""
-        return MasterPort(self, master_id, name)
-
-    # -- helpers -----------------------------------------------------------------
-    def sim_now(self) -> int:
-        """Current simulated time (0 before elaboration)."""
-        sim = self._request_event._sim
-        return sim.now if sim is not None else 0
-
-    def time_to_cycles(self, duration: int) -> int:
-        """Convert a kernel duration to whole bus cycles."""
-        return duration // self.period
 
     # -- master-side entry point ---------------------------------------------------
     def _post(self, port: MasterPort, request: BusRequest) -> None:
@@ -273,9 +120,7 @@ class SharedBus(Module):
             if not self._pending:
                 yield self._request_event
                 continue
-            winner = self.arbiter.grant(sorted(self._pending))
-            if winner is None:  # pragma: no cover - defensive, cannot happen
-                continue
+            winner = self._grant(self.arbiter, sorted(self._pending))
             port, request = self._pending.pop(winner)
             # Address phase / arbitration overhead.
             for _ in range(self.arbitration_cycles):
@@ -283,50 +128,16 @@ class SharedBus(Module):
             response, slave_cycles = yield from self._serve_request(request)
             response.slave_cycles = slave_cycles
             response.total_cycles = slave_cycles + self.arbitration_cycles
-            self._account(request, response)
-            for snooper in self._snoopers:
-                snooper(request, response)
-            port._response = response
-            port._completion.notify()
+            self._finish(port, request, response)
 
     def _serve_request(self, request: BusRequest):
         try:
             slave, offset, _region = self.address_map.decode(request.address)
         except AddressDecodeError:
+            # The bus channel is held for the error cycle, unlike the
+            # concurrent topologies' immediate-completion decode path —
+            # a misdecoded address still occupied the shared channel.
             yield self.period
             self.stats.decode_errors += 1
             return decode_error_response(), 1
-        generator = slave.serve(request, offset)
-        cycles = 0
-        while True:
-            try:
-                next(generator)
-            except StopIteration as stop:
-                cycles += 1
-                yield self.period
-                response = stop.value if stop.value is not None else BusResponse()
-                return response, cycles
-            cycles += 1
-            yield self.period
-
-    def _account(self, request: BusRequest, response: BusResponse) -> None:
-        self.stats.transactions += 1
-        self.stats.busy_cycles += response.total_cycles
-        per_master = self.stats.master(request.master_id)
-        per_master.transactions += 1
-        per_master.words += request.word_count
-        per_master.busy_cycles += response.total_cycles
-        if request.op is BusOp.READ:
-            per_master.reads += 1
-        else:
-            per_master.writes += 1
-        if response.status is not ResponseStatus.OK:
-            per_master.errors += 1
-
-    # -- reporting ----------------------------------------------------------------------
-    def utilization(self, elapsed_time: int) -> float:
-        """Fraction of ``elapsed_time`` the bus spent busy (0.0–1.0)."""
-        if elapsed_time <= 0:
-            return 0.0
-        busy_time = self.stats.busy_cycles * self.period
-        return min(1.0, busy_time / elapsed_time)
+        return (yield from self._drive_slave(slave, request, offset))

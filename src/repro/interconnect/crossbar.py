@@ -3,26 +3,38 @@
 Unlike the :class:`~repro.interconnect.bus.SharedBus`, a crossbar lets
 transfers addressed to *different* slaves proceed in parallel; only accesses
 to the same slave are serialised (per-slave arbitration).  The master-side
-interface is identical (:class:`~repro.interconnect.bus.MasterPort`), so
+interface is identical (:class:`~repro.fabric.port.MasterPort`), so
 platforms can swap interconnects without touching the processing elements.
+
+As a :class:`~repro.fabric.Fabric` topology the crossbar only owns its
+transport: one channel process per attached slave, each with its own
+arbitration point created from the fabric's shared
+:class:`~repro.fabric.ArbitrationSpec`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..fabric import (
+    AddressDecodeError,
+    ArbitrationPolicy,
+    ArbitrationSpec,
+    BusRequest,
+    BusSlave,
+    Fabric,
+    MasterPort,
+    Region,
+)
 from ..kernel import Event, Module
 from ..kernel.simtime import NS
-from .address_map import AddressDecodeError, AddressMap
-from .arbiter import Arbiter, RoundRobinArbiter
-from .bus import BusSlave, BusStats, MasterPort
-from .transaction import BusOp, BusRequest, BusResponse, ResponseStatus, decode_error_response
 
 
 class _Channel:
     """Book-keeping for one slave-side channel of the crossbar."""
 
-    def __init__(self, name: str, slave: BusSlave, arbiter: Arbiter) -> None:
+    def __init__(self, name: str, slave: BusSlave,
+                 arbiter: ArbitrationPolicy) -> None:
         self.name = name
         self.slave = slave
         self.arbiter = arbiter
@@ -32,8 +44,8 @@ class _Channel:
         self.transactions = 0
 
 
-class Crossbar(Module):
-    """A full crossbar with per-slave round-robin arbitration."""
+class Crossbar(Fabric):
+    """A full crossbar with pluggable per-slave arbitration."""
 
     def __init__(
         self,
@@ -41,76 +53,35 @@ class Crossbar(Module):
         period: int = 10 * NS,
         arbitration_cycles: int = 1,
         parent: Optional[Module] = None,
+        arbitration: Union[ArbitrationSpec, str, None] = None,
     ) -> None:
-        super().__init__(name, parent)
-        if period <= 0:
-            raise ValueError("crossbar period must be positive")
-        self.period = period
-        self.arbitration_cycles = arbitration_cycles
-        self.address_map = AddressMap()
-        self.stats = BusStats()
-        self._master_ports: Dict[int, MasterPort] = {}
+        super().__init__(name, period,
+                         arbitration_cycles=arbitration_cycles,
+                         arbitration=arbitration, parent=parent)
         self._channels: List[_Channel] = []
         self._slave_to_channel: Dict[int, _Channel] = {}
-        self._snoopers: List = []
-        self._decode_error_event = self.add_event(Event(f"{name}.decode_error"))
+        self._anchor_event = self.add_event(Event(f"{name}.decode_error"))
 
     # -- construction-time wiring -------------------------------------------------
-    def attach_slave(self, name: str, base: int, size: int, slave: BusSlave) -> None:
-        """Map ``slave`` and create its dedicated channel."""
-        self.address_map.add_region(name, base, size, slave)
+    def _on_attach(self, region: Region, slave: BusSlave) -> None:
+        """Create the dedicated channel of a newly mapped slave."""
         if id(slave) not in self._slave_to_channel:
-            channel = _Channel(name, slave, RoundRobinArbiter())
-            channel.request_event = self.add_event(Event(f"{self.name}.{name}.req"))
+            channel = _Channel(region.name, slave, self.new_policy())
+            channel.request_event = self.add_event(
+                Event(f"{self.name}.{region.name}.req"))
             self._channels.append(channel)
             self._slave_to_channel[id(slave)] = channel
             self.add_process(
-                lambda ch=channel: self._run_channel(ch), name=f"channel_{name}"
+                lambda ch=channel: self._run_channel(ch),
+                name=f"channel_{region.name}",
             )
 
-    def add_snooper(self, snooper) -> None:
-        """Register ``snooper(request, response)``, called after every
-        completed transfer on any channel (cache-coherence hooks)."""
-        self._snoopers.append(snooper)
-
-    def _register_port(self, port: MasterPort) -> None:
-        if port.master_id in self._master_ports:
-            raise ValueError(f"master id {port.master_id} registered twice")
-        self._master_ports[port.master_id] = port
-
-    def master_port(self, master_id: int, name: str = "") -> MasterPort:
-        """Create (and register) a new master port on this crossbar."""
-        return MasterPort(self, master_id, name)
-
-    # -- MasterPort protocol (same duck-type as SharedBus) ---------------------------
-    def sim_now(self) -> int:
-        """Current simulated time (0 before elaboration)."""
-        sim = self._decode_error_event._sim
-        return sim.now if sim is not None else 0
-
-    def time_to_cycles(self, duration: int) -> int:
-        """Convert a kernel duration to whole crossbar cycles."""
-        return duration // self.period
-
+    # -- master-side entry point ----------------------------------------------------
     def _post(self, port: MasterPort, request: BusRequest) -> None:
         try:
             slave, offset, _region = self.address_map.decode(request.address)
         except AddressDecodeError:
-            # Complete after one cycle with a decode error; the completion
-            # event may not have been bound yet (that normally happens when
-            # the master first waits on it), so bind it explicitly here.
-            # The failed transfer is accounted per master exactly like the
-            # shared bus does, so topology comparisons see the same columns.
-            self.stats.decode_errors += 1
-            response = decode_error_response()
-            response.slave_cycles = 1
-            response.total_cycles = 1
-            self._account(request, response)
-            port._response = response
-            sim = self._decode_error_event._sim
-            if sim is not None:
-                port._completion._bind(sim)
-            port._completion.notify(self.period)
+            self._complete_decode_error(port, request)
             return
         channel = self._slave_to_channel[id(slave)]
         if port.master_id in channel.pending:
@@ -127,47 +98,17 @@ class Crossbar(Module):
             if not channel.pending:
                 yield channel.request_event
                 continue
-            winner = channel.arbiter.grant(sorted(channel.pending))
-            if winner is None:  # pragma: no cover - defensive
-                continue
+            winner = self._grant(channel.arbiter, sorted(channel.pending))
             port, request, offset = channel.pending.pop(winner)
             for _ in range(self.arbitration_cycles):
                 yield self.period
-            generator = channel.slave.serve(request, offset)
-            cycles = 0
-            while True:
-                try:
-                    next(generator)
-                except StopIteration as stop:
-                    cycles += 1
-                    yield self.period
-                    response = stop.value if stop.value is not None else BusResponse()
-                    break
-                cycles += 1
-                yield self.period
+            response, cycles = yield from self._drive_slave(
+                channel.slave, request, offset)
             response.slave_cycles = cycles
             response.total_cycles = cycles + self.arbitration_cycles
             channel.busy_cycles += response.total_cycles
             channel.transactions += 1
-            self._account(request, response)
-            for snooper in self._snoopers:
-                snooper(request, response)
-            port._response = response
-            port._completion.notify()
-
-    def _account(self, request: BusRequest, response: BusResponse) -> None:
-        self.stats.transactions += 1
-        self.stats.busy_cycles += response.total_cycles
-        per_master = self.stats.master(request.master_id)
-        per_master.transactions += 1
-        per_master.words += request.word_count
-        per_master.busy_cycles += response.total_cycles
-        if request.op is BusOp.READ:
-            per_master.reads += 1
-        else:
-            per_master.writes += 1
-        if response.status is not ResponseStatus.OK:
-            per_master.errors += 1
+            self._finish(port, request, response)
 
     # -- reporting ------------------------------------------------------------------------
     def channel_stats(self) -> Dict[str, Dict[str, int]]:
@@ -183,3 +124,7 @@ class Crossbar(Module):
             return 0.0
         busy = sum(ch.busy_cycles for ch in self._channels) * self.period
         return min(1.0, busy / (elapsed_time * len(self._channels)))
+
+    def _decorate_stats(self, block: Dict[str, object],
+                        elapsed_time: int) -> None:
+        block["channels"] = self.channel_stats()

@@ -4,20 +4,23 @@ A :class:`BusMonitor` can be attached in front of any slave to record the
 transaction stream hitting it — useful both for debugging platform wiring
 and for the evaluation benches (per-operation cycle costs, traffic split
 between memories, ...).  The monitor is itself a
-:class:`~repro.interconnect.bus.BusSlave` that forwards every request to the
+:class:`~repro.fabric.port.BusSlave` that forwards every request to the
 wrapped slave unchanged.
 """
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
+from ..fabric.port import BusSlave
+from ..fabric.stats import _nearest_rank, percentile_summary
 from ..kernel.trace import TransactionLog
-from .bus import BusSlave
-from .transaction import BusOp, BusRequest, BusResponse
+from ..fabric.transaction import BusOp, BusRequest, BusResponse
+
+__all__ = ["BusMonitor", "MonitoredTransfer", "percentile_summary",
+           "_nearest_rank"]
 
 
 @dataclass
@@ -133,25 +136,3 @@ class BusMonitor(BusSlave):
             "total_cycles": self.total_cycles(),
             "latency_percentiles": self.latency_percentiles(),
         }
-
-
-def _nearest_rank(ordered: List[int], quantile: float) -> int:
-    """Nearest-rank percentile of an already-sorted sample."""
-    if not ordered:
-        return 0
-    rank = max(1, math.ceil(quantile * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
-
-
-def percentile_summary(latencies: List[int]) -> Dict[str, float]:
-    """p50/p95/max nearest-rank summary of a latency sample (shared by the
-    per-slave monitors and the NoC's end-to-end packet statistics)."""
-    ordered = sorted(latencies)
-    if not ordered:
-        return {"count": 0, "p50": 0, "p95": 0, "max": 0}
-    return {
-        "count": len(ordered),
-        "p50": _nearest_rank(ordered, 0.50),
-        "p95": _nearest_rank(ordered, 0.95),
-        "max": ordered[-1],
-    }

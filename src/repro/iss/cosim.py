@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..interconnect.bus import MasterPort
+from ..fabric import MasterPort
 from ..kernel import Module
 from ..memory.protocol import DataType
 from ..wrapper.api import SharedMemoryAPI

@@ -20,8 +20,8 @@ import struct
 from collections import Counter
 from typing import Dict, Generator, List, Optional
 
-from ..interconnect.bus import BusSlave
-from ..interconnect.transaction import BusOp, BusRequest, BusResponse, ResponseStatus
+from ..fabric import BusSlave
+from ..fabric import BusOp, BusRequest, BusResponse, ResponseStatus
 from .protocol import (
     DATA_TYPE_SIGNED,
     DATA_TYPE_SIZES,

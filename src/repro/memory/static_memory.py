@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..interconnect.bus import BusSlave
-from ..interconnect.transaction import BusOp, BusRequest, BusResponse, ResponseStatus
+from ..fabric import BusSlave
+from ..fabric import BusOp, BusRequest, BusResponse, ResponseStatus
 from .latency import LatencyModel
 from .protocol import Endianness
 

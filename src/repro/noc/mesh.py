@@ -1,11 +1,11 @@
 """Packet-switched 2D-mesh network-on-chip interconnect.
 
-:class:`MeshNoc` is the platform's third interconnect topology, a drop-in
-next to :class:`~repro.interconnect.bus.SharedBus` and
-:class:`~repro.interconnect.crossbar.Crossbar`: it exposes the exact same
+:class:`MeshNoc` is the platform's third :class:`~repro.fabric.Fabric`
+topology, a drop-in next to :class:`~repro.interconnect.bus.SharedBus` and
+:class:`~repro.interconnect.crossbar.Crossbar`: it inherits the exact same
 master-port surface (``master_port`` / ``attach_slave`` / ``add_snooper`` /
-``stats`` / ``utilization``), so processing elements, the shared-memory
-API and the MSI coherence layer run unchanged on it.
+``stats`` / ``utilization``) from the fabric layer, so processing elements,
+the shared-memory API and the MSI coherence layer run unchanged on it.
 
 Internally it is a ``rows x cols`` grid of wormhole routers:
 
@@ -26,10 +26,12 @@ Internally it is a ``rows x cols`` grid of wormhole routers:
   geometry, so request/response dependencies can never cycle — the
   classic two-network deadlock-freedom argument;
 * the addressed slave is served one request at a time by its node's
-  server process (round-robin across masters, cycle-true ``serve``
-  generators like the other interconnects); snoopers fire at request
-  packet completion — synchronously, in slave service order — which is
-  what keeps the MSI coherence domain's shadow state authoritative.
+  server process — the mesh's master-facing arbitration point, created
+  from the fabric's shared :class:`~repro.fabric.ArbitrationSpec` (lane
+  arbitration inside the routers stays round-robin: lanes are entry
+  sides, not masters); snoopers fire at request packet completion —
+  synchronously, in slave service order — which is what keeps the MSI
+  coherence domain's shadow state authoritative.
 
 Per-link, per-router and end-to-end latency counters are collected in a
 :class:`~repro.noc.stats.NocStats` and surfaced through the platform's
@@ -39,17 +41,18 @@ Per-link, per-router and end-to-end latency counters are collected in a
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..interconnect.address_map import AddressDecodeError, AddressMap
-from ..interconnect.arbiter import RoundRobinArbiter
-from ..interconnect.bus import BusSlave, BusStats, MasterPort
-from ..interconnect.transaction import (
-    BusOp,
+from ..fabric import (
+    AddressDecodeError,
+    ArbitrationSpec,
     BusRequest,
     BusResponse,
-    ResponseStatus,
-    decode_error_response,
+    BusSlave,
+    Fabric,
+    MasterPort,
+    Region,
+    RoundRobinArbiter,
 )
 from ..kernel import Event, Module
 from ..kernel.simtime import NS
@@ -110,16 +113,17 @@ class _SlaveServer:
 
     __slots__ = ("slave", "node", "name", "pending", "arbiter", "event")
 
-    def __init__(self, slave: BusSlave, node: int, name: str) -> None:
+    def __init__(self, slave: BusSlave, node: int, name: str,
+                 arbiter) -> None:
         self.slave = slave
         self.node = node
         self.name = name
         self.pending: Dict[int, Packet] = {}
-        self.arbiter = RoundRobinArbiter()
+        self.arbiter = arbiter
         self.event: Optional[Event] = None
 
 
-class MeshNoc(Module):
+class MeshNoc(Fabric):
     """A 2D-mesh wormhole NoC with the SharedBus/Crossbar port surface."""
 
     def __init__(
@@ -128,23 +132,20 @@ class MeshNoc(Module):
         period: int = 10 * NS,
         config: Optional[NocConfig] = None,
         parent: Optional[Module] = None,
+        arbitration: Union[ArbitrationSpec, str, None] = None,
     ) -> None:
-        super().__init__(name, parent)
-        if period <= 0:
-            raise ValueError("noc period must be positive")
+        # The mesh has no per-transfer address phase: its overhead is the
+        # modelled router/link traversal, so arbitration_cycles is 0.
+        super().__init__(name, period, arbitration_cycles=0,
+                         arbitration=arbitration, parent=parent)
         config = config if config is not None else NocConfig(rows=2, cols=2)
         if not config.has_dims:
             config = config.resolve(1, 1)
-        self.period = period
         self.config = config
         self.rows: int = config.rows
         self.cols: int = config.cols
         self.num_nodes = self.rows * self.cols
-        self.address_map = AddressMap()
-        self.stats = BusStats()
         self.noc_stats = NocStats()
-        self._master_ports: Dict[int, MasterPort] = {}
-        self._snoopers: List = []
         self._inflight: set = set()
         self._servers: Dict[int, _SlaveServer] = {}
         self._slave_count = 0
@@ -153,7 +154,7 @@ class MeshNoc(Module):
         self._nets: Dict[str, Dict[Tuple, _OutputPort]] = {
             "req": {}, "resp": {},
         }
-        self._decode_event = self.add_event(Event(f"{name}.decode_error"))
+        self._anchor_event = self.add_event(Event(f"{name}.decode_error"))
         for label in ("req", "resp"):
             self._build_network(label)
 
@@ -211,44 +212,19 @@ class MeshNoc(Module):
         return self.num_nodes - 1 - (slave_index % self.num_nodes)
 
     # -- construction-time wiring --------------------------------------------------
-    def attach_slave(self, name: str, base: int, size: int,
-                     slave: BusSlave) -> None:
-        """Map ``slave`` at ``[base, base+size)`` and give it a node."""
-        self.address_map.add_region(name, base, size, slave)
+    def _on_attach(self, region: Region, slave: BusSlave) -> None:
+        """Give a newly mapped slave a node and its service process."""
         if id(slave) not in self._servers:
             node = self.node_of_slave(self._slave_count)
             self._slave_count += 1
-            server = _SlaveServer(slave, node, name)
-            server.event = self.add_event(Event(f"{self.name}.{name}.serve"))
+            server = _SlaveServer(slave, node, region.name, self.new_policy())
+            server.event = self.add_event(
+                Event(f"{self.name}.{region.name}.serve"))
             self._servers[id(slave)] = server
             self.add_process(lambda s=server: self._run_server(s),
-                             name=f"serve_{name}")
+                             name=f"serve_{region.name}")
 
-    def add_snooper(self, snooper) -> None:
-        """Register ``snooper(request, response)``, called at request-packet
-        completion (slave service order) — the same hook point the shared
-        bus and crossbar provide, so coherence glue works unchanged."""
-        self._snoopers.append(snooper)
-
-    def _register_port(self, port: MasterPort) -> None:
-        if port.master_id in self._master_ports:
-            raise ValueError(f"master id {port.master_id} registered twice")
-        self._master_ports[port.master_id] = port
-
-    def master_port(self, master_id: int, name: str = "") -> MasterPort:
-        """Create (and register) a new master port on this mesh."""
-        return MasterPort(self, master_id, name)
-
-    # -- MasterPort protocol (same duck-type as SharedBus) --------------------------
-    def sim_now(self) -> int:
-        """Current simulated time (0 before elaboration)."""
-        sim = self._decode_event._sim
-        return sim.now if sim is not None else 0
-
-    def time_to_cycles(self, duration: int) -> int:
-        """Convert a kernel duration to whole interconnect cycles."""
-        return duration // self.period
-
+    # -- master-side entry point -----------------------------------------------------
     def _post(self, port: MasterPort, request: BusRequest) -> None:
         if port.master_id in self._inflight:
             raise RuntimeError(
@@ -258,19 +234,7 @@ class MeshNoc(Module):
         try:
             slave, offset, _region = self.address_map.decode(request.address)
         except AddressDecodeError:
-            # Complete after one cycle with a decode error (the completion
-            # event may not have been bound yet — bind it explicitly, like
-            # the crossbar's decode path does).
-            self.stats.decode_errors += 1
-            response = decode_error_response()
-            response.slave_cycles = 1
-            response.total_cycles = 1
-            self._account(request, response)
-            port._response = response
-            sim = self._decode_event._sim
-            if sim is not None:
-                port._completion._bind(sim)
-            port._completion.notify(self.period)
+            self._complete_decode_error(port, request)
             return
         self._inflight.add(port.master_id)
         now = self.sim_now()
@@ -393,33 +357,20 @@ class MeshNoc(Module):
 
     # -- slave service ------------------------------------------------------------
     def _run_server(self, server: _SlaveServer):
-        period = self.period
         while True:
             if not server.pending:
                 yield server.event
                 continue
-            winner = server.arbiter.grant(sorted(server.pending))
+            winner = self._grant(server.arbiter, sorted(server.pending))
             packet = server.pending.pop(winner)
             request = packet.request
-            generator = server.slave.serve(request, packet.offset)
-            cycles = 0
-            while True:
-                try:
-                    next(generator)
-                except StopIteration as stop:
-                    cycles += 1
-                    yield period
-                    response = (stop.value if stop.value is not None
-                                else BusResponse())
-                    break
-                cycles += 1
-                yield period
+            response, cycles = yield from self._drive_slave(
+                server.slave, request, packet.offset)
             response.slave_cycles = cycles
             # Packet completion: the transaction took effect at the slave.
             # Snoopers observe it here, in service order, before any other
             # master can see the new state — identical to the bus hook.
-            for snooper in self._snoopers:
-                snooper(request, response)
+            self._fire_snoopers(request, response)
             self._inject_response(server, packet, response)
 
     def _inject_response(self, server: _SlaveServer, packet: Packet,
@@ -450,21 +401,6 @@ class MeshNoc(Module):
         port._response = response
         port._completion.notify()
 
-    # -- accounting ---------------------------------------------------------------
-    def _account(self, request: BusRequest, response: BusResponse) -> None:
-        self.stats.transactions += 1
-        self.stats.busy_cycles += response.total_cycles
-        per_master = self.stats.master(request.master_id)
-        per_master.transactions += 1
-        per_master.words += request.word_count
-        per_master.busy_cycles += response.total_cycles
-        if request.op is BusOp.READ:
-            per_master.reads += 1
-        else:
-            per_master.writes += 1
-        if response.status is not ResponseStatus.OK:
-            per_master.errors += 1
-
     # -- reporting ----------------------------------------------------------------
     def utilization(self, elapsed_time: int) -> float:
         """Average link utilization across both networks (0.0-1.0)."""
@@ -490,3 +426,7 @@ class MeshNoc(Module):
         summary.update(self.noc_stats.as_dict(
             elapsed_cycles=elapsed_time // self.period if elapsed_time else 0))
         return summary
+
+    def _decorate_stats(self, block: Dict[str, object],
+                        elapsed_time: int) -> None:
+        block["noc"] = self.noc_summary(elapsed_time)

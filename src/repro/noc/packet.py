@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..interconnect.transaction import BusOp, BusRequest, BusResponse, WORD_SIZE
+from ..fabric.transaction import BusOp, BusRequest, BusResponse, WORD_SIZE
 
 #: Input-lane index of traffic entering a router from its local port
 #: (network interface); link lanes use the direction indices below.

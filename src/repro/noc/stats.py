@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..interconnect.monitor import percentile_summary
+from ..fabric.stats import percentile_summary
 
 
 @dataclass

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..cache.geometry import CacheConfig
+from ..fabric import ArbitrationSpec
 from ..kernel.simtime import NS
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
@@ -42,10 +43,13 @@ class InterconnectKind(enum.Enum):
 
 
 class ArbitrationKind(enum.Enum):
-    """Arbitration policy of the shared bus."""
+    """Arbitration policy applied at every grant point of the interconnect
+    fabric (the bus channel, each crossbar channel, each mesh slave
+    server) — see :mod:`repro.fabric.policy`."""
 
     ROUND_ROBIN = "round_robin"
     FIXED_PRIORITY = "fixed_priority"
+    WEIGHTED_ROUND_ROBIN = "weighted_round_robin"
     TDMA = "tdma"
 
 
@@ -63,8 +67,15 @@ class PlatformConfig:
     memory_capacity_bytes: Optional[int] = 1 << 20
     #: Interconnect topology.
     interconnect: InterconnectKind = InterconnectKind.SHARED_BUS
-    #: Arbitration policy (shared bus only).
+    #: Arbitration policy, applied uniformly on every topology.
     arbitration: ArbitrationKind = ArbitrationKind.ROUND_ROBIN
+    #: Weighted-RR grant budgets indexed by master id (``None`` = PE count
+    #: down to 1, so lower-id masters get proportionally more bandwidth).
+    arbitration_weights: Optional[Tuple[int, ...]] = None
+    #: Fixed-priority order, most important first (``None`` = by master id).
+    arbitration_priority: Optional[Tuple[int, ...]] = None
+    #: TDMA slot schedule of master ids (``None`` = one slot per PE).
+    arbitration_schedule: Optional[Tuple[int, ...]] = None
     #: Mesh NoC parameters (``InterconnectKind.MESH`` only).  ``None``
     #: derives a near-square mesh sized for the platform; see
     #: :meth:`resolved_noc`.
@@ -132,6 +143,20 @@ class PlatformConfig:
                 f"noc must be a NocConfig or None, got "
                 f"{type(self.noc).__name__}"
             )
+        for name in ("arbitration_weights", "arbitration_priority",
+                     "arbitration_schedule"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = tuple(value)
+            if not value or not all(isinstance(item, int)
+                                    and not isinstance(item, bool)
+                                    for item in value):
+                raise ValueError(f"{name} must be a non-empty tuple of ints")
+            setattr(self, name, value)
+        if self.arbitration_weights is not None and any(
+                weight < 1 for weight in self.arbitration_weights):
+            raise ValueError("arbitration weights must be >= 1")
 
     # -- derived helpers -----------------------------------------------------------
     def memory_base(self, index: int) -> int:
@@ -139,6 +164,27 @@ class PlatformConfig:
         if not 0 <= index < self.num_memories:
             raise ValueError(f"memory index {index} out of range")
         return self.memory_base_address + index * self.memory_window_stride
+
+    def arbitration_spec(self) -> ArbitrationSpec:
+        """The fabric-level arbitration description of this platform.
+
+        Per-policy parameters default to PE-count-derived values: priority
+        and TDMA slots follow master ids, weighted-RR budgets descend from
+        ``num_pes`` to 1 (so the policies are distinguishable out of the
+        box; override the ``arbitration_*`` fields for exact control).
+        """
+        return ArbitrationSpec(
+            kind=self.arbitration.value,
+            priority_order=(self.arbitration_priority
+                            if self.arbitration_priority is not None
+                            else tuple(range(self.num_pes))),
+            weights=(self.arbitration_weights
+                     if self.arbitration_weights is not None
+                     else tuple(range(self.num_pes, 0, -1))),
+            schedule=(self.arbitration_schedule
+                      if self.arbitration_schedule is not None
+                      else tuple(range(self.num_pes))),
+        )
 
     def resolved_noc(self) -> NocConfig:
         """The mesh parameters with concrete dimensions for this platform."""

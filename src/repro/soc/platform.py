@@ -29,7 +29,6 @@ from typing import List, Optional, Union
 
 from ..cache.coherence import CoherenceDomain
 from ..cache.l1 import L1Cache
-from ..interconnect.arbiter import make_arbiter
 from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
 from ..interconnect.monitor import BusMonitor
@@ -42,7 +41,7 @@ from ..wrapper.api import SharedMemoryAPI
 from ..wrapper.shared_memory import SharedMemoryWrapper
 from ..sw.task import TaskFunction
 from ..sw.task_processor import TaskProcessor
-from .config import ArbitrationKind, InterconnectKind, MemoryKind, PlatformConfig
+from .config import InterconnectKind, MemoryKind, PlatformConfig
 from .stats import SimulationReport
 
 DynamicMemory = Union[SharedMemoryWrapper, ModeledDynamicMemory]
@@ -165,21 +164,18 @@ class Platform:
     # -- construction helpers ---------------------------------------------------------
     def _build_interconnect(self):
         config = self.config
+        arbitration = config.arbitration_spec()
         if config.interconnect is InterconnectKind.MESH:
             return MeshNoc("noc", period=config.clock_period,
-                           config=config.resolved_noc(), parent=self.top)
+                           config=config.resolved_noc(),
+                           arbitration=arbitration, parent=self.top)
         if config.interconnect is InterconnectKind.CROSSBAR:
             return Crossbar("xbar", period=config.clock_period,
                             arbitration_cycles=config.arbitration_cycles,
-                            parent=self.top)
-        arbiter = make_arbiter(
-            config.arbitration.value,
-            schedule=list(range(config.num_pes)),
-            priority_order=list(range(config.num_pes)),
-        ) if config.arbitration is not ArbitrationKind.ROUND_ROBIN else None
+                            arbitration=arbitration, parent=self.top)
         return SharedBus("bus", period=config.clock_period,
                          arbitration_cycles=config.arbitration_cycles,
-                         arbiter=arbiter, parent=self.top)
+                         arbitration=arbitration, parent=self.top)
 
     def _build_memory(self, index: int) -> DynamicMemory:
         config = self.config
@@ -284,15 +280,11 @@ class Platform:
 
     def _build_report(self, wallclock_seconds: float) -> SimulationReport:
         assert self.simulator is not None
-        # BusStats.as_dict carries the uniform counters (including the
-        # per-master columns) for every topology.
-        interconnect_stats = {
-            **self.interconnect.stats.as_dict(),
-            "utilization": self.interconnect.utilization(self.simulator.now),
-        }
-        if isinstance(self.interconnect, MeshNoc):
-            interconnect_stats["noc"] = self.interconnect.noc_summary(
-                self.simulator.now)
+        # The fabric emits the uniform counters (per-master columns,
+        # utilization, latency percentiles, arbitration grants) plus any
+        # topology block (the mesh's "noc" section) for every topology.
+        interconnect_stats = self.interconnect.interconnect_stats(
+            self.simulator.now)
         if self.monitors:
             interconnect_stats["memory_monitors"] = [
                 monitor.stats() for monitor in self.monitors

@@ -15,7 +15,7 @@ import time as _wallclock
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from ..interconnect.bus import MasterPort
+from ..fabric import MasterPort
 from ..kernel import Module
 from ..wrapper.api import SharedMemoryAPI
 from .instruction_costs import ARM7_LIKE, CostModel

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from ..interconnect.bus import MasterPort
-from ..interconnect.transaction import BusResponse
+from ..fabric import MasterPort
+from ..fabric import BusResponse
 from ..memory.dynamic_base import to_signed
 from ..memory.protocol import (
     IO_ARRAY_BASE,

@@ -75,6 +75,77 @@ class TestBuilderHappyPath:
         assert platform.config.num_pes == 2
 
 
+class TestArbitrationStaging:
+    def test_kind_enum_string_and_aliases(self):
+        for spelling in (ArbitrationKind.FIXED_PRIORITY, "fixed_priority",
+                         "priority"):
+            config = PlatformBuilder().arbitration(spelling).build()
+            assert config.arbitration is ArbitrationKind.FIXED_PRIORITY
+        assert (PlatformBuilder().arbitration("weighted").build()
+                .arbitration is ArbitrationKind.WEIGHTED_ROUND_ROBIN)
+
+    def test_parameters_are_staged_as_tuples(self):
+        config = (PlatformBuilder().pes(3)
+                  .arbitration("weighted_round_robin", weights=[4, 2, 1])
+                  .build())
+        assert config.arbitration_weights == (4, 2, 1)
+        config = (PlatformBuilder().pes(3)
+                  .arbitration("tdma", schedule=[0, 0, 1, 2])
+                  .build())
+        assert config.arbitration_schedule == (0, 0, 1, 2)
+        config = (PlatformBuilder().pes(3)
+                  .arbitration("priority", priority_order=[2, 1, 0])
+                  .build())
+        assert config.arbitration_priority == (2, 1, 0)
+
+    def test_weight_mapping_fills_gaps_with_one(self):
+        config = (PlatformBuilder().pes(4)
+                  .arbitration("weighted", weights={0: 5, 3: 2})
+                  .build())
+        assert config.arbitration_weights == (5, 1, 1, 2)
+
+    def test_spec_resolution_uses_pe_count_defaults(self):
+        spec = PlatformBuilder().pes(3).arbitration("tdma").build() \
+            .arbitration_spec()
+        assert spec.kind == "tdma"
+        assert spec.schedule == (0, 1, 2)
+        spec = (PlatformBuilder().pes(4).arbitration("weighted").build()
+                .arbitration_spec())
+        assert spec.weights == (4, 3, 2, 1)
+
+    def test_applies_to_every_topology(self):
+        for stage in ("crossbar", "mesh", "shared_bus"):
+            builder = PlatformBuilder().pes(2).arbitration("priority")
+            config = getattr(builder, stage)().build()
+            assert config.arbitration is ArbitrationKind.FIXED_PRIORITY
+
+    def test_shared_bus_keeps_staged_policy_and_accepts_aliases(self):
+        # shared_bus() without an explicit policy must not reset a staged
+        # one; with one it delegates to arbitration() (same aliases).
+        config = (PlatformBuilder().arbitration("tdma").shared_bus().build())
+        assert config.arbitration is ArbitrationKind.TDMA
+        config = PlatformBuilder().shared_bus("weighted").build()
+        assert config.arbitration is ArbitrationKind.WEIGHTED_ROUND_ROBIN
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(BuilderError, match="unknown arbitration"):
+            PlatformBuilder().arbitration("lottery")
+        with pytest.raises(BuilderError, match="ArbitrationKind"):
+            PlatformBuilder().arbitration(3)
+        with pytest.raises(BuilderError, match="not be empty"):
+            PlatformBuilder().arbitration("weighted", weights={})
+        with pytest.raises(BuilderError, match="weights must be >= 1"):
+            PlatformBuilder().arbitration("weighted", weights=(0,)).build()
+
+    def test_weight_mapping_keys_must_be_master_ids(self):
+        # Regression: string keys used to escape as a raw TypeError and
+        # negative ids were silently dropped from the expanded tuple.
+        with pytest.raises(BuilderError, match="master ids"):
+            PlatformBuilder().arbitration("weighted", weights={"0": 5})
+        with pytest.raises(BuilderError, match="master ids"):
+            PlatformBuilder().arbitration("weighted", weights={-1: 9, 1: 2})
+
+
 class TestBuilderValidation:
     @pytest.mark.parametrize("count", [0, -1, 1.5, True])
     def test_bad_pe_count(self, count):

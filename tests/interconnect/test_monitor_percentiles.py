@@ -78,6 +78,21 @@ class TestLatencyPercentiles:
         monitor = BusMonitor(FixedLatencySlave([1]))
         assert monitor.latency_percentiles() == {}
 
+    def test_empty_sample_summary_is_explicit_no_data(self):
+        # Regression: an empty sample set used to report p50/p95/max of 0,
+        # indistinguishable from observed zero-cycle latencies.
+        from repro.fabric import percentile_summary
+
+        assert percentile_summary([]) == {
+            "count": 0, "p50": None, "p95": None, "max": None,
+        }
+        # The monitor shim re-exports the shared implementation.
+        from repro.interconnect.monitor import (
+            percentile_summary as shimmed,
+        )
+
+        assert shimmed is percentile_summary
+
     def test_stats_block_is_json_ready(self):
         import json
 

@@ -42,8 +42,10 @@ class TestNocStats:
         assert summary == {"count": 5, "p50": 30, "p95": 100, "max": 100}
 
     def test_empty_latency_percentiles(self):
+        # No recorded packets must read as "no data", never as an observed
+        # zero-cycle latency.
         assert NocStats().latency_percentiles() == {
-            "count": 0, "p50": 0, "p95": 0, "max": 0,
+            "count": 0, "p50": None, "p95": None, "max": None,
         }
 
     def test_contention_ignores_zero_waiting(self):
