@@ -17,7 +17,7 @@ number of live allocations while the fully-modelled allocator walk grows.
 from __future__ import annotations
 
 from repro.api import PerfRecorder, PerfTimer, drive
-from repro.interconnect import BusOp, BusRequest
+from repro.fabric import BusOp, BusRequest
 from repro.memory import (
     IO_ARRAY_BASE,
     MemCommand,

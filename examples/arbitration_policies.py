@@ -36,11 +36,13 @@ from repro.api import ExperimentRunner, PlatformBuilder, Scenario
 from repro.soc import format_table
 
 PES = 4          # PE0/PE2 produce, PE1/PE3 consume (pairs share a FIFO).
-ITEMS = 48
+#: REPRO_EXAMPLE_QUICK=1 shrinks the run for smoke tests (CI).
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+ITEMS = 8 if QUICK else 48
 FIFO_DEPTH = 4
 #: Simulated-time budget (in cycles) that comfortably covers every fair
 #: policy; only a starved pipeline ever hits it.
-MAX_CYCLES = 400_000
+MAX_CYCLES = 60_000 if QUICK else 400_000
 
 #: The policies under comparison.  "inverted" ranks the consumers (1, 3)
 #: above the producers (0, 2) — the priority-inversion setup; "producers

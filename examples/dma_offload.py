@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""DMA offload demo: copy by core vs. copy by engine, overlap included.
+
+`repro.dev` attaches memory-mapped peripherals to the platform fabric:
+an interrupt controller, DMA engines (first-class bus masters) and
+timers.  This example runs the `dma_memcpy` workload both ways on the
+same platform shape —
+
+* mode="pe":  each core copies its buffer with burst reads/writes
+  through its own master port, then does its local compute;
+* mode="dma": each core programs a dedicated DMA engine (one burst
+  write to the channel registers), runs the same local compute while
+  the engine moves the data, and blocks on the completion interrupt.
+
+The destination buffers are asserted bit-identical across modes; the
+cycle counts show the offload win growing with the buffer size until
+the bus, not the engine, is the bottleneck.
+
+Run with:  python examples/dma_offload.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+from repro.soc import format_table
+
+PES = 2
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+SIZES = [64, 256] if QUICK else [64, 256, 1024]
+COMPUTE_CYCLES = 2048
+
+
+def make_scenario(mode, words):
+    builder = PlatformBuilder().pes(PES).wrapper_memories(2)
+    if mode == "dma":
+        # One engine per PE; each engine is its own master on the fabric.
+        builder = builder.dma(PES)
+    config = builder.build()
+    return Scenario(
+        name=f"{mode}-{words}w", config=config, workload="dma_memcpy",
+        params={"words": words, "mode": mode,
+                "compute_cycles": COMPUTE_CYCLES, "seed": 7},
+    )
+
+
+def main():
+    scenarios = [make_scenario(mode, words)
+                 for words in SIZES for mode in ("pe", "dma")]
+    results = {r.scenario: r for r in ExperimentRunner(scenarios).run()}
+
+    rows = []
+    for words in SIZES:
+        pe = results[f"pe-{words}w"]
+        dma = results[f"dma-{words}w"]
+        for result in (pe, dma):
+            result.raise_for_status()
+        assert pe.report.results == dma.report.results, \
+            "offloading changed the copied data!"
+        engines = [d for d in dma.report.device_reports
+                   if d["kind"] == "dma"]
+        pe_cycles = pe.report.simulated_cycles
+        dma_cycles = dma.report.simulated_cycles
+        rows.append({
+            "words/PE": words,
+            "pe cycles": pe_cycles,
+            "dma cycles": dma_cycles,
+            "speedup": f"{pe_cycles / dma_cycles:.2f}x",
+            "dma words moved": sum(e["words_copied"] for e in engines),
+        })
+
+    print(f"{PES} PEs, 2 shared memories, {COMPUTE_CYCLES} compute cycles "
+          f"overlapped with each copy\n")
+    print(format_table(rows))
+    print("\nDestination buffers are bit-identical in both modes (asserted).")
+    print("The offload win peaks while the compute overlap hides the copy;")
+    print("tiny copies barely amortise the programming + interrupt cost,")
+    print("and huge ones turn bus-bound, where the engine moves data no")
+    print("faster than the core's own bursts would.")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ The package is organised as the paper's Figure 1:
   routers, XY routing, link-level statistics);
 * :mod:`repro.memory` — host memory layer, static memories, heap, and the
   fully-modelled dynamic memory baseline;
+* :mod:`repro.dev` — bus-attached peripherals: the interrupt controller,
+  DMA engines (first-class fabric masters) and timers;
 * :mod:`repro.wrapper` — the paper's contribution: the host-backed dynamic
   shared memory wrapper (pointer table, translator, cycle-true FSM, delays)
   and the C-formalism software API;
@@ -58,7 +60,7 @@ or, with a registered workload (see :data:`repro.sw.workload`)::
     [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "1.3.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "analysis",

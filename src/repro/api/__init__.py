@@ -39,6 +39,7 @@ from ..sw.registry import (
     workload,
 )
 from ..cache import CacheConfig, CacheGeometry, WritePolicy
+from ..dev import DmaConfig, DmaDriver, IrqControllerConfig, TimerConfig
 from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
 from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
 from .perf import BenchResult, PerfRecorder, PerfTimer, bench_json_path, load_bench_entries
@@ -53,14 +54,18 @@ __all__ = [
     "CacheConfig",
     "CacheGeometry",
     "DELAY_PRESETS",
+    "DmaConfig",
+    "DmaDriver",
     "DriveResult",
     "ExperimentRunner",
+    "IrqControllerConfig",
     "MemoryTestbench",
     "PerfRecorder",
     "PerfTimer",
     "PlatformBuilder",
     "Scenario",
     "ScenarioResult",
+    "TimerConfig",
     "Workload",
     "WorkloadError",
     "WorkloadRegistry",

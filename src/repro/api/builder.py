@@ -22,6 +22,7 @@ import dataclasses
 from typing import Dict, Optional, Union
 
 from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
+from ..dev.config import DmaConfig, IrqControllerConfig, TimerConfig
 from ..fabric import canonical_kind
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
@@ -262,6 +263,58 @@ class PlatformBuilder:
         """Wrap every memory in a timing-transparent :class:`BusMonitor`
         (per-memory transaction counts and latency percentiles in reports)."""
         return self._set(monitor_memories=bool(enable))
+
+    # -- devices ---------------------------------------------------------------------
+    def _add_device(self, config: object) -> "PlatformBuilder":
+        staged = tuple(self._overrides.get("devices", ()))
+        return self._set(devices=staged + (config,))
+
+    def irq_controller(self, lines: int = 32) -> "PlatformBuilder":
+        """Attach the platform interrupt controller with ``lines`` IRQ lines.
+
+        Optional when DMA engines or timers are declared — those imply a
+        default controller — but explicit declaration controls the line
+        count.
+        """
+        if any(isinstance(device, IrqControllerConfig)
+               for device in self._overrides.get("devices", ())):
+            raise BuilderError("the platform already has an interrupt "
+                               "controller")
+        try:
+            return self._add_device(IrqControllerConfig(lines=lines))
+        except ValueError as exc:
+            raise BuilderError(str(exc)) from exc
+
+    def dma(self, count: int = 1, burst_words: int = 64,
+            irq_line: Optional[int] = None) -> "PlatformBuilder":
+        """Attach ``count`` DMA engines (each its own fabric master).
+
+        ``irq_line`` pins the completion line of a single engine; with
+        ``count > 1`` lines are always auto-assigned.
+        """
+        self._positive_int(count, "DMA engine count")
+        self._positive_int(burst_words, "DMA burst words")
+        if count > 1 and irq_line is not None:
+            raise BuilderError("irq_line only applies to a single DMA engine")
+        builder = self
+        for _ in range(count):
+            builder = builder._add_device(
+                DmaConfig(burst_words=burst_words, irq_line=irq_line))
+        return builder
+
+    def timer(self, compare_cycles: int = 1000, periodic: bool = False,
+              auto_start: bool = False,
+              irq_line: Optional[int] = None) -> "PlatformBuilder":
+        """Attach one compare-match timer (IRQ on expiry)."""
+        self._positive_int(compare_cycles, "timer compare cycles")
+        return self._add_device(TimerConfig(
+            compare_cycles=compare_cycles, periodic=bool(periodic),
+            auto_start=bool(auto_start), irq_line=irq_line,
+        ))
+
+    def no_devices(self) -> "PlatformBuilder":
+        """Drop every staged device: the device-free platform."""
+        return self._set(devices=())
 
     # -- timing -----------------------------------------------------------------------
     def clock_period(self, period: int) -> "PlatformBuilder":

@@ -4,7 +4,7 @@
 common, so a topology only implements transport timing:
 
 * slave attachment through one shared, validating
-  :class:`~repro.interconnect.address_map.AddressMap` path (overlapping,
+  :class:`~repro.fabric.address_map.AddressMap` path (overlapping,
   zero-size or name-clashing regions fail identically on every topology);
 * the :class:`~repro.fabric.port.MasterPort` issue/complete lifecycle —
   port registration, request posting, response delivery and per-master

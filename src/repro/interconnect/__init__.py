@@ -2,69 +2,19 @@
 
 The interconnect carries memory-mapped transactions between processing
 elements and memory modules (static memories and the dynamic shared-memory
-wrappers).  The shared machinery — master ports, slave attachment,
-arbitration policies, statistics — lives in :mod:`repro.fabric`; this
-package keeps the bus/crossbar topologies, the address map, the
-transaction types and the traffic monitor, plus backwards-compatible
-re-exports of the moved names (``MasterPort``, ``BusSlave``, ``BusStats``,
-``MasterStats`` and the arbiters), retained as deprecation shims for one
-release.
+wrappers).  This package holds the bus/crossbar topologies and the traffic
+monitor; the shared machinery — master ports, slave attachment,
+arbitration policies, address decoding, transaction types, statistics —
+lives in :mod:`repro.fabric` and must be imported from there.
 """
 
-from ..fabric import (
-    Arbiter,
-    ArbitrationPolicy,
-    ArbitrationSpec,
-    BusSlave,
-    BusStats,
-    Fabric,
-    FixedPriorityArbiter,
-    MasterPort,
-    MasterStats,
-    RoundRobinArbiter,
-    TdmaArbiter,
-    WeightedRoundRobinArbiter,
-    make_arbiter,
-)
-from .address_map import AddressDecodeError, AddressMap, AddressMapConflict, Region
 from .bus import SharedBus
 from .crossbar import Crossbar
 from .monitor import BusMonitor, MonitoredTransfer
-from .transaction import (
-    WORD_SIZE,
-    BusOp,
-    BusRequest,
-    BusResponse,
-    ResponseStatus,
-    decode_error_response,
-)
 
 __all__ = [
-    "AddressDecodeError",
-    "AddressMap",
-    "AddressMapConflict",
-    "Arbiter",
-    "ArbitrationPolicy",
-    "ArbitrationSpec",
     "BusMonitor",
-    "BusOp",
-    "BusRequest",
-    "BusResponse",
-    "BusSlave",
-    "BusStats",
     "Crossbar",
-    "Fabric",
-    "FixedPriorityArbiter",
-    "MasterPort",
-    "MasterStats",
     "MonitoredTransfer",
-    "Region",
-    "ResponseStatus",
-    "RoundRobinArbiter",
     "SharedBus",
-    "TdmaArbiter",
-    "WORD_SIZE",
-    "WeightedRoundRobinArbiter",
-    "decode_error_response",
-    "make_arbiter",
 ]

@@ -1,23 +1,15 @@
-"""Deprecated location of the interconnect address map.
+"""Removed module: the address map lives in :mod:`repro.fabric`.
 
-The address decoder moved to :mod:`repro.fabric.address_map`: slave
-attachment is validated by the fabric base class on every topology.  This
-shim re-exports the public names so existing imports keep working for one
-release; new code should import from :mod:`repro.fabric`.
+``repro.interconnect.address_map`` shimmed the old import path for one
+release after the decoder moved to :mod:`repro.fabric.address_map`
+(slave attachment is validated by the fabric base class on every
+topology).  The shim has been removed; import from :mod:`repro.fabric`
+instead::
+
+    from repro.fabric import AddressMap, Region
 """
 
-from __future__ import annotations
-
-from ..fabric.address_map import (
-    AddressDecodeError,
-    AddressMap,
-    AddressMapConflict,
-    Region,
+raise ImportError(
+    "repro.interconnect.address_map was removed: the address decoder "
+    "moved to repro.fabric (e.g. `from repro.fabric import AddressMap`)"
 )
-
-__all__ = [
-    "AddressDecodeError",
-    "AddressMap",
-    "AddressMapConflict",
-    "Region",
-]

@@ -1,32 +1,14 @@
-"""Deprecated location of the arbitration policies.
+"""Removed module: the arbitration policies live in :mod:`repro.fabric`.
 
-The arbiters moved to :mod:`repro.fabric.policy` when the interconnect
-machinery was unified behind the fabric layer (they now serve every
-topology, not just the bus).  This shim re-exports the public names so
-existing imports keep working for one release; new code should import from
-:mod:`repro.fabric`.
+``repro.interconnect.arbiter`` shimmed the old import path for one
+release after the arbiters moved to :mod:`repro.fabric.policy` (they
+serve every topology now, not just the bus).  The shim has been removed;
+import from :mod:`repro.fabric` instead::
+
+    from repro.fabric import RoundRobinArbiter, make_arbiter
 """
 
-from __future__ import annotations
-
-from ..fabric.policy import (
-    Arbiter,
-    ArbitrationPolicy,
-    ArbitrationSpec,
-    FixedPriorityArbiter,
-    RoundRobinArbiter,
-    TdmaArbiter,
-    WeightedRoundRobinArbiter,
-    make_arbiter,
+raise ImportError(
+    "repro.interconnect.arbiter was removed: the arbitration policies "
+    "moved to repro.fabric (e.g. `from repro.fabric import make_arbiter`)"
 )
-
-__all__ = [
-    "Arbiter",
-    "ArbitrationPolicy",
-    "ArbitrationSpec",
-    "FixedPriorityArbiter",
-    "RoundRobinArbiter",
-    "TdmaArbiter",
-    "WeightedRoundRobinArbiter",
-    "make_arbiter",
-]

@@ -22,9 +22,7 @@ slave completes the transfer.
 The bus is the simplest :class:`~repro.fabric.Fabric` topology: one channel
 process, one arbitration point.  Everything but the grant loop — slave
 attachment, master ports, snoopers, statistics — is inherited from the
-fabric layer; :class:`BusSlave`, :class:`MasterPort`, :class:`BusStats` and
-:class:`MasterStats` are re-exported here for backwards compatibility (they
-live in :mod:`repro.fabric` now).
+fabric layer in :mod:`repro.fabric`.
 """
 
 from __future__ import annotations
@@ -37,27 +35,14 @@ from ..fabric import (
     ArbitrationSpec,
     BusOp,
     BusRequest,
-    BusResponse,
-    BusSlave,
-    BusStats,
     Fabric,
     MasterPort,
-    MasterStats,
-    ResponseStatus,
     decode_error_response,
 )
 from ..kernel import Event, Module
 from ..kernel.simtime import NS
 
 __all__ = [
-    "BusOp",
-    "BusRequest",
-    "BusResponse",
-    "BusSlave",
-    "BusStats",
-    "MasterPort",
-    "MasterStats",
-    "ResponseStatus",
     "SharedBus",
 ]
 

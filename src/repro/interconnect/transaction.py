@@ -1,27 +1,14 @@
-"""Deprecated location of the bus transaction data types.
+"""Removed module: the transaction types live in :mod:`repro.fabric`.
 
-The transaction types moved to :mod:`repro.fabric.transaction` with the
-rest of the shared interconnect machinery.  This shim re-exports the
-public names so existing imports keep working for one release; new code
-should import from :mod:`repro.fabric`.
+``repro.interconnect.transaction`` shimmed the old import path for one
+release after the types moved to :mod:`repro.fabric.transaction` with
+the rest of the shared interconnect machinery.  The shim has been
+removed; import from :mod:`repro.fabric` instead::
+
+    from repro.fabric import BusOp, BusRequest, BusResponse
 """
 
-from __future__ import annotations
-
-from ..fabric.transaction import (
-    WORD_SIZE,
-    BusOp,
-    BusRequest,
-    BusResponse,
-    ResponseStatus,
-    decode_error_response,
+raise ImportError(
+    "repro.interconnect.transaction was removed: the transaction types "
+    "moved to repro.fabric (e.g. `from repro.fabric import BusRequest`)"
 )
-
-__all__ = [
-    "WORD_SIZE",
-    "BusOp",
-    "BusRequest",
-    "BusResponse",
-    "ResponseStatus",
-    "decode_error_response",
-]

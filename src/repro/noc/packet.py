@@ -2,11 +2,11 @@
 
 The mesh carries two packet kinds on two physically separate networks:
 
-* a *request* packet wraps one :class:`~repro.interconnect.transaction.BusRequest`
+* a *request* packet wraps one :class:`~repro.fabric.transaction.BusRequest`
   travelling from a master's network interface to the node of the
   addressed slave;
 * a *response* packet wraps the matching
-  :class:`~repro.interconnect.transaction.BusResponse` on the way back.
+  :class:`~repro.fabric.transaction.BusResponse` on the way back.
 
 A packet is ``1 + ceil(payload_bytes / flit_bytes)`` flits long: one head
 flit carrying the route/command and as many body flits as the payload

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..cache.geometry import CacheConfig
+from ..dev.config import DEVICE_CONFIG_TYPES, DeviceLayout, resolve_layout
 from ..fabric import ArbitrationSpec
 from ..kernel.simtime import NS
 from ..memory.latency import LatencyModel
@@ -119,6 +120,15 @@ class PlatformConfig:
     memory_base_address: int = 0x1000_0000
     #: Address stride between consecutive memory windows.
     memory_window_stride: int = 0x0001_0000
+    #: Bus-attached devices (:mod:`repro.dev` config objects: an
+    #: ``IrqControllerConfig``, ``DmaConfig`` and/or ``TimerConfig``
+    #: entries).  Empty (the default) builds the device-free platform,
+    #: bit-identical to the pre-device model.
+    devices: Tuple[object, ...] = ()
+    #: Base byte address of the first device register window.
+    device_base_address: int = 0x2000_0000
+    #: Address stride between consecutive device windows.
+    device_window_stride: int = 0x0001_0000
     #: Name given to the top module.
     name: str = "mpsoc"
 
@@ -157,6 +167,23 @@ class PlatformConfig:
         if self.arbitration_weights is not None and any(
                 weight < 1 for weight in self.arbitration_weights):
             raise ValueError("arbitration weights must be >= 1")
+        self.devices = tuple(self.devices)
+        for device in self.devices:
+            if not isinstance(device, DEVICE_CONFIG_TYPES):
+                raise ValueError(
+                    f"devices entries must be repro.dev config objects, got "
+                    f"{type(device).__name__}"
+                )
+        if self.devices:
+            memories_end = (self.memory_base_address
+                            + self.num_memories * self.memory_window_stride)
+            if self.device_base_address < memories_end:
+                raise ValueError(
+                    "device windows overlap the memory windows; raise "
+                    "device_base_address"
+                )
+            # Validates line assignments / names / counts eagerly.
+            self.device_layout()
 
     # -- derived helpers -----------------------------------------------------------
     def memory_base(self, index: int) -> int:
@@ -186,6 +213,21 @@ class PlatformConfig:
                       else tuple(range(self.num_pes))),
         )
 
+    def device_base(self, index: int) -> int:
+        """Bus base address of device window ``index``."""
+        return self.device_base_address + index * self.device_window_stride
+
+    def device_layout(self) -> Optional[DeviceLayout]:
+        """The resolved device map (``None`` on a device-free platform).
+
+        Deterministic from the config alone, so driver software (through
+        ``ctx.devices``) and the platform builder agree on every window
+        base, IRQ line and DMA master id.
+        """
+        return resolve_layout(self.devices, self.num_pes,
+                              self.device_base_address,
+                              self.device_window_stride)
+
     def resolved_noc(self) -> NocConfig:
         """The mesh parameters with concrete dimensions for this platform."""
         base = self.noc if self.noc is not None else NocConfig()
@@ -203,4 +245,7 @@ class PlatformConfig:
         )
         if self.cache is not None:
             text += f" / {self.cache.describe()}"
+        layout = self.device_layout()
+        if layout is not None:
+            text += f" / {layout.describe()}"
         return text

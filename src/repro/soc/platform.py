@@ -29,6 +29,10 @@ from typing import List, Optional, Union
 
 from ..cache.coherence import CoherenceDomain
 from ..cache.l1 import L1Cache
+from ..dev.dma import DmaEngine
+from ..dev.irq import InterruptController, IrqClient
+from ..dev.peripheral import RegisterFilePeripheral
+from ..dev.timer import TimerPeripheral
 from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
 from ..interconnect.monitor import BusMonitor
@@ -149,6 +153,14 @@ class Platform:
             self.coherence = CoherenceDomain()
             self.coherence.attach_interconnect(self.interconnect,
                                                self._windows)
+        #: Bus-attached devices (``config.devices``), window-ordered.
+        self.devices: List[RegisterFilePeripheral] = []
+        self.irq_controller: Optional[InterruptController] = None
+        self.dma_engines: List[DmaEngine] = []
+        self.timers: List[TimerPeripheral] = []
+        self._device_layout = config.device_layout()
+        if self._device_layout is not None:
+            self._build_devices(self._device_layout)
         self.processors: List[TaskProcessor] = []
         self._pending_tasks: List[TaskFunction] = []
         self.ticker: Optional[MemoryIdleTicker] = None
@@ -198,6 +210,50 @@ class Platform:
             name=f"smem{index}",
         )
 
+    def _build_devices(self, layout) -> None:
+        """Instantiate and attach every device slot of the resolved layout."""
+        config = self.config
+        controller = InterruptController(
+            layout.controller.name, num_pes=config.num_pes,
+            lines=layout.controller.config.lines, parent=self.top,
+        )
+        self.irq_controller = controller
+        built = {layout.controller.name: controller}
+        for slot in layout.slots:
+            if slot.kind == "dma":
+                port = self.interconnect.master_port(slot.master_id,
+                                                     name=slot.name)
+                apis = [
+                    SharedMemoryAPI(
+                        port,
+                        base_address=config.memory_base(mem_index),
+                        sm_addr=mem_index,
+                        raise_on_error=False,
+                        tag_prefix=f"{slot.name}.smem{mem_index}",
+                    )
+                    for mem_index in range(config.num_memories)
+                ]
+                built[slot.name] = DmaEngine(
+                    slot.name, port, apis, controller, slot.irq_line,
+                    burst_words=slot.config.burst_words, parent=self.top,
+                )
+            elif slot.kind == "timer":
+                built[slot.name] = TimerPeripheral(
+                    slot.name, controller, slot.irq_line,
+                    clock_period=config.clock_period,
+                    compare_cycles=slot.config.compare_cycles,
+                    periodic=slot.config.periodic,
+                    auto_start=slot.config.auto_start,
+                    parent=self.top,
+                )
+        for slot in layout.slots:
+            device = built[slot.name]
+            self.devices.append(device)
+            self.interconnect.attach_slave(slot.name, slot.base,
+                                           device.window_bytes(), device)
+        self.dma_engines = [built[slot.name] for slot in layout.dmas]
+        self.timers = [built[slot.name] for slot in layout.timers]
+
     # -- task placement ------------------------------------------------------------------
     def add_task(self, task: TaskFunction, pe_index: Optional[int] = None,
                  start_delay_cycles: int = 0, name: Optional[str] = None
@@ -228,6 +284,8 @@ class Platform:
             )
             for mem_index in range(self.config.num_memories)
         ]
+        irq = (IrqClient(self.irq_controller, pe_index)
+               if self.irq_controller is not None else None)
         processor = TaskProcessor(
             name or f"pe{pe_index}",
             port,
@@ -237,6 +295,8 @@ class Platform:
             cost_model=self.config.cost_model,
             start_delay_cycles=start_delay_cycles,
             parent=self.top,
+            irq=irq,
+            devices=self._device_layout,
         )
         self.processors.append(processor)
         return processor
@@ -252,11 +312,12 @@ class Platform:
             raise RuntimeError("no tasks were added to the platform")
         self.simulator = Simulator(self.top)
         wall_start = _wallclock.perf_counter()
-        if self.ticker is None and max_time is None:
+        if self.ticker is None and max_time is None and not self.devices:
             # Pure event-driven run: ends when no activity remains.
             self.simulator.run()
         else:
-            # The ticker keeps the event queue busy forever, so run in slices
+            # The ticker (or a free-running timer device) keeps the event
+            # queue busy forever, so run in slices
             # until every PE finished (or the optional deadline passes).
             slice_time = 50_000 * self.config.clock_period
             deadline = max_time
@@ -317,6 +378,7 @@ class Platform:
             memory_reports=memory_reports,
             interconnect_stats=interconnect_stats,
             cache_reports=[cache.report() for cache in self.caches],
+            device_reports=[device.report() for device in self.devices],
             results={p.name: p.stats.result for p in self.processors},
             finished={p.name: p.finished for p in self.processors},
         )

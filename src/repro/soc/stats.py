@@ -29,6 +29,9 @@ class SimulationReport:
     interconnect_stats: Dict[str, float] = field(default_factory=dict)
     #: Per-PE L1 cache summaries (empty when the platform runs uncached).
     cache_reports: List[dict] = field(default_factory=list)
+    #: Per-device summaries (interrupt controller, DMA engines, timers);
+    #: empty on a device-free platform.
+    device_reports: List[dict] = field(default_factory=list)
     results: Dict[str, object] = field(default_factory=dict)
     #: Per-PE completion flags: ``{pe_name: True/False}``.  A run that ends
     #: on ``max_time`` leaves unfinished PEs with ``False`` here and their
@@ -130,6 +133,12 @@ class SimulationReport:
                 f"({self.cache_reports[0].get('policy', '?')}), "
                 f"hit rate {self.cache_hit_rate() * 100:.1f}%"
             )
+        if self.device_reports:
+            kinds = ", ".join(
+                f"{report.get('name', '?')}({report.get('kind', '?')})"
+                for report in self.device_reports
+            )
+            lines.append(f"devices:         {kinds}")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -150,6 +159,7 @@ class SimulationReport:
             "pe_reports": list(self.pe_reports),
             "memory_reports": list(self.memory_reports),
             "cache_reports": list(self.cache_reports),
+            "device_reports": list(self.device_reports),
             "finished": dict(self.finished),
         }
 

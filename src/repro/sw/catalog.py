@@ -35,8 +35,11 @@ from .workloads import (
     fir_reference,
     make_consumer_task,
     make_fir_task,
+    make_irq_consumer_task,
+    make_irq_producer_task,
     make_matmul_producer_task,
     make_matmul_worker_task,
+    make_memcpy_task,
     make_producer_task,
     make_stencil_task,
     matmul_reference,
@@ -124,6 +127,92 @@ def _producer_consumer(config, *, num_items: int = 24, fifo_depth: int = 4,
         checks=[_expect_results(expected, "FIFO item stream")],
         description=(f"producer_consumer: {num_items} items, "
                      f"depth {fifo_depth}, {config.num_pes // 2} pair(s)"),
+    )
+
+
+@workload.register("producer_consumer_irq")
+def _producer_consumer_irq(config, *, num_items: int = 24, fifo_depth: int = 4,
+                           seed: int = 0):
+    """Interrupt-driven FIFO pairs: doorbell IRQs replace index polling.
+
+    Pair ``k`` owns line ``2k`` (data-available, producer rings) and line
+    ``2k + 1`` (space-available, consumer rings).  Needs a platform with an
+    interrupt controller exposing at least ``num_pes`` lines.
+    """
+    if config.num_pes % 2:
+        raise WorkloadError("producer_consumer_irq needs an even number of PEs")
+    layout = config.device_layout()
+    if layout is None:
+        raise WorkloadError(
+            "producer_consumer_irq needs an interrupt controller — add "
+            ".irq_controller() (or any device) to the platform builder"
+        )
+    if config.num_pes > layout.controller.config.lines:
+        raise WorkloadError(
+            f"producer_consumer_irq needs {config.num_pes} interrupt lines, "
+            f"controller has {layout.controller.config.lines}"
+        )
+    tasks: List = []
+    expected = {}
+    for pair in range(config.num_pes // 2):
+        items = [((seed + pair * 13 + i * 7) & 0xFFFFFFFF)
+                 for i in range(num_items)]
+        shared: dict = {}
+        memory_index = pair % config.num_memories
+        data_line, space_line = 2 * pair, 2 * pair + 1
+        tasks.append(make_irq_producer_task(
+            items, fifo_depth, shared, data_line=data_line,
+            space_line=space_line, memory_index=memory_index))
+        tasks.append(make_irq_consumer_task(
+            shared, data_line=data_line, space_line=space_line,
+            memory_index=memory_index))
+        expected[f"pe{2 * pair + 1}"] = items
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "IRQ-driven FIFO item stream")],
+        description=(f"producer_consumer_irq: {num_items} items, "
+                     f"depth {fifo_depth}, {config.num_pes // 2} pair(s)"),
+    )
+
+
+@workload.register("dma_memcpy")
+def _dma_memcpy(config, *, words: int = 256, mode: str = "dma",
+                compute_cycles: int = 0, seed: int = 7):
+    """Per-PE buffer copy between two memories, by core or by DMA engine.
+
+    ``mode="pe"`` copies with the core's own burst transfers;
+    ``mode="dma"`` offloads to a dedicated DMA engine per PE (the platform
+    must configure ``num_pes`` engines) and overlaps ``compute_cycles`` of
+    local work with the transfer.  Buffers hold GSM speech-like samples so
+    the data stream matches the paper's codec traffic.
+    """
+    if mode not in ("pe", "dma"):
+        raise WorkloadError(f"dma_memcpy mode must be 'pe' or 'dma', got {mode!r}")
+    layout = config.device_layout()
+    if mode == "dma":
+        engines = 0 if layout is None else len(layout.dmas)
+        if engines < config.num_pes:
+            raise WorkloadError(
+                f"dma_memcpy mode='dma' needs one DMA engine per PE "
+                f"({config.num_pes} PEs, {engines} engine(s) configured)"
+            )
+    tasks: List = []
+    expected = {}
+    for pe in range(config.num_pes):
+        samples = generate_speech_like(
+            1 + (words - 1) // FRAME_SAMPLES, seed=seed + pe)
+        data = [value & 0xFFFF for value in samples[:words]]
+        src_memory = pe % config.num_memories
+        dst_memory = (pe + 1) % config.num_memories
+        tasks.append(make_memcpy_task(
+            data, mode=mode, src_memory=src_memory, dst_memory=dst_memory,
+            engine_index=pe, compute_cycles=compute_cycles))
+        expected[f"pe{pe}"] = data
+    return Workload(
+        tasks=tasks,
+        checks=[_expect_results(expected, "memcpy destination buffer")],
+        description=(f"dma_memcpy[{mode}]: {words} words per PE, "
+                     f"compute {compute_cycles} cycles"),
     )
 
 

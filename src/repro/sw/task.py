@@ -9,7 +9,11 @@ the task can:
   the C-formalism API;
 * account for local computation with ``yield from ctx.compute(cycles)``;
 * synchronise with other processing elements using shared-memory flags
-  (spin-wait with a configurable polling back-off).
+  (spin-wait with a configurable polling back-off);
+* on platforms with devices (:mod:`repro.dev`), block on interrupt lines
+  (``ctx.enable_irq`` / ``yield from ctx.wait_irq(...)``) and ring the
+  interrupt controller's software doorbell (``ctx.raise_irq``) — the
+  interrupt-driven alternative to polling.
 
 Everything that touches the interconnect must be driven with ``yield from``
 so that the kernel can interleave the processing elements cycle-accurately.
@@ -40,6 +44,9 @@ class TaskContext:
         cost_model: CostModel = ARM7_LIKE,
         poll_interval_cycles: int = 8,
         name: str = "",
+        port=None,
+        irq=None,
+        devices=None,
     ) -> None:
         if not apis:
             raise TaskError("a task context needs at least one shared memory API")
@@ -48,6 +55,14 @@ class TaskContext:
         self._apis = apis
         self.clock_period = clock_period
         self.cost_model = cost_model
+        #: The PE's master port (device register programming goes through
+        #: it; ``None`` only for API stand-ins without a fabric port).
+        self.port = port if port is not None else getattr(apis[0], "port", None)
+        #: This PE's interrupt-controller client (``None`` without devices).
+        self.irq = irq
+        #: Resolved :class:`~repro.dev.config.DeviceLayout` of the platform
+        #: (``None`` without devices) — how drivers find register windows.
+        self.devices = devices
         self.poll_interval_cycles = max(1, poll_interval_cycles)
         #: Reusable wait objects (scheduler fast path: no per-yield
         #: allocation for recurring waits like the poll back-off).
@@ -144,6 +159,42 @@ class TaskContext:
         yield from api.write(vptr, count + 1)
         yield from api.release(vptr)
         yield from self.wait_flag(vptr, expected=participants, memory=memory)
+
+    # -- interrupts (platforms with a repro.dev interrupt controller) --------------------
+    def _irq_client(self):
+        if self.irq is None:
+            raise TaskError(
+                f"{self.name}: the platform has no interrupt controller "
+                f"(declare devices on the PlatformConfig)"
+            )
+        return self.irq
+
+    def enable_irq(self, lines) -> None:
+        """Unmask interrupt ``lines`` (an int or iterable) for this PE."""
+        self._irq_client().enable(lines)
+
+    def disable_irq(self, lines) -> None:
+        """Mask interrupt ``lines`` for this PE."""
+        self._irq_client().disable(lines)
+
+    def wait_irq(self, lines=None) -> Generator[object, None, int]:
+        """Block until an enabled line pends; acknowledge and return the mask.
+
+        Rides the kernel fast path: every wait yields this PE's one
+        persistent controller event — no per-wait allocation.
+        """
+        return (yield from self._irq_client().wait(lines))
+
+    def raise_irq(self, lines) -> Generator[object, None, None]:
+        """Ring the controller's software doorbell over the bus (an IPI)."""
+        client = self._irq_client()
+        from ..dev.irq import REG_PENDING, lines_to_mask
+
+        mask = lines_to_mask(lines, client.controller.lines)
+        yield from self.port.write(
+            self.devices.controller.base + 4 * REG_PENDING, mask,
+            tag="irq.raise",
+        )
 
     def note(self, message: str) -> None:
         """Append a progress note to the task log (no simulated time)."""

@@ -53,6 +53,8 @@ class TaskProcessor(Module):
         cost_model: CostModel = ARM7_LIKE,
         start_delay_cycles: int = 0,
         parent: Optional[Module] = None,
+        irq=None,
+        devices=None,
     ) -> None:
         super().__init__(name, parent)
         self.port = port
@@ -65,6 +67,9 @@ class TaskProcessor(Module):
             clock_period=clock_period,
             cost_model=cost_model,
             name=name,
+            port=port,
+            irq=irq,
+            devices=devices,
         )
         self.stats = TaskProcessorStats()
         self.add_process(self._run, name="program")

@@ -13,6 +13,7 @@ from .matmul import (
     make_matmul_worker_task,
     matmul_reference,
 )
+from .dma import make_memcpy_task
 from .producer_consumer import (
     CTRL_DONE,
     CTRL_HEAD,
@@ -20,6 +21,10 @@ from .producer_consumer import (
     CTRL_WORDS,
     make_consumer_task,
     make_producer_task,
+)
+from .producer_consumer_irq import (
+    make_irq_consumer_task,
+    make_irq_producer_task,
 )
 from .stencil import coprime_stride, make_stencil_task, stencil_reference
 
@@ -33,8 +38,11 @@ __all__ = [
     "flatten",
     "make_consumer_task",
     "make_fir_task",
+    "make_irq_consumer_task",
+    "make_irq_producer_task",
     "make_matmul_producer_task",
     "make_matmul_worker_task",
+    "make_memcpy_task",
     "make_producer_task",
     "make_stencil_task",
     "matmul_reference",

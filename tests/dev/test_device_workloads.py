@@ -1,0 +1,124 @@
+"""Device workloads: bit-identity across topologies, memory models, caches.
+
+The acceptance bar for ``repro.dev``: the interrupt-driven FIFO and the
+DMA memcpy offload must produce byte-identical results on every
+interconnect topology, with wrapper and modeled memories, and with the
+L1 caches off and on.
+"""
+
+import pytest
+
+from repro.api import PlatformBuilder, Scenario, WorkloadError, run_scenario, workload
+
+TOPOLOGIES = ["bus", "crossbar", "mesh"]
+MEMORY_MODELS = ["wrapper", "modeled"]
+CACHES = ["uncached", "cached"]
+
+
+def build_config(topology, memory_model, cache, *, pes, memories, devices):
+    builder = PlatformBuilder().pes(pes)
+    if memory_model == "wrapper":
+        builder = builder.wrapper_memories(memories)
+    else:
+        builder = builder.modeled_memories(memories)
+    if topology == "crossbar":
+        builder = builder.crossbar()
+    elif topology == "mesh":
+        builder = builder.mesh()
+    if cache == "cached":
+        builder = builder.l1_cache(sets=16, ways=2, line_bytes=16)
+    builder = devices(builder)
+    return builder.build()
+
+
+def run_workload(config, name, params):
+    result = run_scenario(Scenario(name="t", config=config, workload=name,
+                                   params=params))
+    result.raise_for_status()
+    return result.report
+
+
+class TestProducerConsumerIrq:
+    PARAMS = {"num_items": 10, "fifo_depth": 3, "seed": 5}
+
+    def reference(self):
+        config = build_config("bus", "wrapper", "uncached", pes=2, memories=1,
+                              devices=lambda b: b.irq_controller())
+        return run_workload(config, "producer_consumer_irq", self.PARAMS)
+
+    @pytest.mark.parametrize("cache", CACHES)
+    @pytest.mark.parametrize("memory_model", MEMORY_MODELS)
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_bit_identical_everywhere(self, topology, memory_model, cache):
+        config = build_config(topology, memory_model, cache, pes=2,
+                              memories=1,
+                              devices=lambda b: b.irq_controller())
+        report = run_workload(config, "producer_consumer_irq", self.PARAMS)
+        assert report.all_pes_finished
+        assert report.results == self.reference().results
+
+    def test_requires_controller(self):
+        config = (PlatformBuilder().pes(2).wrapper_memories(1).build())
+        with pytest.raises(WorkloadError, match="interrupt controller"):
+            workload.create("producer_consumer_irq", config)
+
+    def test_requires_even_pes(self):
+        config = (PlatformBuilder().pes(3).wrapper_memories(1)
+                  .irq_controller().build())
+        with pytest.raises(WorkloadError, match="even"):
+            workload.create("producer_consumer_irq", config)
+
+
+class TestDmaMemcpy:
+    PARAMS = {"words": 96, "mode": "dma", "compute_cycles": 100, "seed": 11}
+
+    def reference(self):
+        config = build_config("bus", "wrapper", "uncached", pes=2, memories=2,
+                              devices=lambda b: b.dma(2))
+        return run_workload(config, "dma_memcpy", self.PARAMS)
+
+    @pytest.mark.parametrize("cache", CACHES)
+    @pytest.mark.parametrize("memory_model", MEMORY_MODELS)
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_bit_identical_everywhere(self, topology, memory_model, cache):
+        config = build_config(topology, memory_model, cache, pes=2,
+                              memories=2, devices=lambda b: b.dma(2))
+        report = run_workload(config, "dma_memcpy", self.PARAMS)
+        assert report.all_pes_finished
+        assert report.results == self.reference().results
+        for engine in (d for d in report.device_reports
+                       if d["kind"] == "dma"):
+            assert engine["transfers"] == 1
+            assert engine["words_copied"] == 96
+            assert engine["errors"] == 0
+
+    def test_pe_mode_matches_dma_mode(self):
+        pe_params = dict(self.PARAMS, mode="pe")
+        config = build_config("bus", "wrapper", "uncached", pes=2, memories=2,
+                              devices=lambda b: b)
+        pe_report = run_workload(config, "dma_memcpy", pe_params)
+        assert pe_report.results == self.reference().results
+
+    def test_dma_mode_needs_engine_per_pe(self):
+        config = (PlatformBuilder().pes(2).wrapper_memories(1).dma(1).build())
+        with pytest.raises(WorkloadError, match="DMA engine per PE"):
+            workload.create("dma_memcpy", config, mode="dma")
+
+
+class TestReports:
+    def test_device_reports_surface_in_summary_and_dict(self):
+        config = (PlatformBuilder().pes(2).wrapper_memories(1)
+                  .irq_controller().build())
+        report = run_workload(config, "producer_consumer_irq",
+                              {"num_items": 4, "fifo_depth": 2})
+        assert any(d["kind"] == "irq_controller"
+                   for d in report.device_reports)
+        assert "devices:" in report.summary()
+        assert report.as_dict()["device_reports"] == report.device_reports
+
+    def test_device_free_platform_has_no_device_reports(self):
+        config = PlatformBuilder().pes(2).wrapper_memories(1).build()
+        report = run_workload(config, "producer_consumer",
+                              {"num_items": 4, "fifo_depth": 2})
+        assert report.device_reports == []
+        assert "devices:" not in report.summary()

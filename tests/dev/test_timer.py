@@ -1,0 +1,100 @@
+"""Timer peripheral: one-shot, periodic, software programming, reports."""
+
+from repro.api import PlatformBuilder, run_tasks
+from repro.dev.timer import (
+    CTRL_ENABLE,
+    CTRL_PERIODIC,
+    REG_CTRL,
+    REG_COMPARE,
+    REG_IRQ_LINE,
+    REG_STATUS,
+)
+
+
+def build(num_pes=1, **timer_kwargs):
+    return (PlatformBuilder().pes(num_pes).wrapper_memories(1)
+            .timer(**timer_kwargs).build())
+
+
+def timer_report(report):
+    return next(d for d in report.device_reports if d["kind"] == "timer")
+
+
+class TestAutoStart:
+    def test_periodic_expiry_wakes_waiter(self):
+        config = build(compare_cycles=100, periodic=True, auto_start=True)
+
+        def waiter(ctx):
+            line = ctx.devices.timer(0).irq_line
+            ctx.enable_irq(line)
+            ticks = 0
+            for _ in range(4):
+                yield from ctx.wait_irq(line)
+                ticks += 1
+            return ticks
+
+        report = run_tasks(config, [waiter],
+                           max_time=2_000 * config.clock_period)
+        assert report.results["pe0"] == 4
+        assert timer_report(report)["expirations"] >= 4
+
+    def test_one_shot_fires_exactly_once(self):
+        config = build(compare_cycles=50, periodic=False, auto_start=True)
+
+        def waiter(ctx):
+            line = ctx.devices.timer(0).irq_line
+            ctx.enable_irq(line)
+            yield from ctx.wait_irq(line)
+            # Outwait a would-be second period; the line must stay quiet.
+            yield from ctx.compute(200)
+            return ctx.irq.pending(line)
+
+        report = run_tasks(config, [waiter],
+                           max_time=1_000 * config.clock_period)
+        assert report.results["pe0"] == 0
+        data = timer_report(report)
+        assert data["expirations"] == 1
+        assert data["enabled"] is False
+
+
+class TestSoftwareProgramming:
+    def test_program_over_the_bus(self):
+        """A task arms the idle timer through its register window."""
+        config = build(compare_cycles=1000, periodic=False, auto_start=False)
+
+        def programmer(ctx):
+            slot = ctx.devices.timer(0)
+            ctx.enable_irq(slot.irq_line)
+            base = slot.base
+            line = yield from ctx.port.read(base + 4 * REG_IRQ_LINE)
+            assert line.data == slot.irq_line
+            yield from ctx.port.write(base + 4 * REG_COMPARE, 25)
+            yield from ctx.port.write(base + 4 * REG_CTRL,
+                                      CTRL_ENABLE | CTRL_PERIODIC)
+            ticks = 0
+            for _ in range(3):
+                yield from ctx.wait_irq(slot.irq_line)
+                ticks += 1
+            # Disable and clear the expiry count.
+            yield from ctx.port.write(base + 4 * REG_CTRL, 0)
+            status = yield from ctx.port.read(base + 4 * REG_STATUS)
+            yield from ctx.port.write(base + 4 * REG_STATUS, 0)
+            return (ticks, status.data >= 3)
+
+        report = run_tasks(config, [programmer],
+                           max_time=2_000 * config.clock_period)
+        assert report.results["pe0"] == (3, True)
+        data = timer_report(report)
+        assert data["enabled"] is False
+
+    def test_irq_line_register_is_read_only(self):
+        config = build(compare_cycles=10)
+
+        def task(ctx):
+            slot = ctx.devices.timer(0)
+            yield from ctx.port.write(slot.base + 4 * REG_IRQ_LINE, 31)
+            value = yield from ctx.port.read(slot.base + 4 * REG_IRQ_LINE)
+            return value.data
+
+        report = run_tasks(config, [task], max_time=500 * config.clock_period)
+        assert report.results["pe0"] == timer_report(report)["irq_line"]

@@ -2,9 +2,11 @@
 
 Slave attachment must validate through the one shared AddressMap path (so
 bad maps fail identically on bus, crossbar and mesh), the stats emission
-must carry the same columns everywhere, and the deprecation shims in
-``repro.interconnect`` must keep the pre-fabric import surface alive.
+must carry the same columns everywhere, and the removed deprecation shims
+in ``repro.interconnect`` must fail with a pointer at ``repro.fabric``.
 """
+
+import importlib
 
 import pytest
 
@@ -223,30 +225,29 @@ class TestFabricArbitrationWiring:
         assert xbar.merged_grant_counts() == {0: 2}
 
 
-class TestDeprecationShims:
-    """`repro.interconnect` keeps the pre-fabric names for one release."""
+class TestShimRemoval:
+    """The pre-fabric deprecation shims are gone as of 2.0."""
 
-    def test_core_types_are_reexported_identities(self):
-        assert interconnect.MasterPort is fabric.MasterPort
-        assert interconnect.BusSlave is fabric.BusSlave
-        assert interconnect.BusStats is fabric.BusStats
-        assert interconnect.MasterStats is fabric.MasterStats
-        assert interconnect.BusRequest is fabric.BusRequest
-        assert interconnect.AddressMap is fabric.AddressMap
+    def test_interconnect_exports_only_topologies_and_monitor(self):
+        assert sorted(interconnect.__all__) == [
+            "BusMonitor", "Crossbar", "MonitoredTransfer", "SharedBus",
+        ]
+        for moved in ("MasterPort", "BusSlave", "BusStats", "MasterStats",
+                      "BusRequest", "AddressMap", "RoundRobinArbiter",
+                      "make_arbiter"):
+            assert not hasattr(interconnect, moved), (
+                f"repro.interconnect still re-exports {moved}; it lives in "
+                f"repro.fabric now"
+            )
 
-    def test_submodule_shims_keep_working(self):
-        from repro.interconnect.arbiter import (
-            RoundRobinArbiter, make_arbiter,
-        )
-        from repro.interconnect.bus import BusSlave as BusSlaveShim
-        from repro.interconnect.transaction import BusRequest as RequestShim
-        from repro.interconnect.address_map import AddressMap as MapShim
-
-        assert RoundRobinArbiter is fabric.RoundRobinArbiter
-        assert make_arbiter is fabric.make_arbiter
-        assert BusSlaveShim is fabric.BusSlave
-        assert RequestShim is fabric.BusRequest
-        assert MapShim is fabric.AddressMap
+    @pytest.mark.parametrize("module", [
+        "repro.interconnect.arbiter",
+        "repro.interconnect.address_map",
+        "repro.interconnect.transaction",
+    ])
+    def test_removed_submodules_point_at_fabric(self, module):
+        with pytest.raises(ImportError, match="repro.fabric"):
+            importlib.import_module(module)
 
     def test_topologies_are_fabric_subclasses(self):
         assert issubclass(SharedBus, Fabric)

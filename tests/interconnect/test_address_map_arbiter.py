@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.interconnect import (
+from repro.fabric import (
     AddressDecodeError,
     AddressMap,
     AddressMapConflict,

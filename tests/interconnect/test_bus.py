@@ -2,16 +2,8 @@
 
 import pytest
 
-from repro.interconnect import (
-    BusMonitor,
-    BusOp,
-    BusRequest,
-    BusResponse,
-    BusSlave,
-    Crossbar,
-    ResponseStatus,
-    SharedBus,
-)
+from repro.fabric import BusOp, BusRequest, BusResponse, BusSlave, ResponseStatus
+from repro.interconnect import BusMonitor, Crossbar, SharedBus
 from repro.kernel import Module, Simulator
 
 

@@ -5,13 +5,8 @@ columns, decode-error accounting and utilization on bus, crossbar and mesh
 import pytest
 
 from repro.api import ExperimentRunner, PlatformBuilder, Scenario
-from repro.interconnect import (
-    BusOp,
-    BusRequest,
-    Crossbar,
-    MasterStats,
-    ResponseStatus,
-)
+from repro.fabric import BusOp, BusRequest, MasterStats, ResponseStatus
+from repro.interconnect import Crossbar
 from repro.kernel import Module, Simulator
 
 from test_bus import MasterHarness, ScratchSlave
@@ -79,7 +74,7 @@ class TestStatsSerialization:
         }
 
     def test_bus_stats_as_dict_orders_masters(self):
-        from repro.interconnect import BusStats
+        from repro.fabric import BusStats
 
         stats = BusStats(transactions=2, busy_cycles=5)
         stats.master(2).transactions = 1

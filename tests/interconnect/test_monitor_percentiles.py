@@ -1,8 +1,7 @@
 """Tests for the BusMonitor's per-op latency percentile aggregation."""
 
-from repro.interconnect.bus import BusSlave
+from repro.fabric import BusOp, BusRequest, BusResponse, BusSlave
 from repro.interconnect.monitor import BusMonitor, _nearest_rank
-from repro.interconnect.transaction import BusOp, BusRequest, BusResponse
 
 
 class FixedLatencySlave(BusSlave):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.interconnect import BusOp, BusRequest, ResponseStatus
+from repro.fabric import BusOp, BusRequest, ResponseStatus
 from repro.memory import (
     IO_ARRAY_BASE,
     REG_COMMAND,

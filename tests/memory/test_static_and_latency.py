@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.interconnect import BusOp, BusRequest, ResponseStatus
+from repro.fabric import BusOp, BusRequest, ResponseStatus
 from repro.memory import (
     DataType,
     Endianness,

@@ -3,7 +3,7 @@ transfers, arbitration fairness, backpressure and decode errors."""
 
 import pytest
 
-from repro.interconnect import BusOp, BusRequest, BusResponse, ResponseStatus, BusSlave
+from repro.fabric import BusOp, BusRequest, BusResponse, BusSlave, ResponseStatus
 from repro.kernel import Module, Simulator
 from repro.noc import (
     LOCAL_LANE,

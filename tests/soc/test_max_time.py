@@ -1,0 +1,117 @@
+"""Regression tests: ``Platform.run(max_time=...)`` with free-running devices.
+
+A periodic auto-start timer keeps the event queue busy forever, so a run
+can only end on the ``max_time`` clamp (or when every PE finishes).  These
+tests pin the clamp semantics: the reported end time never exceeds the
+deadline, ``stats.end_time`` matches the simulator clock, and
+``trim_to_last_activity`` still trims drained runs back to their last
+real event.
+"""
+
+from repro.api import PlatformBuilder, run_tasks
+from repro.kernel import Module, Simulator
+
+
+def build(periodic=True, compare_cycles=100):
+    return (PlatformBuilder().pes(1).wrapper_memories(1)
+            .timer(compare_cycles=compare_cycles, periodic=periodic,
+                   auto_start=True)
+            .build())
+
+
+def never_finishes(ctx):
+    ctx.enable_irq(31)          # nothing ever raises line 31
+    yield from ctx.wait_irq(31)
+    return "unreachable"
+
+
+class TestMaxTimeClamp:
+    def test_run_clamps_at_max_time_with_free_running_timer(self):
+        config = build()
+        deadline = 1_000 * config.clock_period
+        report = run_tasks(config, [never_finishes], max_time=deadline)
+        assert not report.all_pes_finished
+        assert report.results["pe0"] is None
+        assert report.simulated_time <= deadline
+        # The periodic timer fired right up to the clamp.
+        timer = next(d for d in report.device_reports if d["kind"] == "timer")
+        assert timer["expirations"] == 1_000 // 100
+
+    def test_end_time_tracks_simulator_clock(self):
+        config = build()
+        platform = PlatformBuilder.from_config(config).build_platform()
+        platform.add_task(never_finishes)
+        deadline = 777 * config.clock_period
+        report = platform.run(max_time=deadline)
+        sim = platform.simulator
+        assert sim.stats.end_time == sim.now
+        assert report.simulated_time == sim.now
+        assert sim.now <= deadline
+
+    def test_finishing_early_trims_below_max_time(self):
+        """A one-shot timer drains the queue; the clamp must not pad."""
+        config = build(periodic=False, compare_cycles=50)
+
+        def waiter(ctx):
+            line = ctx.devices.timer(0).irq_line
+            ctx.enable_irq(line)
+            yield from ctx.wait_irq(line)
+            return "woke"
+
+        deadline = 10_000 * config.clock_period
+        report = run_tasks(config, [waiter], max_time=deadline)
+        assert report.results["pe0"] == "woke"
+        # The run ends near the 50-cycle expiry, far below the deadline.
+        assert report.simulated_cycles < 1_000
+
+    def test_free_running_platform_without_deadline_ends_when_pes_finish(self):
+        config = build()
+
+        def quick(ctx):
+            line = ctx.devices.timer(0).irq_line
+            ctx.enable_irq(line)
+            yield from ctx.wait_irq(line)
+            return "done"
+
+        report = run_tasks(config, [quick])   # no max_time: must still end
+        assert report.results["pe0"] == "done"
+
+
+class TestSimulatorClamp:
+    """Kernel-level: ``Simulator.run(duration)`` with a periodic process."""
+
+    class FreeRunner(Module):
+        def __init__(self):
+            super().__init__("freerunner")
+            self.ticks = 0
+            self.add_process(self._tick, name="tick")
+
+        def _tick(self):
+            while True:
+                yield 100
+                self.ticks += 1
+
+    def test_run_stops_exactly_on_deadline(self):
+        top = self.FreeRunner()
+        sim = Simulator(top)
+        stats = sim.run(1_050)
+        assert sim.now == 1_050              # sc_start semantics: clock
+        assert stats.end_time == 1_050       # lands on the deadline
+        assert top.ticks == 10               # tick 11 (t=1100) never fired
+
+    def test_consecutive_runs_resume_from_the_clamp(self):
+        top = self.FreeRunner()
+        sim = Simulator(top)
+        sim.run(250)
+        assert top.ticks == 2
+        stats = sim.run(250)                 # deadline-relative: to t=500
+        assert sim.now == 500
+        assert stats.end_time == 500
+        assert top.ticks == 5
+
+    def test_trim_is_a_no_op_while_activity_is_pending(self):
+        top = self.FreeRunner()
+        sim = Simulator(top)
+        sim.run(1_050)
+        sim.trim_to_last_activity()          # timer still scheduled
+        assert sim.now == 1_050

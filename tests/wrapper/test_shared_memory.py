@@ -1,7 +1,7 @@
 """Tests for the SharedMemoryWrapper bus slave (functional + timing)."""
 
 
-from repro.interconnect import BusOp, BusRequest
+from repro.fabric import BusOp, BusRequest
 from repro.memory import (
     IO_ARRAY_BASE,
     DataType,
