@@ -18,6 +18,9 @@ The package is organised as the paper's Figure 1:
   fully-modelled dynamic memory baseline;
 * :mod:`repro.dev` — bus-attached peripherals: the interrupt controller,
   DMA engines (first-class fabric masters) and timers;
+* :mod:`repro.check` — simulation sanitizers: the happens-before data-race
+  detector, protocol checkers and the static lint for task code
+  (``python -m repro.check.lint``);
 * :mod:`repro.wrapper` — the paper's contribution: the host-backed dynamic
   shared memory wrapper (pointer table, translator, cycle-true FSM, delays)
   and the C-formalism software API;
@@ -65,6 +68,7 @@ __version__ = "2.0.0"
 __all__ = [
     "analysis",
     "api",
+    "check",
     "interconnect",
     "isa",
     "iss",

@@ -39,6 +39,7 @@ from ..sw.registry import (
     workload,
 )
 from ..cache import CacheConfig, CacheGeometry, WritePolicy
+from ..check import CheckConfig
 from ..dev import DmaConfig, DmaDriver, IrqControllerConfig, TimerConfig
 from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
 from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
@@ -53,6 +54,7 @@ __all__ = [
     "COST_MODELS",
     "CacheConfig",
     "CacheGeometry",
+    "CheckConfig",
     "DELAY_PRESETS",
     "DmaConfig",
     "DmaDriver",

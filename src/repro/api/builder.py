@@ -22,6 +22,7 @@ import dataclasses
 from typing import Dict, Optional, Union
 
 from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
+from ..check.config import CheckConfig
 from ..dev.config import DmaConfig, IrqControllerConfig, TimerConfig
 from ..fabric import canonical_kind
 from ..memory.latency import LatencyModel
@@ -263,6 +264,32 @@ class PlatformBuilder:
         """Wrap every memory in a timing-transparent :class:`BusMonitor`
         (per-memory transaction counts and latency percentiles in reports)."""
         return self._set(monitor_memories=bool(enable))
+
+    # -- sanitizers ------------------------------------------------------------------
+    def sanitize(self, *, race: bool = True, protocol: bool = True,
+                 coherence: bool = True, max_reports: int = 32,
+                 capture_stacks: bool = True) -> "PlatformBuilder":
+        """Attach the simulation sanitizers (:mod:`repro.check`).
+
+        Enables the happens-before data-race detector, the protocol
+        checkers (lock leaks, reserve reentry, port lifecycle, register
+        misuse) and — on cached platforms — the coherence invariant
+        scanner.  Sanitizers are timing-transparent: simulated time and
+        every kernel counter are identical with and without them.
+        Findings land in ``report.sanitizer_reports``.
+        """
+        try:
+            config = CheckConfig(race=race, protocol=protocol,
+                                 coherence=coherence,
+                                 max_reports=max_reports,
+                                 capture_stacks=capture_stacks)
+        except ValueError as exc:
+            raise BuilderError(f"invalid sanitizer description: {exc}") from exc
+        return self._set(check=config)
+
+    def no_sanitize(self) -> "PlatformBuilder":
+        """Detach every sanitizer (the default, zero-overhead platform)."""
+        return self._set(check=None)
 
     # -- devices ---------------------------------------------------------------------
     def _add_device(self, config: object) -> "PlatformBuilder":

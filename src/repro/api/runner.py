@@ -244,7 +244,8 @@ class ExperimentRunner:
                     process, conn, _ = active.pop(index)
                     conn.close()
                 if not finished and active:
-                    time.sleep(_POLL_INTERVAL_S)
+                    # Host-side worker-process polling, not simulation code.
+                    time.sleep(_POLL_INTERVAL_S)  # noqa: RC002
         finally:
             for process, conn, _ in active.values():
                 process.terminate()

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
 from ..fabric import (
     BusOp,
@@ -403,6 +403,11 @@ class L1Cache:
 
     def resident_lines(self) -> int:
         return sum(len(ways) for ways in self._sets)
+
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """Every resident line (snapshot order; safe against mutation)."""
+        for ways in self._sets:
+            yield from list(ways)
 
     def _element_span(self, alloc: SharedAllocation, line_no: int
                       ) -> Tuple[int, int]:

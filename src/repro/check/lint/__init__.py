@@ -1,0 +1,7 @@
+"""Static lint for task/workload code (see ``python -m repro.check.lint``)."""
+
+from .engine import lint_paths, lint_source, select_rules
+from .rules import RULES, Finding, Rule
+
+__all__ = ["RULES", "Finding", "Rule", "lint_paths", "lint_source",
+           "select_rules"]

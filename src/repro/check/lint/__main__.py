@@ -1,0 +1,53 @@
+"""CLI: ``python -m repro.check.lint [paths...]``.
+
+Prints ``path:line:col CODE message`` per finding and exits 1 when any
+finding was produced (0 on a clean run), so it slots straight into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import lint_paths, select_rules
+from .rules import RULES
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint",
+        description="Static lint for simulated task/workload code.",
+    )
+    parser.add_argument("paths", nargs="*", default=["."],
+                        help="files or directories to lint (default: .)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="CODE",
+                        help="only run rules whose code starts with CODE "
+                             "(repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code} {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        select_rules(args.select)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    findings = lint_paths(args.paths or ["."], select=args.select)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

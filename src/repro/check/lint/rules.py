@@ -1,0 +1,275 @@
+"""Lint rules for workload/task code (rule-registry architecture).
+
+Each rule is a class registered under a stable code (``RC001``...), like
+ruff's rule registry: the engine instantiates every selected rule per
+file and feeds it the parsed AST.  Rules only need the AST and the file
+path — no imports are executed, so the lint runs on any Python source.
+
+The flagship rule is **RC001**: the platform's software APIs
+(:class:`~repro.wrapper.api.SharedMemoryAPI`,
+:class:`~repro.sw.task.TaskContext`, the DMA driver, master ports) are
+*generator functions* that must be driven with ``yield from``; calling
+one as a statement silently creates a generator object and does
+nothing — the single most common latent bug in simulated task code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Type
+
+#: Generator-API method names that are unambiguous on any receiver.
+API_GENERATOR_NAMES: Set[str] = {
+    # SharedMemoryAPI
+    "alloc", "read_signed", "write_array", "read_array",
+    "read_array_signed", "reserve", "release", "try_reserve", "memcpy",
+    # TaskContext
+    "compute", "compute_ops", "set_flag", "wait_flag", "barrier",
+    "wait_irq",
+    # DmaDriver
+    "read_reg", "write_reg",
+    # MasterPort
+    "burst_read", "burst_write",
+}
+
+#: Generator-API names too generic to flag on arbitrary receivers
+#: (``f.write(...)`` is file IO, ``event.wait()`` is threading): these
+#: are only flagged when the receiver expression *looks like* a platform
+#: API handle.
+GENERIC_API_NAMES: Set[str] = {
+    "write", "read", "free", "query", "status", "flush", "wait", "start",
+    "copy", "transfer",
+    # raise_irq is a generator on TaskContext (a bus doorbell write) but a
+    # plain method on the device-side InterruptController.
+    "raise_irq",
+}
+
+#: Receiver-source substrings identifying a platform API handle.
+API_RECEIVER_HINTS = ("smem", "mem", "api", "ctx", "port", "dma", "driver",
+                      "task", "wrapper")
+
+#: ``random`` module functions whose unseeded use makes a run
+#: irreproducible.
+RANDOM_FUNCTIONS: Set[str] = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "randbytes", "getrandbits", "betavariate",
+    "expovariate",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ready for ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+#: The rule registry: code -> rule class.
+RULES: Dict[str, Type["Rule"]] = {}
+
+
+def register(rule_class: Type["Rule"]) -> Type["Rule"]:
+    if rule_class.code in RULES:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    RULES[rule_class.code] = rule_class
+    return rule_class
+
+
+class Rule:
+    """Base class: one instance checks one file."""
+
+    code = ""
+    name = ""
+    summary = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(path=path, line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0), code=self.code,
+                       message=message)
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def own_statements(function: ast.AST) -> Iterator[ast.AST]:
+    """Every node of ``function`` excluding nested function/lambda bodies."""
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(function: ast.AST) -> bool:
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in own_statements(function))
+
+
+def api_generator_call(call: ast.expr) -> bool:
+    """True when ``call`` is a platform generator-API method call."""
+    if not isinstance(call, ast.Call) or not isinstance(call.func,
+                                                        ast.Attribute):
+        return False
+    name = call.func.attr
+    if name in API_GENERATOR_NAMES:
+        return True
+    if name in GENERIC_API_NAMES:
+        receiver = ast.unparse(call.func.value).lower()
+        return any(hint in receiver for hint in API_RECEIVER_HINTS)
+    return False
+
+
+@register
+class UnconsumedGeneratorCall(Rule):
+    """A generator-API call whose generator is never driven."""
+
+    code = "RC001"
+    name = "unconsumed-generator-call"
+    summary = ("generator-API call without `yield from` silently does "
+               "nothing")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for function in iter_functions(tree):
+            if not is_generator(function):
+                continue
+            for node in own_statements(function):
+                call = None
+                if isinstance(node, ast.Expr):
+                    call = node.value
+                elif isinstance(node, ast.Assign):
+                    call = node.value
+                if call is None or not api_generator_call(call):
+                    continue
+                assert isinstance(call, ast.Call)
+                assert isinstance(call.func, ast.Attribute)
+                yield self.finding(
+                    path, node,
+                    f"`{ast.unparse(call.func)}(...)` returns a generator "
+                    f"that is never driven; use `yield from` (or iterate "
+                    f"it) or the call does nothing")
+
+
+@register
+class HostSleepInTask(Rule):
+    """``time.sleep`` blocks the host, not simulated time."""
+
+    code = "RC002"
+    name = "host-sleep"
+    summary = "time.sleep in simulation code (blocks the host process)"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        time_aliases: Set[str] = set()
+        sleep_names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_names.add(alias.asname or "sleep")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in time_aliases):
+                yield self.finding(path, node,
+                                   "time.sleep() stalls the host process, "
+                                   "not simulated time; yield a wait "
+                                   "instead")
+            elif isinstance(func, ast.Name) and func.id in sleep_names:
+                yield self.finding(path, node,
+                                   "sleep() stalls the host process, not "
+                                   "simulated time; yield a wait instead")
+
+
+@register
+class UnseededRandom(Rule):
+    """Module-level ``random`` without a seed breaks reproducibility."""
+
+    code = "RC003"
+    name = "unseeded-random"
+    summary = "unseeded random.* call (irreproducible simulation)"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        seeded = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "seed"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "random"
+            for node in ast.walk(tree))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"):
+                continue
+            if func.attr == "Random" and not node.args and not node.keywords:
+                yield self.finding(path, node,
+                                   "random.Random() without a seed is "
+                                   "irreproducible; pass an explicit seed")
+            elif func.attr in RANDOM_FUNCTIONS and not seeded:
+                yield self.finding(path, node,
+                                   f"random.{func.attr}() uses the shared "
+                                   f"unseeded generator; seed it or use "
+                                   f"random.Random(seed)")
+
+
+@register
+class ReserveWithoutRelease(Rule):
+    """``reserve`` with no matching ``release`` on any path of the
+    function leaks the allocation's semaphore (a lock leak the runtime
+    sanitizer reports at end-of-sim — this catches it statically)."""
+
+    code = "RC004"
+    name = "reserve-without-release"
+    summary = "reserve/try_reserve without a release on the same receiver"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for function in iter_functions(tree):
+            reserves: List[ast.Call] = []
+            released: Set[str] = set()
+            for node in own_statements(function):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)):
+                    continue
+                receiver = ast.unparse(node.func.value)
+                if node.func.attr in ("reserve", "try_reserve"):
+                    if receiver == "self" or receiver.startswith("self."):
+                        continue  # API-internal wrappers manage their own
+                    reserves.append(node)
+                elif node.func.attr == "release":
+                    released.add(receiver)
+            for call in reserves:
+                assert isinstance(call.func, ast.Attribute)
+                receiver = ast.unparse(call.func.value)
+                if receiver not in released:
+                    yield self.finding(
+                        path, call,
+                        f"`{receiver}.{call.func.attr}(...)` has no "
+                        f"`{receiver}.release(...)` anywhere in this "
+                        f"function — the reservation leaks on every exit "
+                        f"path")

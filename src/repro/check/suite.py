@@ -1,0 +1,462 @@
+"""The sanitizer suite: observer-hook glue between platform and checkers.
+
+One :class:`SanitizerSuite` per sanitized :class:`~repro.soc.platform.Platform`.
+The platform registers its actors (PE programs, DMA engines, timers), its
+memory and device windows, its interrupt controller and its L1 caches;
+the suite consumes three observation streams —
+
+* fabric port hooks (:meth:`on_port_issue` / :meth:`on_port_complete`,
+  installed via :meth:`~repro.fabric.base.Fabric.add_port_observer`),
+* the kernel's sync-event observer (``Simulator._sync_observer``),
+* the interrupt controller's check observer (raise/claim) —
+
+and feeds the race detector, the protocol checkers and the coherence
+checker.  A private :class:`~repro.cache.coherence.CoherenceDomain` acts
+as the *shadow allocation map*: it replays ALLOC/FREE/RESERVE/RELEASE
+commands observed on the fabric, so word state is keyed by allocation
+generation uid and vptr reuse never aliases.
+
+Everything here only observes.  No event is notified, no process is
+created, no wait is issued: a sanitized run is counter-identical (delta
+cycles, activations, timed steps, events fired, simulated time) to the
+same run with ``check=None``.
+
+With L1 caches enabled, accesses served from a cache never reach the
+fabric and cache-internal traffic (fills, writebacks) is issued by
+whichever process triggered the snoop; the race detector therefore skips
+cache-tagged transfers — it stays free of false positives but may miss
+races hidden by caching.  The coherence checker covers cached platforms.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from ..cache.coherence import CoherenceDomain
+from ..fabric.transaction import WORD_SIZE, BusOp, BusRequest, BusResponse
+from ..memory.protocol import (
+    IO_ARRAY_BASE,
+    REG_COMMAND,
+    REG_LIVE_COUNT,
+    REG_RESULT,
+    REG_STATUS,
+    REG_USED_BYTES,
+    MemCommand,
+    MemOpcode,
+    ProtocolError,
+)
+from .config import CheckConfig
+from .protocol import CoherenceChecker, ProtocolChecker
+from .race import RaceDetector
+from .report import AccessSite, Frame, ReportSink
+from .vclock import Actor
+
+#: Scalar writes to these memory-window offsets are documented read-only.
+_MEM_READONLY = frozenset({REG_STATUS, REG_RESULT, REG_LIVE_COUNT,
+                           REG_USED_BYTES})
+
+#: Documented read-only word registers per device kind.
+_DEVICE_READONLY = {
+    "dma": frozenset({9, 10, 11}),        # WORDS_DONE, IRQ_LINE, TRANSFERS
+    "timer": frozenset({3}),              # IRQ_LINE
+    "irq_controller": frozenset({2}),     # LEVEL (wire state)
+}
+
+#: Tags of cache-internal transfers (fills, writebacks, restages): the
+#: race detector skips them — they move data on behalf of *some* master
+#: through *some* port and carry no software-level ordering.
+_CACHE_TAG_SUFFIXES = (".fill", ".writeback", ".restage")
+
+
+def _mask_lines(mask: int) -> List[int]:
+    lines = []
+    line = 0
+    while mask:
+        if mask & 1:
+            lines.append(line)
+        mask >>= 1
+        line += 1
+    return lines
+
+
+def workload_frames(process) -> List[Frame]:
+    """The ``yield from`` chain of a suspended process, outermost first."""
+    frames: List[Frame] = []
+    generator = getattr(process, "_generator", None)
+    while generator is not None and hasattr(generator, "gi_frame"):
+        frame = generator.gi_frame
+        if frame is not None:
+            code = frame.f_code
+            frames.append((code.co_filename, frame.f_lineno, code.co_name))
+        generator = getattr(generator, "gi_yieldfrom", None)
+    return frames
+
+
+class _Window:
+    """One decoded address window (memory module or device)."""
+
+    __slots__ = ("base", "size", "kind", "name", "mem_index", "device_actor",
+                 "readonly")
+
+    def __init__(self, base: int, size: int, kind: str, name: str,
+                 mem_index: int = -1, device_actor: Optional[Actor] = None,
+                 readonly: frozenset = frozenset()) -> None:
+        self.base = base
+        self.size = size
+        self.kind = kind
+        self.name = name
+        self.mem_index = mem_index
+        self.device_actor = device_actor
+        self.readonly = readonly
+
+
+class SanitizerSuite:
+    """Runtime sanitizers of one platform run (see module docstring)."""
+
+    def __init__(self, config: CheckConfig, fabric) -> None:
+        self.config = config
+        self._fabric = fabric
+        self.sink = ReportSink(config.max_reports)
+        self.race: Optional[RaceDetector] = (
+            RaceDetector(self.sink) if config.race else None)
+        self.protocol: Optional[ProtocolChecker] = (
+            ProtocolChecker(self.sink) if config.protocol else None)
+        self.coherence: Optional[CoherenceChecker] = None
+        #: Shadow allocation map replayed from observed fabric commands.
+        self.shadow = CoherenceDomain()
+        self._windows: List[_Window] = []
+        self._window_bases: List[int] = []
+        self._actor_of_process: Dict[object, Actor] = {}
+        self._process_of_actor: Dict[Actor, object] = {}
+        self._labels: Dict[Actor, str] = {}
+        self._controller_base: Optional[int] = None
+        self._simulator = None
+        self._finished = False
+
+    # -- registration (called by the platform while building) ---------------------
+    def register_actor(self, actor: Actor, label: str,
+                       process=None) -> None:
+        """Declare a synchronisation-carrying actor (PE, DMA engine...)."""
+        self._labels[actor] = label
+        if self.race is not None:
+            self.race.register_actor(actor, label)
+        if process is not None:
+            self._actor_of_process[process] = actor
+            self._process_of_actor[actor] = process
+
+    def register_memory_window(self, base: int, size: int,
+                               mem_index: int) -> None:
+        self._add_window(_Window(base, size, "mem", f"smem{mem_index}",
+                                 mem_index=mem_index))
+
+    def register_device_window(self, base: int, size: int, kind: str,
+                               name: str,
+                               device_actor: Optional[Actor] = None) -> None:
+        self._add_window(_Window(
+            base, size, kind, name, device_actor=device_actor,
+            readonly=_DEVICE_READONLY.get(kind, frozenset())))
+        if kind == "irq_controller":
+            self._controller_base = base
+
+    def _add_window(self, window: _Window) -> None:
+        index = bisect.bisect_left(self._window_bases, window.base)
+        self._window_bases.insert(index, window.base)
+        self._windows.insert(index, window)
+
+    def register_controller(self, controller) -> None:
+        """Install this suite as the controller's check observer."""
+        controller.check_observer = self
+
+    def register_caches(self, caches: List[object]) -> None:
+        if self.config.coherence and caches:
+            self.coherence = CoherenceChecker(self.sink, caches)
+
+    def install(self, simulator) -> None:
+        """Bind the kernel's sync-event observer to this suite."""
+        self._simulator = simulator
+        simulator._sync_observer = self.on_kernel_sync
+
+    # -- shared helpers ------------------------------------------------------------
+    def _find_window(self, address: int) -> Optional[_Window]:
+        index = bisect.bisect_right(self._window_bases, address) - 1
+        if index < 0:
+            return None
+        window = self._windows[index]
+        if address < window.base + window.size:
+            return window
+        return None
+
+    def _now(self) -> int:
+        return self._fabric.sim_now()
+
+    def _label(self, actor: Actor) -> str:
+        return self._labels.get(actor, f"master{actor}")
+
+    def _site(self, actor: Actor, op: str, time: int, mem_index: int = -1,
+              vptr: int = 0, element: int = -1) -> AccessSite:
+        traceback: List[Frame] = []
+        if self.config.capture_stacks:
+            process = self._process_of_actor.get(actor)
+            if process is not None:
+                traceback = workload_frames(process)
+        return AccessSite(master=self._label(actor), op=op, time=time,
+                          mem_index=mem_index, vptr=vptr, element=element,
+                          traceback=traceback)
+
+    # -- fabric port hooks -----------------------------------------------------------
+    def on_port_issue(self, port, request: BusRequest) -> None:
+        time = self._now()
+        if self.protocol is not None:
+            self.protocol.port_issued(port, self._port_label(port, request),
+                                      time)
+        race = self.race
+        if race is None or request.op is not BusOp.WRITE:
+            return
+        actor = request.master_id
+        if not race.is_actor(actor):
+            return
+        window = self._find_window(request.address)
+        if window is None or window.kind == "mem":
+            return
+        # A doorbell: the writer's clock is published at *issue* time —
+        # deliberately early (the device may act any time after), which
+        # can only under-approximate the edge, never invent one.
+        race.device_write_edge(actor, window.base, window.device_actor)
+
+    def on_port_complete(self, port, request: BusRequest,
+                         response: BusResponse) -> None:
+        time = self._now()
+        if self.protocol is not None:
+            self.protocol.port_completed(port,
+                                         self._port_label(port, request),
+                                         time)
+        window = self._find_window(request.address)
+        if window is None:
+            return
+        if window.kind == "mem":
+            self._memory_access(window, request, response, time)
+        else:
+            self._device_access(window, request, time)
+
+    @staticmethod
+    def _port_label(port, request: BusRequest) -> str:
+        name = getattr(port, "name", "")
+        return name or f"master{request.master_id}"
+
+    # -- device-window accesses --------------------------------------------------------
+    def _device_access(self, window: _Window, request: BusRequest,
+                       time: int) -> None:
+        if self.protocol is None:
+            return
+        offset = request.address - window.base
+        actor = request.master_id
+        if not request.is_burst and request.size != WORD_SIZE:
+            self.protocol.register_misuse(
+                f"{self._label(actor)}: {request.size}-byte access to "
+                f"{window.name}+{offset:#x} (registers are word-access "
+                f"only)",
+                self._site(actor, "sub-word access", time))
+            return
+        if request.op is BusOp.WRITE and not request.is_burst \
+                and offset % WORD_SIZE == 0 \
+                and offset // WORD_SIZE in window.readonly:
+            self.protocol.register_misuse(
+                f"{self._label(actor)}: write to read-only register "
+                f"{window.name}+{offset:#x} (silently ignored by the "
+                f"device)",
+                self._site(actor, "read-only write", time))
+
+    # -- memory-window accesses --------------------------------------------------------
+    def _memory_access(self, window: _Window, request: BusRequest,
+                       response: BusResponse, time: int) -> None:
+        offset = request.address - window.base
+        actor = request.master_id
+        if self.protocol is not None and offset < IO_ARRAY_BASE:
+            if not request.is_burst and request.size != WORD_SIZE:
+                self.protocol.register_misuse(
+                    f"{self._label(actor)}: {request.size}-byte access to "
+                    f"{window.name}+{offset:#x} (memory registers are "
+                    f"word-access only)",
+                    self._site(actor, "sub-word access", time))
+            elif request.op is BusOp.WRITE and not request.is_burst \
+                    and offset in _MEM_READONLY:
+                self.protocol.register_misuse(
+                    f"{self._label(actor)}: write to read-only register "
+                    f"{window.name}+{offset:#x}",
+                    self._site(actor, "read-only write", time))
+        if (offset != REG_COMMAND or request.op is not BusOp.WRITE
+                or request.burst_data is None):
+            return
+        try:
+            command = MemCommand.from_words(list(request.burst_data))
+        except ProtocolError:
+            return
+        self._memory_command(window.mem_index, actor, command, request,
+                             response, time)
+
+    def _memory_command(self, mem_index: int, actor: Actor,
+                        command: MemCommand, request: BusRequest,
+                        response: BusResponse, time: int) -> None:
+        ok = response.ok
+        opcode = command.opcode
+        shadow = self.shadow
+        race = self.race
+        tracked = race is not None and race.is_actor(actor)
+        cache_internal = request.tag.endswith(_CACHE_TAG_SUFFIXES)
+        if tracked and not cache_internal:
+            race.begin_op(actor)
+
+        if opcode is MemOpcode.ALLOC:
+            if ok and command.dim > 0:
+                shadow.on_alloc(mem_index, response.data, command.dim,
+                                command.data_type)
+            return
+
+        alloc = shadow.find_alloc(mem_index, command.vptr)
+
+        if opcode is MemOpcode.FREE:
+            if not ok or alloc is None:
+                return
+            key = (mem_index, alloc.uid)
+            if tracked and not cache_internal:
+                race.free_alloc(actor, key, self._site(
+                    actor, "free", time, mem_index, command.vptr, -1))
+            elif race is not None:
+                race.words.pop(key, None)
+                race.lock_vc.pop(key, None)
+            if self.protocol is not None:
+                self.protocol.freed(key)
+            shadow.on_free(alloc)
+            self._scan_coherence(time)
+            return
+
+        if opcode is MemOpcode.RESERVE:
+            if not ok or alloc is None:
+                return
+            key = (mem_index, alloc.uid)
+            if tracked:
+                race.acquire(actor, key)
+            if self.protocol is not None:
+                self.protocol.reserved(key, self._label(actor), command.vptr,
+                                       self._site(actor, "reserve", time,
+                                                  mem_index, command.vptr))
+            shadow.on_reserve(alloc, actor if isinstance(actor, int) else -1)
+            self._scan_coherence(time)
+            return
+
+        if opcode is MemOpcode.RELEASE:
+            if not ok or alloc is None:
+                return
+            key = (mem_index, alloc.uid)
+            if tracked:
+                race.release(actor, key)
+            if self.protocol is not None:
+                self.protocol.released(key)
+            shadow.on_release(alloc)
+            self._scan_coherence(time)
+            return
+
+        if not ok or not tracked or cache_internal:
+            return
+
+        if opcode is MemOpcode.WRITE:
+            located = shadow.resolve(mem_index, command.vptr, command.offset)
+            if located is not None:
+                alloc, element = located
+                race.atomic_write(actor, (mem_index, alloc.uid), element,
+                                  self._site(actor, "scalar write", time,
+                                             mem_index, command.vptr,
+                                             element))
+        elif opcode is MemOpcode.READ:
+            located = shadow.resolve(mem_index, command.vptr, command.offset)
+            if located is not None:
+                alloc, element = located
+                race.atomic_read(actor, (mem_index, alloc.uid), element,
+                                 self._site(actor, "scalar read", time,
+                                            mem_index, command.vptr,
+                                            element))
+        elif opcode is MemOpcode.WRITE_ARRAY:
+            located = shadow.resolve_range(mem_index, command.vptr,
+                                           command.offset, command.dim)
+            if located is not None:
+                alloc, start = located
+                race.plain_write(actor, (mem_index, alloc.uid),
+                                 range(start, start + command.dim),
+                                 self._site(actor, "array write", time,
+                                            mem_index, command.vptr, start))
+        elif opcode is MemOpcode.READ_ARRAY:
+            located = shadow.resolve_range(mem_index, command.vptr,
+                                           command.offset, command.dim)
+            if located is not None:
+                alloc, start = located
+                race.plain_read(actor, (mem_index, alloc.uid),
+                                range(start, start + command.dim),
+                                self._site(actor, "array read", time,
+                                           mem_index, command.vptr, start))
+
+    # -- kernel sync-event observer ----------------------------------------------------
+    def on_kernel_sync(self, kind: str, event, process) -> None:
+        race = self.race
+        if race is None or process is None:
+            return
+        actor = self._actor_of_process.get(process)
+        if actor is None:
+            return
+        if kind == "notify":
+            race.kernel_notify(actor, event)
+        else:
+            race.kernel_wake(actor, event)
+
+    # -- interrupt-controller observer (see dev.irq) -----------------------------------
+    def irq_raised(self, mask: int) -> None:
+        race = self.race
+        if race is None:
+            return
+        raiser: Optional[Actor] = None
+        if self._simulator is not None:
+            process = getattr(self._simulator, "_current_process", None)
+            if process is not None:
+                raiser = self._actor_of_process.get(process)
+        race.irq_raised(_mask_lines(mask), raiser, self._controller_base)
+
+    def irq_claimed(self, pe_id: int, mask: int) -> None:
+        if self.race is not None:
+            self.race.irq_claimed(pe_id, _mask_lines(mask))
+
+    # -- coherence scans ---------------------------------------------------------------
+    def _scan_coherence(self, time: int) -> None:
+        if self.coherence is not None:
+            self.coherence.scan(time)
+
+    # -- end of simulation -------------------------------------------------------------
+    def finish(self, now: int) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self.protocol is not None:
+            self.protocol.finish(now)
+        if self.coherence is not None:
+            self.coherence.scan(now)
+
+    # -- results -----------------------------------------------------------------------
+    @property
+    def reports(self) -> List[dict]:
+        return self.sink.as_dicts()
+
+    def counts(self) -> Dict[str, int]:
+        counters: Dict[str, int] = {"total": self.sink.total}
+        if self.race is not None:
+            counters["data_races"] = self.race.races
+        if self.protocol is not None:
+            counters["lock_leaks"] = self.protocol.lock_leaks
+            counters["reserve_reentries"] = self.protocol.reentries
+            counters["lifecycle_violations"] = \
+                self.protocol.lifecycle_violations
+            counters["register_misuses"] = self.protocol.register_misuses
+        if self.coherence is not None:
+            counters["coherence_violations"] = self.coherence.violations
+        return counters
+
+    def format(self) -> str:
+        return self.sink.format()

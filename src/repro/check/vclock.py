@@ -1,0 +1,54 @@
+"""Vector clocks for the happens-before race detector.
+
+Clocks are plain ``dict`` subclasses mapping *actor* ids (fabric master
+ids, or string pseudo-actors for device processes) to logical times.  An
+*epoch* is the FastTrack-style compressed last-access record ``(actor,
+clock)``: a full clock is only needed where several actors may race on
+the same word concurrently (read sets), everywhere else one epoch
+suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+#: An actor id: fabric master id (int) or a device pseudo-actor name.
+Actor = Hashable
+
+#: A compressed last-access record: ``(actor, clock-at-access)``.
+Epoch = Tuple[Actor, int]
+
+
+class VectorClock(dict):
+    """A vector clock: actor id -> last known logical time of that actor."""
+
+    __slots__ = ()
+
+    def tick(self, actor: Actor) -> int:
+        """Advance this clock's own component for ``actor``; returns it."""
+        value = self.get(actor, 0) + 1
+        self[actor] = value
+        return value
+
+    def join(self, other: dict) -> None:
+        """Merge ``other`` into this clock (pointwise maximum)."""
+        for actor, clock in other.items():
+            if clock > self.get(actor, 0):
+                self[actor] = clock
+
+    def epoch(self, actor: Actor) -> Epoch:
+        """The epoch of ``actor``'s most recent operation under this clock."""
+        return (actor, self.get(actor, 0))
+
+    def ordered_before(self, epoch: Optional[Epoch]) -> bool:
+        """True when ``epoch`` happened before this clock's frontier.
+
+        ``None`` (no prior access) is trivially ordered.
+        """
+        if epoch is None:
+            return True
+        actor, clock = epoch
+        return self.get(actor, 0) >= clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self)

@@ -91,6 +91,9 @@ class InterruptController(RegisterFilePeripheral):
         self.soft_raises = 0
         self.acks = 0
         self.wakeups = 0
+        #: Sanitizer hook (:class:`repro.check.SanitizerSuite` when the
+        #: platform runs with sanitizers on): sees every raise and claim.
+        self.check_observer = None
 
     # -- hardware-side wires -----------------------------------------------------
     @property
@@ -108,6 +111,8 @@ class InterruptController(RegisterFilePeripheral):
         mask = lines_to_mask(lines, self.lines)
         self.raises += 1
         self._latched |= mask
+        if self.check_observer is not None:
+            self.check_observer.irq_raised(mask)
         self._notify_targets(mask)
 
     def set_level(self, line: int, asserted: bool) -> None:
@@ -118,6 +123,8 @@ class InterruptController(RegisterFilePeripheral):
             self._level_state |= mask
             if rising:
                 self.raises += 1
+                if self.check_observer is not None:
+                    self.check_observer.irq_raised(mask)
                 self._notify_targets(mask)
         else:
             self._level_state &= ~mask
@@ -245,6 +252,8 @@ class IrqClient:
         while True:
             hit = controller.pending_mask & self.enabled_mask & mask
             if hit:
+                if controller.check_observer is not None:
+                    controller.check_observer.irq_claimed(self.pe_id, hit)
                 controller.ack_mask(hit)
                 controller.wakeups += 1
                 return hit

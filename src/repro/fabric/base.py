@@ -115,6 +115,10 @@ class Fabric(Module):
         self.stats = BusStats()
         self._master_ports: Dict[int, MasterPort] = {}
         self._snoopers: List = []
+        #: Port-lifecycle observers (sanitizers): issue hooks fire when a
+        #: master posts a request, complete hooks when it is delivered.
+        self._issue_hooks: List = []
+        self._complete_hooks: List = []
         #: ``total_cycles`` of every completed transaction, in completion
         #: order — the uniform latency column of ``interconnect_stats``.
         #: A packed int64 array: one machine word per transaction, so
@@ -203,6 +207,19 @@ class Fabric(Module):
         for snooper in self._snoopers:
             snooper(request, response)
 
+    def add_port_observer(self, on_issue=None, on_complete=None) -> None:
+        """Register port-lifecycle hooks.
+
+        ``on_issue(port, request)`` fires when a master posts a request
+        (before transport); ``on_complete(port, request, response)`` fires
+        at delivery, after snoopers — including the decode-error path
+        (which snoopers never see).  Used by :mod:`repro.check`.
+        """
+        if on_issue is not None:
+            self._issue_hooks.append(on_issue)
+        if on_complete is not None:
+            self._complete_hooks.append(on_complete)
+
     def _register_port(self, port: MasterPort) -> None:
         if port.master_id in self._master_ports:
             raise ValueError(f"master id {port.master_id} registered twice")
@@ -255,6 +272,8 @@ class Fabric(Module):
         """Complete a transfer: account, snoop, deliver, wake the master."""
         self._account(request, response)
         self._fire_snoopers(request, response)
+        for hook in self._complete_hooks:
+            hook(port, request, response)
         port._response = response
         port._completion.notify()
 
@@ -274,6 +293,8 @@ class Fabric(Module):
         response.slave_cycles = 1
         response.total_cycles = 1
         self._account(request, response)
+        for hook in self._complete_hooks:
+            hook(port, request, response)
         port._response = response
         assert self._anchor_event is not None
         sim = self._anchor_event._sim

@@ -107,6 +107,15 @@ class Simulator:
         self._processes: List[Process] = []
         #: Scheduling generation for runnable dedup (see ``_dedup_runnable``).
         self._generation = 0
+        #: Sync-event observer: ``observer(kind, event, process)`` with kind
+        #: ``"notify"`` (the currently running process notified ``event``)
+        #: or ``"wake"`` (``event`` woke ``process``).  Installed by the
+        #: sanitizer suite (:mod:`repro.check`); ``None`` costs one hoisted
+        #: ``is not None`` test per wake in the hot loop and never perturbs
+        #: scheduling (observers must not notify events or create processes).
+        self._sync_observer = None
+        #: The process being evaluated right now (observer attribution).
+        self._current_process: Optional[Process] = None
         self.stats = SimulationStats()
         if top is not None:
             self.add_top(top)
@@ -158,16 +167,27 @@ class Simulator:
 
     # -- hooks used by events/signals ------------------------------------------
     def _schedule_timed_event(self, event: Event, when: int, epoch: int = 0) -> None:
+        sync_observer = self._sync_observer
+        if sync_observer is not None:
+            sync_observer("notify", event, self._current_process)
         self._timed_events.push(when, event, epoch)
 
     def _schedule_delta_event(self, event: Event, epoch: int = 0) -> None:
+        sync_observer = self._sync_observer
+        if sync_observer is not None:
+            sync_observer("notify", event, self._current_process)
         self._delta_queue.append((event, epoch))
 
     def _trigger_event_now(self, event: Event) -> None:
         self.stats.events_fired += 1
+        sync_observer = self._sync_observer
+        if sync_observer is not None:
+            sync_observer("notify", event, self._current_process)
         runnable = self._immediate_runnable
         for process in event._collect_triggered():
             if not process._terminated:
+                if sync_observer is not None:
+                    sync_observer("wake", event, process)
                 runnable.append(process)
 
     def _schedule_signal_update(self, signal: Signal) -> None:
@@ -256,6 +276,10 @@ class Simulator:
         runnable = self._immediate_runnable
         delta_queue = self._delta_queue
         wake = runnable.append
+        # Sanitizer hook (``None`` on unsanitized runs): one hoisted test
+        # per event-driven wake; timer fast-path wakes resume the same
+        # process and carry no cross-process edge, so they skip it.
+        sync_observer = self._sync_observer
         n_deltas = n_steps = n_activations = n_fired = 0
         clean_exit = False
         try:
@@ -276,6 +300,8 @@ class Simulator:
                                     n_fired += 1
                                     for p in event._collect_triggered():
                                         if not p._terminated:
+                                            if sync_observer is not None:
+                                                sync_observer("wake", event, p)
                                             wake(p)
                             else:  # a process woken by a direct delta wait
                                 n_fired += 1
@@ -309,6 +335,7 @@ class Simulator:
                         if process._terminated:
                             continue
                         n_activations += 1
+                        self._current_process = process
                         generator = process._generator
                         if generator is not None:
                             # Running thread process: resume the generator
@@ -375,6 +402,8 @@ class Simulator:
                         n_fired += 1
                         for p in payload._collect_triggered():
                             if not p._terminated:
+                                if sync_observer is not None:
+                                    sync_observer("wake", payload, p)
                                 wake(p)
                     if not heap or heap[0][0] > now:
                         break

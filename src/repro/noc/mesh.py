@@ -398,6 +398,8 @@ class MeshNoc(Fabric):
         self.noc_stats.record_latency(response.total_cycles)
         self._inflight.discard(packet.request.master_id)
         port = self._master_ports[packet.request.master_id]
+        for hook in self._complete_hooks:
+            hook(port, packet.request, response)
         port._response = response
         port._completion.notify()
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..cache.geometry import CacheConfig
+from ..check.config import CheckConfig
 from ..dev.config import DEVICE_CONFIG_TYPES, DeviceLayout, resolve_layout
 from ..fabric import ArbitrationSpec
 from ..kernel.simtime import NS
@@ -112,6 +113,13 @@ class PlatformConfig:
     #: pre-cache model.  A :class:`~repro.cache.geometry.CacheConfig` places
     #: one L1 cache per PE, kept coherent with MSI snooping.
     cache: Optional[CacheConfig] = None
+    #: Simulation sanitizers (:mod:`repro.check`); ``None`` (the default)
+    #: runs without any checker attached — bit-identical to the unchecked
+    #: platform.  A :class:`~repro.check.config.CheckConfig` attaches the
+    #: happens-before race detector, protocol checkers and/or the
+    #: coherence invariant scanner; checks are timing-transparent (they
+    #: observe transfers, they never consume simulated time).
+    check: Optional[CheckConfig] = None
     #: Wrap every memory module in a :class:`~repro.interconnect.monitor.BusMonitor`
     #: (timing-transparent) and surface per-memory transaction counts and
     #: latency percentiles in ``interconnect_stats``.
@@ -147,6 +155,11 @@ class PlatformConfig:
             raise ValueError(
                 f"cache must be a CacheConfig or None, got "
                 f"{type(self.cache).__name__}"
+            )
+        if self.check is not None and not isinstance(self.check, CheckConfig):
+            raise ValueError(
+                f"check must be a CheckConfig or None, got "
+                f"{type(self.check).__name__}"
             )
         if self.noc is not None and not isinstance(self.noc, NocConfig):
             raise ValueError(
@@ -245,6 +258,8 @@ class PlatformConfig:
         )
         if self.cache is not None:
             text += f" / {self.cache.describe()}"
+        if self.check is not None:
+            text += f" / check[{self.check.describe()}]"
         layout = self.device_layout()
         if layout is not None:
             text += f" / {layout.describe()}"

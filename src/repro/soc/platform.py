@@ -29,6 +29,7 @@ from typing import List, Optional, Union
 
 from ..cache.coherence import CoherenceDomain
 from ..cache.l1 import L1Cache
+from ..check.suite import SanitizerSuite
 from ..dev.dma import DmaEngine
 from ..dev.irq import InterruptController, IrqClient
 from ..dev.peripheral import RegisterFilePeripheral
@@ -161,6 +162,10 @@ class Platform:
         self._device_layout = config.device_layout()
         if self._device_layout is not None:
             self._build_devices(self._device_layout)
+        #: Runtime sanitizers (``config.check``), timing-transparent.
+        self.check_suite: Optional[SanitizerSuite] = None
+        if config.check is not None:
+            self.check_suite = self._build_check_suite()
         self.processors: List[TaskProcessor] = []
         self._pending_tasks: List[TaskFunction] = []
         self.ticker: Optional[MemoryIdleTicker] = None
@@ -254,6 +259,37 @@ class Platform:
         self.dma_engines = [built[slot.name] for slot in layout.dmas]
         self.timers = [built[slot.name] for slot in layout.timers]
 
+    def _build_check_suite(self) -> SanitizerSuite:
+        """Assemble the sanitizer suite and register the static topology.
+
+        PE actors join in :meth:`add_task` (they do not exist yet) and the
+        L1 caches + kernel observer bind in :meth:`run`.
+        """
+        config = self.config
+        assert config.check is not None
+        suite = SanitizerSuite(config.check, self.interconnect)
+        for index in range(config.num_memories):
+            suite.register_memory_window(config.memory_base(index),
+                                         REGISTER_WINDOW_BYTES, index)
+        layout = self._device_layout
+        if layout is not None:
+            for slot, device in zip(layout.slots, self.devices):
+                # device.kind, not slot.kind: the layout spells the
+                # controller "irq", the peripheral classes "irq_controller".
+                suite.register_device_window(
+                    slot.base, device.window_bytes(), device.kind, slot.name,
+                    device_actor=(slot.master_id if device.kind == "dma"
+                                  else None),
+                )
+            assert self.irq_controller is not None
+            suite.register_controller(self.irq_controller)
+            for slot, engine in zip(layout.dmas, self.dma_engines):
+                suite.register_actor(slot.master_id, slot.name,
+                                     process=engine.processes[0])
+        self.interconnect.add_port_observer(on_issue=suite.on_port_issue,
+                                            on_complete=suite.on_port_complete)
+        return suite
+
     # -- task placement ------------------------------------------------------------------
     def add_task(self, task: TaskFunction, pe_index: Optional[int] = None,
                  start_delay_cycles: int = 0, name: Optional[str] = None
@@ -299,6 +335,9 @@ class Platform:
             devices=self._device_layout,
         )
         self.processors.append(processor)
+        if self.check_suite is not None:
+            self.check_suite.register_actor(pe_index, processor.name,
+                                            process=processor.processes[0])
         return processor
 
     def add_tasks(self, tasks: List[TaskFunction]) -> List[TaskProcessor]:
@@ -311,6 +350,9 @@ class Platform:
         if not self.processors:
             raise RuntimeError("no tasks were added to the platform")
         self.simulator = Simulator(self.top)
+        if self.check_suite is not None:
+            self.check_suite.register_caches(self.caches)
+            self.check_suite.install(self.simulator)
         wall_start = _wallclock.perf_counter()
         if self.ticker is None and max_time is None and not self.devices:
             # Pure event-driven run: ends when no activity remains.
@@ -337,6 +379,8 @@ class Platform:
             self.simulator.trim_to_last_activity()
         wallclock = _wallclock.perf_counter() - wall_start
         self.simulator.finalize()
+        if self.check_suite is not None:
+            self.check_suite.finish(self.simulator.now)
         return self._build_report(wallclock)
 
     def _build_report(self, wallclock_seconds: float) -> SimulationReport:
@@ -379,6 +423,8 @@ class Platform:
             interconnect_stats=interconnect_stats,
             cache_reports=[cache.report() for cache in self.caches],
             device_reports=[device.report() for device in self.devices],
+            sanitizer_reports=(self.check_suite.reports
+                               if self.check_suite is not None else []),
             results={p.name: p.stats.result for p in self.processors},
             finished={p.name: p.finished for p in self.processors},
         )

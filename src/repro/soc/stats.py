@@ -32,6 +32,10 @@ class SimulationReport:
     #: Per-device summaries (interrupt controller, DMA engines, timers);
     #: empty on a device-free platform.
     device_reports: List[dict] = field(default_factory=list)
+    #: Sanitizer findings of this run (``config.check``): one dict per
+    #: report (see :meth:`repro.check.report.SanitizerReport.as_dict`);
+    #: empty on a clean run and on unsanitized platforms.
+    sanitizer_reports: List[dict] = field(default_factory=list)
     results: Dict[str, object] = field(default_factory=dict)
     #: Per-PE completion flags: ``{pe_name: True/False}``.  A run that ends
     #: on ``max_time`` leaves unfinished PEs with ``False`` here and their
@@ -139,6 +143,16 @@ class SimulationReport:
                 for report in self.device_reports
             )
             lines.append(f"devices:         {kinds}")
+        if self.sanitizer_reports:
+            by_checker: Dict[str, int] = {}
+            for report in self.sanitizer_reports:
+                checker = report.get("checker", "?")
+                by_checker[checker] = by_checker.get(checker, 0) + 1
+            breakdown = ", ".join(f"{count} {checker}" for checker, count
+                                  in sorted(by_checker.items()))
+            lines.append(f"sanitizers:      "
+                         f"{len(self.sanitizer_reports)} report(s) "
+                         f"({breakdown})")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -160,6 +174,7 @@ class SimulationReport:
             "memory_reports": list(self.memory_reports),
             "cache_reports": list(self.cache_reports),
             "device_reports": list(self.device_reports),
+            "sanitizer_reports": list(self.sanitizer_reports),
             "finished": dict(self.finished),
         }
 

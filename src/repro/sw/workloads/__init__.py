@@ -27,6 +27,13 @@ from .producer_consumer_irq import (
     make_irq_producer_task,
 )
 from .stencil import coprime_stride, make_stencil_task, stencil_reference
+from .stress import (
+    make_dma_stress_task,
+    make_doorbell_consumer_task,
+    make_doorbell_producer_task,
+    make_locked_consumer_task,
+    make_locked_producer_task,
+)
 
 __all__ = [
     "CTRL_DONE",
@@ -38,8 +45,13 @@ __all__ = [
     "flatten",
     "make_consumer_task",
     "make_fir_task",
+    "make_dma_stress_task",
+    "make_doorbell_consumer_task",
+    "make_doorbell_producer_task",
     "make_irq_consumer_task",
     "make_irq_producer_task",
+    "make_locked_consumer_task",
+    "make_locked_producer_task",
     "make_matmul_producer_task",
     "make_matmul_worker_task",
     "make_memcpy_task",

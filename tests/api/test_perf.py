@@ -74,7 +74,8 @@ class TestPerfRecorder:
         second.flush()
         entries = load_bench_entries(path)
         assert set(entries) == {"bench_a/s1", "bench_b/s2"}
-        payload = json.load(open(path))
+        with open(path) as handle:
+            payload = json.load(handle)
         assert payload["schema"] == SCHEMA
         assert payload["count"] == 2
 

@@ -180,7 +180,8 @@ class TestWriters:
 
     def test_write_json_round_trip(self, results, tmp_path):
         path = write_json(results, str(tmp_path / "results.json"))
-        payload = json.loads(open(path).read())
+        with open(path) as handle:
+            payload = json.load(handle)
         assert payload["schema"] == "repro.api.results/v1"
         assert payload["count"] == 4 and payload["passed"] == 4
         first = payload["results"][0]

@@ -1,0 +1,248 @@
+"""Static-lint tests: planted-bug corpus, clean code, engine and CLI."""
+
+import textwrap
+
+import pytest
+
+from repro.check.lint import lint_paths, lint_source
+from repro.check.lint.__main__ import main
+from repro.check.lint.engine import select_rules
+from repro.check.lint.rules import RULES
+
+
+def _lint(source, select=None):
+    return lint_source(textwrap.dedent(source), "task.py", select=select)
+
+
+def _codes(findings):
+    return [finding.code for finding in findings]
+
+
+# -- RC001: un-consumed generator call ----------------------------------------------
+def test_rc001_flags_bare_api_call_statement():
+    findings = _lint("""
+        def task(ctx):
+            smem = ctx.smem(0)
+            vptr = yield from smem.alloc(4, "u32")
+            smem.write_array(vptr, [1, 2, 3, 4])
+            return vptr
+    """)
+    assert _codes(findings) == ["RC001"]
+    assert "yield from" in findings[0].message
+    assert findings[0].line == 5
+
+
+def test_rc001_flags_assignment_of_undriven_generator():
+    findings = _lint("""
+        def task(ctx):
+            yield ctx.clock_period
+            data = ctx.smem(0).read_array(0x100, 8)
+            return data
+    """)
+    assert _codes(findings) == ["RC001"]
+
+
+def test_rc001_flags_generic_name_only_with_api_receiver():
+    findings = _lint("""
+        def task(ctx, log_file):
+            yield ctx.clock_period
+            log_file.write("hello")     # file IO: not flagged
+            ctx.port.write(0x100, 1)    # platform API: flagged
+    """)
+    assert _codes(findings) == ["RC001"]
+    assert "ctx.port.write" in findings[0].message
+
+
+def test_rc001_clean_yield_from_and_non_generators():
+    findings = _lint("""
+        def task(ctx):
+            smem = ctx.smem(0)
+            vptr = yield from smem.alloc(4, "u32")
+            yield from smem.write_array(vptr, [1, 2])
+            return vptr
+
+        def host_helper(smem):
+            smem.describe()     # not a generator function: rule is off
+    """)
+    assert findings == []
+
+
+# -- RC002: host sleep --------------------------------------------------------------
+def test_rc002_flags_time_sleep_and_aliased_import():
+    findings = _lint("""
+        import time
+        from time import sleep as snooze
+
+        def task(ctx):
+            yield ctx.clock_period
+            time.sleep(1)
+            snooze(2)
+    """)
+    assert _codes(findings) == ["RC002", "RC002"]
+    assert "host process" in findings[0].message
+
+
+def test_rc002_ignores_unrelated_sleep():
+    findings = _lint("""
+        def task(robot):
+            robot.sleep(1)      # not the time module
+    """)
+    assert findings == []
+
+
+# -- RC003: unseeded random ---------------------------------------------------------
+def test_rc003_flags_unseeded_module_random():
+    findings = _lint("""
+        import random
+
+        def jitter():
+            return random.randint(0, 7)
+    """)
+    assert _codes(findings) == ["RC003"]
+    assert "seed" in findings[0].message
+
+
+def test_rc003_accepts_seeded_or_instance_random():
+    findings = _lint("""
+        import random
+
+        random.seed(42)
+
+        def jitter(seed):
+            rng = random.Random(seed)
+            return rng.randint(0, 7) + random.randint(0, 1)
+    """)
+    assert findings == []
+
+
+def test_rc003_flags_seedless_random_instance():
+    findings = _lint("""
+        import random
+
+        def jitter():
+            return random.Random().random()
+    """)
+    assert _codes(findings) == ["RC003"]
+
+
+# -- RC004: reserve without release -------------------------------------------------
+def test_rc004_flags_reserve_leak():
+    findings = _lint("""
+        def task(ctx):
+            smem = ctx.smem(0)
+            vptr = yield from smem.alloc(4, "u32")
+            yield from smem.reserve(vptr)
+            yield from smem.write(vptr, 1)
+            return vptr
+    """)
+    assert _codes(findings) == ["RC004"]
+    assert "release" in findings[0].message
+
+
+def test_rc004_clean_when_released_or_api_internal():
+    findings = _lint("""
+        def task(ctx):
+            smem = ctx.smem(0)
+            if (yield from smem.try_reserve(0x100)):
+                yield from smem.release(0x100)
+
+        class Api:
+            def reserve_all(self):
+                yield from self.reserve(0)      # API-internal: exempt
+    """)
+    assert findings == []
+
+
+# -- RC000 / engine -----------------------------------------------------------------
+def test_syntax_error_becomes_rc000():
+    findings = _lint("def broken(:\n")
+    assert _codes(findings) == ["RC000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_select_filters_rules_and_rejects_unknown():
+    source = """
+        import time
+
+        def task(ctx):
+            yield 1
+            time.sleep(1)
+            ctx.compute(5)
+    """
+    assert _codes(_lint(source)) == ["RC002", "RC001"] or \
+        sorted(_codes(_lint(source))) == ["RC001", "RC002"]
+    assert _codes(_lint(source, select=["RC002"])) == ["RC002"]
+    with pytest.raises(ValueError, match="matches no rule"):
+        select_rules(["RC999"])
+
+
+def test_findings_sorted_and_formatted():
+    findings = _lint("""
+        import time
+
+        def task(ctx):
+            yield 1
+            ctx.compute(5)
+            time.sleep(1)
+    """)
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    formatted = findings[0].format()
+    assert formatted.startswith("task.py:")
+    assert findings[0].code in formatted
+
+
+def test_noqa_suppresses_findings():
+    source = """
+        import time
+
+        def task(ctx):
+            yield 1
+            time.sleep(1)  # noqa: RC002
+            time.sleep(2)  # noqa
+            time.sleep(3)  # noqa: RC001 (wrong code: stays)
+            ctx.compute(5)
+    """
+    findings = _lint(source)
+    assert _codes(findings) == ["RC002", "RC001"]
+    # Only the wrong-code sleep survives, not the suppressed ones.
+    assert findings[0].line == 8
+
+
+def test_registry_has_the_documented_rules():
+    assert set(RULES) == {"RC001", "RC002", "RC003", "RC004"}
+
+
+# -- paths + CLI --------------------------------------------------------------------
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "ok.py").write_text(
+        "def task(ctx):\n    yield from ctx.compute(1)\n")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "bad.py").write_text(
+        "def task(ctx):\n    yield 1\n    ctx.compute(1)\n")
+    findings = lint_paths([str(tmp_path)])
+    assert _codes(findings) == ["RC001"]
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_cli_exit_codes_and_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def task(ctx):\n    yield 1\n    ctx.compute(1)\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr()
+    assert "RC001" in out.out
+    assert "1 finding(s)" in out.err
+
+    good = tmp_path / "good.py"
+    good.write_text("def task(ctx):\n    yield from ctx.compute(1)\n")
+    assert main([str(good)]) == 0
+
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    assert "RC001" in listing and "RC004" in listing
+
+
+def test_cli_select_unknown_rule_errors(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["--select", "RC999", str(tmp_path)])
+    assert "matches no rule" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""``try_reserve`` under real multi-master contention, with sanitizers on.
+
+Four PEs hammer one shared counter, each incrementing it only inside a
+``try_reserve``/``release`` critical section.  The lock discipline must
+make the final count exact (no lost updates), the sanitizers must stay
+silent, and a PE that wins the lock but never releases must be caught.
+"""
+
+from repro.api import PlatformBuilder, run_tasks
+from repro.memory import DataType
+
+NUM_PES = 4
+INCREMENTS = 8
+
+#: try_reserve attempts before a contender gives up (bounds the run when
+#: another PE leaks the lock).
+MAX_ATTEMPTS = 600
+
+
+def make_incrementer(shared, owner=False, increments=INCREMENTS,
+                     leak=False):
+    def task(ctx):
+        smem = ctx.smem(0)
+        if owner:
+            vptr = yield from smem.alloc(1, DataType.UINT32)
+            yield from smem.reserve(vptr)
+            yield from smem.write(vptr, 0)
+            yield from smem.release(vptr)
+            shared["vptr"] = vptr
+        while "vptr" not in shared:
+            # Host-dict spin: carries no simulated synchronisation, which
+            # is fine — every counter access below is lock-ordered.
+            yield 8 * ctx.clock_period
+        vptr = shared["vptr"]
+        wins = 0
+        for _ in range(MAX_ATTEMPTS):
+            if wins >= increments:
+                break
+            if (yield from smem.try_reserve(vptr)):
+                value = yield from smem.read(vptr)
+                yield from smem.write(vptr, value + 1)
+                wins += 1
+                if leak and wins >= increments:
+                    return wins  # exits the critical section unreleased
+                yield from smem.release(vptr)
+            else:
+                yield ctx.poll_interval_cycles * ctx.clock_period
+        return wins
+
+    return task
+
+
+def _tasks(shared, **kwargs):
+    return [make_incrementer(shared, owner=(pe == 0), **kwargs)
+            for pe in range(NUM_PES)]
+
+
+def _config():
+    return (PlatformBuilder().pes(NUM_PES).wrapper_memories(1)
+            .sanitize().build())
+
+
+def test_try_reserve_contention_is_exact_and_clean():
+    shared = {}
+    report = run_tasks(_config(), _tasks(shared), max_time=2_000_000_000)
+    assert report.all_pes_finished
+    assert all(result == INCREMENTS for result in report.results.values())
+    assert report.sanitizer_reports == []
+
+
+def test_try_reserve_contention_total_is_counted():
+    shared = {}
+    total = {}
+
+    def closing_reader(ctx):
+        smem = ctx.smem(0)
+        wins = yield from make_incrementer(shared)(ctx)
+        # The other PEs may still be mid-stream; poll the counter under
+        # the lock until every increment has landed.
+        expected = NUM_PES * INCREMENTS
+        while True:
+            if (yield from smem.try_reserve(shared["vptr"])):
+                value = yield from smem.read(shared["vptr"])
+                yield from smem.release(shared["vptr"])
+                if value >= expected:
+                    total["value"] = value
+                    return wins
+            yield ctx.poll_interval_cycles * ctx.clock_period
+
+    tasks = ([make_incrementer(shared, owner=True), closing_reader]
+             + [make_incrementer(shared) for _ in range(NUM_PES - 2)])
+    report = run_tasks(_config(), tasks, max_time=2_000_000_000)
+    assert report.all_pes_finished
+    assert total["value"] == NUM_PES * INCREMENTS  # no lost updates
+    assert report.sanitizer_reports == []
+
+
+def test_leaked_try_reserve_win_is_reported():
+    shared = {}
+    tasks = ([make_incrementer(shared, owner=True, increments=2, leak=True)]
+             + [make_incrementer(shared, increments=2)
+                for _ in range(NUM_PES - 1)])
+    report = run_tasks(_config(), tasks, max_time=2_000_000_000)
+    assert report.all_pes_finished  # contenders give up, none deadlocks
+    leaks = [r for r in report.sanitizer_reports
+             if r["checker"] == "lock-leak"]
+    assert len(leaks) == 1
+    assert "still RESERVEd by pe0" in leaks[0]["message"]

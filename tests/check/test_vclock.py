@@ -1,0 +1,56 @@
+"""Unit tests of the vector-clock primitive behind the race detector."""
+
+from repro.check.vclock import VectorClock
+
+
+def test_tick_increments_own_component():
+    vc = VectorClock()
+    assert vc.tick("a") == 1
+    assert vc.tick("a") == 2
+    assert vc["a"] == 2
+    assert vc.get("b", 0) == 0
+
+
+def test_epoch_and_ordering():
+    vc = VectorClock()
+    vc.tick("a")
+    epoch = vc.epoch("a")
+    assert epoch == ("a", 1)
+    # The writer itself is ordered after its own epoch.
+    assert vc.ordered_before(epoch)
+    # A fresh clock has not seen the epoch.
+    assert not VectorClock().ordered_before(epoch)
+    # None is trivially ordered (no prior access).
+    assert VectorClock().ordered_before(None)
+
+
+def test_join_is_pointwise_max():
+    a = VectorClock()
+    b = VectorClock()
+    a.tick("x")
+    a.tick("x")
+    b.tick("x")
+    b.tick("y")
+    b.join(a)
+    assert b["x"] == 2
+    assert b["y"] == 1
+    # Join makes the epoch visible.
+    assert b.ordered_before(("x", 2))
+
+
+def test_copy_is_independent():
+    vc = VectorClock()
+    vc.tick("a")
+    clone = vc.copy()
+    vc.tick("a")
+    assert clone["a"] == 1
+    assert vc["a"] == 2
+
+
+def test_transitive_ordering_via_intermediate():
+    # a -> lock -> b gives b knowledge of a's epoch (release/acquire).
+    a, lock, b = VectorClock(), VectorClock(), VectorClock()
+    a.tick("a")
+    lock.join(a)          # release
+    b.join(lock)          # acquire
+    assert b.ordered_before(("a", 1))

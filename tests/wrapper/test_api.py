@@ -157,7 +157,7 @@ class TestCoherenceApi:
 
     def test_try_reserve_does_not_raise(self):
         def script(api):
-            ok = yield from api.try_reserve(0x5555)
+            ok = yield from api.try_reserve(0x5555)  # noqa: RC004 — fails by design
             return ok, api.last_status
 
         driver, _, _ = run_api_script(script)

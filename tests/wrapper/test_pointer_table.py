@@ -164,8 +164,8 @@ class TestReservation:
     def test_reserve_is_idempotent_for_holder(self):
         table, host = make_table()
         entry = insert(table, host, 4)
-        table.reserve(entry.vptr, master_id=1)
-        table.reserve(entry.vptr, master_id=1)
+        table.reserve(entry.vptr, master_id=1)  # noqa: RC004
+        table.reserve(entry.vptr, master_id=1)  # noqa: RC004
         assert entry.reserved_by == 1
 
 
