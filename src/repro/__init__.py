@@ -63,7 +63,7 @@ or, with a registered workload (see :data:`repro.sw.workload`)::
     [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "analysis",

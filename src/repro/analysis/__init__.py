@@ -1,4 +1,9 @@
-"""Analysis helpers: evaluation metrics, perf-file diffs and sweeps."""
+"""Analysis helpers: evaluation metrics, perf-file diffs and sweeps.
+
+Trace analysis (Perfetto export, text timelines, longest-span digests)
+lives in :mod:`repro.obs`; the conversion entry points are re-exported
+here so analysis scripts have one import surface.
+"""
 
 from .bench_compare import (
     compare_bench_entries,
@@ -16,10 +21,13 @@ from .metrics import (
     speedup,
     summarize,
 )
+from ..obs.export import chrome_trace, write_trace
+from ..obs.timeline import longest_spans, render_timeline
 from .sweep import best_point, expand_grid, run_sweep, sweep_table
 
 __all__ = [
     "best_point",
+    "chrome_trace",
     "compare_bench_entries",
     "compare_bench_files",
     "cycles_per_operation",
@@ -29,10 +37,13 @@ __all__ = [
     "regressions",
     "geometric_mean",
     "harmonic_mean",
+    "longest_spans",
     "overhead",
     "percent",
+    "render_timeline",
     "run_sweep",
     "speedup",
     "summarize",
     "sweep_table",
+    "write_trace",
 ]

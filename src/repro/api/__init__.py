@@ -41,6 +41,7 @@ from ..sw.registry import (
 from ..cache import CacheConfig, CacheGeometry, WritePolicy
 from ..check import CheckConfig
 from ..dev import DmaConfig, DmaDriver, IrqControllerConfig, TimerConfig
+from ..obs import ObsConfig, render_timeline, write_timeseries_csv, write_timeseries_json, write_trace
 from .builder import BuilderError, COST_MODELS, DELAY_PRESETS, PlatformBuilder
 from .micro import DriveResult, MemoryTestbench, drive, single_memory_testbench
 from .perf import BenchResult, PerfRecorder, PerfTimer, bench_json_path, load_bench_entries
@@ -62,6 +63,7 @@ __all__ = [
     "ExperimentRunner",
     "IrqControllerConfig",
     "MemoryTestbench",
+    "ObsConfig",
     "PerfRecorder",
     "PerfTimer",
     "PlatformBuilder",
@@ -78,6 +80,7 @@ __all__ = [
     "expand_grid",
     "kernel_rates_table",
     "load_bench_entries",
+    "render_timeline",
     "results_table",
     "run_scenario",
     "run_tasks",
@@ -86,4 +89,7 @@ __all__ = [
     "workload",
     "write_csv",
     "write_json",
+    "write_timeseries_csv",
+    "write_timeseries_json",
+    "write_trace",
 ]

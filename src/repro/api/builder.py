@@ -19,7 +19,7 @@ additionally instantiates the :class:`~repro.soc.platform.Platform`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ..cache.geometry import CacheConfig, CacheError, CacheGeometry, WritePolicy
 from ..check.config import CheckConfig
@@ -28,6 +28,7 @@ from ..fabric import canonical_kind
 from ..memory.latency import LatencyModel
 from ..memory.protocol import Endianness
 from ..noc.config import NocConfig
+from ..obs.config import ObsConfig
 from ..soc.config import (
     ArbitrationKind,
     InterconnectKind,
@@ -290,6 +291,62 @@ class PlatformBuilder:
     def no_sanitize(self) -> "PlatformBuilder":
         """Detach every sanitizer (the default, zero-overhead platform)."""
         return self._set(check=None)
+
+    # -- observability -----------------------------------------------------------------
+    def _merge_obs(self, **changes: object) -> "PlatformBuilder":
+        """Stage an :class:`ObsConfig`, merging into one already staged
+        (so ``.trace().metrics(...)`` composes)."""
+        staged = self._overrides.get("obs")
+        base = staged if isinstance(staged, ObsConfig) else None
+        fields = {
+            "trace": base.trace if base else False,
+            "metrics_interval_cycles": (base.metrics_interval_cycles
+                                        if base else 0),
+            "categories": base.categories if base else None,
+            "max_events": base.max_events if base else 200_000,
+            "host_profile": base.host_profile if base else False,
+        }
+        fields.update(changes)
+        try:
+            config = ObsConfig(**fields)
+        except ValueError as exc:
+            raise BuilderError(
+                f"invalid observability description: {exc}") from exc
+        return self._set(obs=config)
+
+    def trace(self, *, categories: Optional[Sequence[str]] = None,
+              max_events: int = 200_000,
+              host_profile: bool = False) -> "PlatformBuilder":
+        """Attach timeline tracing (:mod:`repro.obs`).
+
+        Records per-PE task/wait spans, per-master fabric transactions,
+        cache fills/writebacks, DMA bursts, IRQ edges and ``ctx.span``
+        workload annotations in simulated time; export with
+        :func:`repro.obs.write_trace` or ``python -m repro.obs.export``.
+        ``categories`` filters at emission; ``max_events`` bounds the
+        buffer (overflow counts as dropped).  Tracing is
+        timing-transparent: simulated time and every kernel counter are
+        identical with and without it.
+        """
+        return self._merge_obs(
+            trace=True,
+            categories=None if categories is None else tuple(categories),
+            max_events=max_events, host_profile=host_profile)
+
+    def metrics(self, interval_cycles: int = 1000) -> "PlatformBuilder":
+        """Attach the metrics time-series sampler (:mod:`repro.obs`).
+
+        Snapshots counter deltas (bus/link utilization, cache hit rate,
+        runnable depth, IRQ pending mask, outstanding transactions) every
+        ``interval_cycles`` simulated clock cycles into
+        ``report.timeseries``.  Composes with :meth:`trace`.
+        """
+        self._positive_int(interval_cycles, "metrics interval cycles")
+        return self._merge_obs(metrics_interval_cycles=interval_cycles)
+
+    def no_obs(self) -> "PlatformBuilder":
+        """Detach observability (the default, zero-hook platform)."""
+        return self._set(obs=None)
 
     # -- devices ---------------------------------------------------------------------
     def _add_device(self, config: object) -> "PlatformBuilder":

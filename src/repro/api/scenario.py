@@ -161,6 +161,17 @@ class ScenarioResult:
             "report": None if self.report is None else self.report.as_dict(),
         }
 
+    @property
+    def timeseries(self) -> List[dict]:
+        """The run's metrics time-series (``repro.obs``); empty without a
+        report or with the metrics head off."""
+        return self.report.timeseries if self.report is not None else []
+
+    @property
+    def obs_summary(self) -> Optional[dict]:
+        """The run's observability summary (``None`` when obs was off)."""
+        return self.report.obs_summary if self.report is not None else None
+
     def raise_for_status(self) -> "ScenarioResult":
         """Raise ``RuntimeError`` unless the scenario passed; else return self."""
         if not self.passed:

@@ -102,6 +102,9 @@ class DmaEngine(RegisterFilePeripheral):
         self.words_copied = 0
         self.transfers = 0
         self.errors = 0
+        #: Observability hook (:class:`repro.obs.ObsSuite` when the
+        #: platform runs with obs on): sees transfer begin/end.
+        self.obs_observer = None
         self._go_event = Event(f"{name}_go")
         self.add_event(self._go_event)
         self.add_process(self._run, name="engine")
@@ -137,7 +140,12 @@ class DmaEngine(RegisterFilePeripheral):
             if self.status != STATUS_BUSY:
                 yield self._go_event
                 continue
+            if self.obs_observer is not None:
+                self.obs_observer.dma_begin(self, self._regs[REG_COUNT])
             ok = yield from self._transfer()
+            if self.obs_observer is not None:
+                self.obs_observer.dma_end(self, ok,
+                                          self._regs[REG_WORDS_DONE])
             if ok:
                 self._regs[REG_STATUS] = STATUS_DONE
                 self.transfers += 1

@@ -94,6 +94,10 @@ class InterruptController(RegisterFilePeripheral):
         #: Sanitizer hook (:class:`repro.check.SanitizerSuite` when the
         #: platform runs with sanitizers on): sees every raise and claim.
         self.check_observer = None
+        #: Observability hook (:class:`repro.obs.ObsSuite` when the
+        #: platform runs with obs on): a parallel slot, so sanitizers and
+        #: tracing coexist.  Sees raises, claims and wait begin/end.
+        self.obs_observer = None
 
     # -- hardware-side wires -----------------------------------------------------
     @property
@@ -113,6 +117,8 @@ class InterruptController(RegisterFilePeripheral):
         self._latched |= mask
         if self.check_observer is not None:
             self.check_observer.irq_raised(mask)
+        if self.obs_observer is not None:
+            self.obs_observer.irq_raised(mask)
         self._notify_targets(mask)
 
     def set_level(self, line: int, asserted: bool) -> None:
@@ -125,6 +131,8 @@ class InterruptController(RegisterFilePeripheral):
                 self.raises += 1
                 if self.check_observer is not None:
                     self.check_observer.irq_raised(mask)
+                if self.obs_observer is not None:
+                    self.obs_observer.irq_raised(mask)
                 self._notify_targets(mask)
         else:
             self._level_state &= ~mask
@@ -249,11 +257,15 @@ class IrqClient:
                 f"pe{self.pe_id} waits on masked interrupt lines "
                 f"{mask:#x} (enabled {self.enabled_mask:#x})"
             )
+        if controller.obs_observer is not None:
+            controller.obs_observer.irq_wait_begin(self.pe_id)
         while True:
             hit = controller.pending_mask & self.enabled_mask & mask
             if hit:
                 if controller.check_observer is not None:
                     controller.check_observer.irq_claimed(self.pe_id, hit)
+                if controller.obs_observer is not None:
+                    controller.obs_observer.irq_claimed(self.pe_id, hit)
                 controller.ack_mask(hit)
                 controller.wakeups += 1
                 return hit

@@ -462,3 +462,13 @@ class Simulator:
         return bool(self._timed_events) or bool(self._delta_queue) or bool(
             self._immediate_runnable
         )
+
+    @property
+    def runnable_depth(self) -> int:
+        """Processes/events queued for the current delta cycle.
+
+        A point-in-time congestion gauge (how much work the scheduler has
+        stacked up *right now*), sampled by the observability metrics
+        head; reading it never disturbs the queues.
+        """
+        return len(self._immediate_runnable) + len(self._delta_queue)

@@ -11,6 +11,7 @@ Two tracers are provided:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -54,12 +55,30 @@ class SignalTracer:
         """Return the ``(time, value)`` history of signal ``name``."""
         return [(e.time, e.value) for e in self.entries if e.name == name]
 
+    @staticmethod
+    def _vcd_identifier(index: int) -> str:
+        """Short VCD identifier for the ``index``-th signal.
+
+        VCD identifiers are strings over the printable ASCII range
+        ``!``..``~`` (94 characters).  Single characters cover the first
+        94 signals (matching the historical single-char scheme), then
+        the code grows a character — a bijective base-94 numbering, so
+        identifiers never collide however many signals are watched.
+        """
+        chars = []
+        while True:
+            chars.append(chr(33 + index % 94))
+            index = index // 94 - 1
+            if index < 0:
+                break
+        return "".join(chars)
+
     def to_vcd(self) -> str:
         """Render the trace as a minimal VCD document (text)."""
         identifiers = {}
         lines = ["$timescale 1ps $end", "$scope module trace $end"]
         for index, signal in enumerate(self._signals):
-            ident = chr(33 + index)
+            ident = self._vcd_identifier(index)
             identifiers[signal.name] = ident
             lines.append(f"$var wire 64 {ident} {signal.name} $end")
         lines.append("$upscope $end")
@@ -92,18 +111,35 @@ class TransactionRecord:
 
 
 class TransactionLog:
-    """An append-only log of :class:`TransactionRecord` entries."""
+    """An append-only log of :class:`TransactionRecord` entries.
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        self.records: List[TransactionRecord] = []
+    ``capacity`` bounds the log; ``keep`` picks which side survives the
+    bound.  ``"first"`` (the default, the historical behaviour) keeps the
+    start of the run and drops new records once full; ``"last"`` is a
+    ring buffer keeping the most recent ``capacity`` records — the right
+    mode for long runs where the interesting transactions are at the
+    end.  Either way :attr:`dropped` counts the records lost.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 keep: str = "first") -> None:
+        if keep not in ("first", "last"):
+            raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")
+        if keep == "last" and capacity is None:
+            raise ValueError("keep='last' requires a capacity")
+        #: list for keep="first", bounded deque for keep="last".
+        self.records = deque(maxlen=capacity) if keep == "last" else []
         self.capacity = capacity
+        self.keep = keep
         self.dropped = 0
 
     def record(self, time: int, source: str, kind: str, **fields: Any) -> None:
-        """Append a record (dropping it if the capacity limit is reached)."""
+        """Append a record (evicting per ``keep`` at the capacity limit)."""
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
-            return
+            if self.keep == "first":
+                return
+            # keep == "last": the deque's maxlen evicts the oldest record.
         self.records.append(TransactionRecord(time, source, kind, dict(fields)))
 
     def filter(self, kind: Optional[str] = None, source: Optional[str] = None

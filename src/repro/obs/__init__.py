@@ -1,0 +1,52 @@
+"""repro.obs — unified observability: timeline tracing, metrics
+time-series, and task-level profiling spans.
+
+Three heads over one hook surface (see :class:`~repro.obs.config.ObsConfig`):
+
+* :class:`TraceCollector` — typed spans/instants in simulated time,
+  exported as Chrome trace-event / Perfetto JSON
+  (``python -m repro.obs.export``) or a text timeline
+  (:func:`render_timeline`);
+* :class:`MetricsSampler` — periodic counter-delta rows surfaced as
+  ``SimulationReport.timeseries`` with CSV/JSON writers;
+* :class:`HostProfiler` — host wall-clock attribution per simulated
+  process.
+
+Enable via the builder (``PlatformBuilder().trace()``, ``.metrics(...)``)
+or ``PlatformConfig(obs=ObsConfig(...))``.  Disabled (the default), the
+platform installs zero hooks; enabled, the heads only observe — the
+simulation's timing and scheduler counters stay bit-identical either way.
+"""
+
+from .config import TRACE_CATEGORIES, ObsConfig
+from .hostprof import HostProfiler
+from .metrics import MetricsSampler, write_timeseries_csv, write_timeseries_json
+from .suite import ObsSuite
+from .timeline import longest_spans, render_timeline
+from .trace import TraceCollector, TraceEvent
+
+
+def __getattr__(name):
+    # The exporter is loaded lazily so ``python -m repro.obs.export`` does
+    # not import the module twice (once as a package attribute, once as
+    # ``__main__``), which trips runpy's double-import warning.
+    if name in ("chrome_trace", "write_trace"):
+        from . import export
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "TRACE_CATEGORIES",
+    "ObsConfig",
+    "ObsSuite",
+    "TraceCollector",
+    "TraceEvent",
+    "MetricsSampler",
+    "HostProfiler",
+    "chrome_trace",
+    "write_trace",
+    "render_timeline",
+    "longest_spans",
+    "write_timeseries_csv",
+    "write_timeseries_json",
+]

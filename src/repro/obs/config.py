@@ -1,0 +1,90 @@
+"""Observability configuration.
+
+:class:`ObsConfig` selects which of the three ``repro.obs`` heads a
+platform run attaches:
+
+* **timeline tracing** (``trace=True``) — a
+  :class:`~repro.obs.trace.TraceCollector` recording typed spans and
+  instants in simulated time (task execution, fabric transactions, cache
+  fills/writebacks, DMA bursts, IRQ edges), exportable as Chrome
+  trace-event / Perfetto JSON or a text timeline;
+* **metrics time-series** (``metrics_interval_cycles > 0``) — a
+  :class:`~repro.obs.metrics.MetricsSampler` snapshotting counter deltas
+  (fabric utilization, cache hit rate, runnable-queue depth, IRQ pending
+  mask, outstanding transactions, mesh link occupancy) every N simulated
+  clock cycles into ``SimulationReport.timeseries``;
+* **host-time attribution** (``host_profile=True``) — a
+  :class:`~repro.obs.hostprof.HostProfiler` bucketing host wall-clock per
+  simulated process, showing where the *simulator itself* spends time.
+
+``None`` on :attr:`~repro.soc.config.PlatformConfig.obs` (the default)
+installs zero hooks — bit-identical to the pre-observability platform.
+Every enabled head only *observes*: no event is notified, no process is
+created, no simulated time is consumed, so an observed run keeps the
+same simulated time and scheduler counters as the unobserved run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Trace categories the collector knows about (``categories=None`` keeps
+#: them all).  ``task`` covers PE program spans and ``ctx.span``
+#: annotations, ``wait`` the blocking states (IRQ waits), ``metrics`` the
+#: sampler's counter tracks.
+TRACE_CATEGORIES = ("task", "fabric", "cache", "dma", "irq", "wait",
+                    "metrics")
+
+
+@dataclass
+class ObsConfig:
+    """Which observability heads to attach to a platform run."""
+
+    #: Record the simulated-time event timeline.
+    trace: bool = True
+    #: Sampling interval of the metrics time-series in simulated clock
+    #: cycles; 0 disables the metrics head.
+    metrics_interval_cycles: int = 0
+    #: Trace categories to keep (``None`` = all of
+    #: :data:`TRACE_CATEGORIES`); events of other categories are filtered
+    #: at emission and never enter the buffer.
+    categories: Optional[Tuple[str, ...]] = None
+    #: Bounded trace-buffer size; once full, new events are counted in
+    #: ``dropped`` instead of growing the buffer without bound.
+    max_events: int = 200_000
+    #: Bucket host wall-clock per simulated process (coarse, sampled at
+    #: the observation points — see :mod:`repro.obs.hostprof`).
+    host_profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.metrics_interval_cycles < 0:
+            raise ValueError("metrics_interval_cycles must be >= 0")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.categories is not None:
+            self.categories = tuple(self.categories)
+            unknown = set(self.categories) - set(TRACE_CATEGORIES)
+            if not self.categories or unknown:
+                raise ValueError(
+                    f"categories must be a non-empty subset of "
+                    f"{TRACE_CATEGORIES}, got {self.categories!r}"
+                )
+        if not (self.trace or self.metrics_interval_cycles
+                or self.host_profile):
+            raise ValueError(
+                "an ObsConfig must enable at least one head (trace, "
+                "metrics or host profile); use obs=None to disable "
+                "observability"
+            )
+
+    def describe(self) -> str:
+        """Short summary used in ``PlatformConfig.describe()``."""
+        parts = []
+        if self.trace:
+            parts.append("trace")
+        if self.metrics_interval_cycles:
+            parts.append(f"metrics@{self.metrics_interval_cycles}c")
+        if self.host_profile:
+            parts.append("hostprof")
+        return "+".join(parts)

@@ -1,0 +1,92 @@
+"""Pure-python text rendering of a collected trace.
+
+A terminal-friendly companion to the Perfetto export: one row per
+``(group, lane)`` track, simulated time scaled onto a fixed-width
+column axis.  Spans fill their columns with ``=``, instants overlay
+``!``, counter samples overlay ``*``; idle columns stay ``.``.  The
+rendering is deterministic for a deterministic trace, so tests can
+golden it.
+
+::
+
+    timeline 0 .. 1_280_000 ps  (1 col = 16_000 ps)
+    pes/mpsoc.pe0       ====!===============....   7 ev
+    fabric/pe0_port     .=.=.=..=.=..=.......      12 ev
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .trace import TraceEvent
+
+#: Glyphs, in increasing display priority (later overwrite earlier).
+_IDLE, _SPAN, _COUNTER, _INSTANT = ".", "=", "*", "!"
+
+
+def _lane_rows(events: Iterable[TraceEvent]
+               ) -> List[Tuple[Tuple[str, str], List[TraceEvent]]]:
+    """Events grouped per track, tracks in first-seen order."""
+    order: List[Tuple[str, str]] = []
+    buckets = {}
+    for event in events:
+        if event.track not in buckets:
+            buckets[event.track] = []
+            order.append(event.track)
+        buckets[event.track].append(event)
+    return [(track, buckets[track]) for track in order]
+
+
+def render_timeline(events, *, width: int = 72,
+                    categories: Optional[Iterable[str]] = None,
+                    end_ps: Optional[int] = None) -> str:
+    """Render ``events`` (a list or a ``TraceCollector``) as text.
+
+    ``categories`` restricts the rendering; ``end_ps`` pins the axis end
+    (defaults to the last event edge).
+    """
+    if hasattr(events, "events"):
+        events = events.events
+    if categories is not None:
+        wanted = frozenset(categories)
+        events = [event for event in events if event.cat in wanted]
+    if not events:
+        return "timeline: no events"
+    span_end = max(event.ts + event.dur for event in events)
+    end = max(end_ps if end_ps is not None else 0, span_end, 1)
+    scale = end / width
+
+    def column(ts: int) -> int:
+        return min(width - 1, int(ts / scale))
+
+    lanes = _lane_rows(events)
+    label_width = max(len(f"{group}/{lane}") for (group, lane), _ in lanes)
+    lines = [f"timeline 0 .. {end:_} ps  (1 col = {end / width:_.0f} ps)"]
+    for (group, lane), lane_events in lanes:
+        cells = [_IDLE] * width
+        for event in lane_events:
+            if event.ph == "X":
+                for col in range(column(event.ts),
+                                 column(max(event.ts + event.dur - 1,
+                                            event.ts)) + 1):
+                    if cells[col] == _IDLE:
+                        cells[col] = _SPAN
+            elif event.ph == "C":
+                if cells[column(event.ts)] in (_IDLE, _SPAN):
+                    cells[column(event.ts)] = _COUNTER
+            else:
+                cells[column(event.ts)] = _INSTANT
+        label = f"{group}/{lane}".ljust(label_width)
+        lines.append(f"{label}  {''.join(cells)}  {len(lane_events)} ev")
+    lines.append(f"legend: {_SPAN} span  {_INSTANT} instant  "
+                 f"{_COUNTER} counter sample  {_IDLE} idle")
+    return "\n".join(lines)
+
+
+def longest_spans(events, count: int = 8) -> List[TraceEvent]:
+    """The ``count`` longest spans — quick 'where did time go' digest."""
+    if hasattr(events, "events"):
+        events = events.events
+    spans = [event for event in events if event.ph == "X"]
+    spans.sort(key=lambda event: (-event.dur, event.ts, event.name))
+    return spans[:count]

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from ..cache.geometry import CacheConfig
 from ..check.config import CheckConfig
+from ..obs.config import ObsConfig
 from ..dev.config import DEVICE_CONFIG_TYPES, DeviceLayout, resolve_layout
 from ..fabric import ArbitrationSpec
 from ..kernel.simtime import NS
@@ -120,6 +121,13 @@ class PlatformConfig:
     #: coherence invariant scanner; checks are timing-transparent (they
     #: observe transfers, they never consume simulated time).
     check: Optional[CheckConfig] = None
+    #: Observability (:mod:`repro.obs`); ``None`` (the default) installs
+    #: zero hooks — bit-identical to the unobserved platform.  An
+    #: :class:`~repro.obs.config.ObsConfig` attaches timeline tracing,
+    #: the metrics time-series sampler and/or host-time attribution; all
+    #: heads are timing-transparent (they observe, they never consume
+    #: simulated time or touch the scheduler).
+    obs: Optional[ObsConfig] = None
     #: Wrap every memory module in a :class:`~repro.interconnect.monitor.BusMonitor`
     #: (timing-transparent) and surface per-memory transaction counts and
     #: latency percentiles in ``interconnect_stats``.
@@ -160,6 +168,11 @@ class PlatformConfig:
             raise ValueError(
                 f"check must be a CheckConfig or None, got "
                 f"{type(self.check).__name__}"
+            )
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise ValueError(
+                f"obs must be an ObsConfig or None, got "
+                f"{type(self.obs).__name__}"
             )
         if self.noc is not None and not isinstance(self.noc, NocConfig):
             raise ValueError(
@@ -260,6 +273,8 @@ class PlatformConfig:
             text += f" / {self.cache.describe()}"
         if self.check is not None:
             text += f" / check[{self.check.describe()}]"
+        if self.obs is not None:
+            text += f" / obs[{self.obs.describe()}]"
         layout = self.device_layout()
         if layout is not None:
             text += f" / {layout.describe()}"

@@ -38,6 +38,7 @@ from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
 from ..interconnect.monitor import BusMonitor
 from ..noc.mesh import MeshNoc
+from ..obs.suite import ObsSuite
 from ..kernel import Event, Module, Simulator
 from ..memory.host_memory import HostMemory
 from ..memory.modeled_dynamic_memory import ModeledDynamicMemory
@@ -166,6 +167,10 @@ class Platform:
         self.check_suite: Optional[SanitizerSuite] = None
         if config.check is not None:
             self.check_suite = self._build_check_suite()
+        #: Observability (``config.obs``), timing-transparent.
+        self.obs: Optional[ObsSuite] = None
+        if config.obs is not None:
+            self.obs = self._build_obs()
         self.processors: List[TaskProcessor] = []
         self._pending_tasks: List[TaskFunction] = []
         self.ticker: Optional[MemoryIdleTicker] = None
@@ -290,6 +295,25 @@ class Platform:
                                             on_complete=suite.on_port_complete)
         return suite
 
+    def _build_obs(self) -> ObsSuite:
+        """Assemble the observability suite on the same hook surface.
+
+        PEs register in :meth:`add_task` and the caches + simulator bind
+        in :meth:`run`.  The interrupt controller and the DMA engines get
+        the suite on their ``obs_observer`` slot — parallel to (never
+        displacing) the sanitizers' ``check_observer``.
+        """
+        config = self.config
+        assert config.obs is not None
+        suite = ObsSuite(config.obs, self.interconnect, config.clock_period)
+        self.interconnect.add_port_observer(on_issue=suite.on_port_issue,
+                                            on_complete=suite.on_port_complete)
+        if self.irq_controller is not None:
+            suite.register_controller(self.irq_controller)
+        for engine in self.dma_engines:
+            suite.register_dma(engine)
+        return suite
+
     # -- task placement ------------------------------------------------------------------
     def add_task(self, task: TaskFunction, pe_index: Optional[int] = None,
                  start_delay_cycles: int = 0, name: Optional[str] = None
@@ -338,6 +362,8 @@ class Platform:
         if self.check_suite is not None:
             self.check_suite.register_actor(pe_index, processor.name,
                                             process=processor.processes[0])
+        if self.obs is not None:
+            self.obs.register_processor(processor)
         return processor
 
     def add_tasks(self, tasks: List[TaskFunction]) -> List[TaskProcessor]:
@@ -353,6 +379,9 @@ class Platform:
         if self.check_suite is not None:
             self.check_suite.register_caches(self.caches)
             self.check_suite.install(self.simulator)
+        if self.obs is not None:
+            self.obs.register_caches(self.caches)
+            self.obs.install(self.simulator)
         wall_start = _wallclock.perf_counter()
         if self.ticker is None and max_time is None and not self.devices:
             # Pure event-driven run: ends when no activity remains.
@@ -381,6 +410,8 @@ class Platform:
         self.simulator.finalize()
         if self.check_suite is not None:
             self.check_suite.finish(self.simulator.now)
+        if self.obs is not None:
+            self.obs.finish(self.simulator.now)
         return self._build_report(wallclock)
 
     def _build_report(self, wallclock_seconds: float) -> SimulationReport:
@@ -425,6 +456,8 @@ class Platform:
             device_reports=[device.report() for device in self.devices],
             sanitizer_reports=(self.check_suite.reports
                                if self.check_suite is not None else []),
+            timeseries=(self.obs.timeseries if self.obs is not None else []),
+            obs_summary=(self.obs.summary() if self.obs is not None else None),
             results={p.name: p.stats.result for p in self.processors},
             finished={p.name: p.finished for p in self.processors},
         )

@@ -36,6 +36,13 @@ class SimulationReport:
     #: report (see :meth:`repro.check.report.SanitizerReport.as_dict`);
     #: empty on a clean run and on unsanitized platforms.
     sanitizer_reports: List[dict] = field(default_factory=list)
+    #: Metrics time-series rows of the :mod:`repro.obs` sampler
+    #: (``config.obs.metrics_interval_cycles``): one columnar dict per
+    #: sampling boundary; empty when the metrics head is off.
+    timeseries: List[dict] = field(default_factory=list)
+    #: Observability summary (event/drop counts, host-time buckets) from
+    #: ``ObsSuite.summary()``; ``None`` on unobserved platforms.
+    obs_summary: Optional[dict] = None
     results: Dict[str, object] = field(default_factory=dict)
     #: Per-PE completion flags: ``{pe_name: True/False}``.  A run that ends
     #: on ``max_time`` leaves unfinished PEs with ``False`` here and their
@@ -153,6 +160,15 @@ class SimulationReport:
             lines.append(f"sanitizers:      "
                          f"{len(self.sanitizer_reports)} report(s) "
                          f"({breakdown})")
+        if self.obs_summary is not None:
+            trace = self.obs_summary.get("trace")
+            parts = [f"config {self.obs_summary.get('config', '?')}"]
+            if trace:
+                parts.append(f"{trace['events']} events "
+                             f"({trace['dropped']} dropped)")
+            if self.timeseries:
+                parts.append(f"{len(self.timeseries)} metrics rows")
+            lines.append(f"observability:   {', '.join(parts)}")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -175,6 +191,8 @@ class SimulationReport:
             "cache_reports": list(self.cache_reports),
             "device_reports": list(self.device_reports),
             "sanitizer_reports": list(self.sanitizer_reports),
+            "timeseries": list(self.timeseries),
+            "obs_summary": self.obs_summary,
             "finished": dict(self.finished),
         }
 

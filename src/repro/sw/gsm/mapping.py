@@ -72,26 +72,35 @@ def make_gsm_encoder_task(channel_samples: Sequence[int], pe_index: int,
             start = frame_index * FRAME_SAMPLES
             frame = samples[start:start + FRAME_SAMPLES]
 
-            input_vptr = yield from smem.alloc(FRAME_SAMPLES, DataType.INT16)
-            output_vptr = yield from smem.alloc(PARAMETERS_PER_FRAME, DataType.UINT16)
-            yield from smem.write_array(input_vptr,
-                                        [v & 0xFFFF for v in frame])
+            # The ctx.span annotations mark the phases on the PE's trace
+            # timeline; without observability they are no-ops.
+            with ctx.span(f"frame{frame_index}"):
+                with ctx.span("load"):
+                    input_vptr = yield from smem.alloc(FRAME_SAMPLES, DataType.INT16)
+                    output_vptr = yield from smem.alloc(PARAMETERS_PER_FRAME,
+                                                        DataType.UINT16)
+                    yield from smem.write_array(input_vptr,
+                                                [v & 0xFFFF for v in frame])
 
-            # Fetch the frame back (the encoder reads its input from the
-            # shared memory, as the ISS software in the paper does).
-            fetched = yield from smem.read_array_signed(
-                input_vptr, FRAME_SAMPLES, DataType.INT16
-            )
-            parameters = encoder.encode_frame(fetched)
-            yield from ctx.compute(_encode_cost_cycles(ctx))
+                    # Fetch the frame back (the encoder reads its input from
+                    # the shared memory, as the ISS software in the paper
+                    # does).
+                    fetched = yield from smem.read_array_signed(
+                        input_vptr, FRAME_SAMPLES, DataType.INT16
+                    )
+                with ctx.span("encode"):
+                    parameters = encoder.encode_frame(fetched)
+                    yield from ctx.compute(_encode_cost_cycles(ctx))
 
-            words = parameters.flatten()
-            yield from smem.write_array(output_vptr, words)
-            stored = yield from smem.read_array(output_vptr, PARAMETERS_PER_FRAME)
-            encoded_frames.append(stored)
+                with ctx.span("store"):
+                    words = parameters.flatten()
+                    yield from smem.write_array(output_vptr, words)
+                    stored = yield from smem.read_array(output_vptr,
+                                                        PARAMETERS_PER_FRAME)
+                    encoded_frames.append(stored)
 
-            yield from smem.free(input_vptr)
-            yield from smem.free(output_vptr)
+                    yield from smem.free(input_vptr)
+                    yield from smem.free(output_vptr)
         ctx.note(f"gsm: encoded {num_frames} frames on pe{pe_index}")
         return encoded_frames
 

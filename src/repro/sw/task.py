@@ -21,6 +21,7 @@ so that the kernel can interleave the processing elements cycle-accurately.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Generator, List, Optional
 
 from ..kernel import WaitCycles
@@ -74,6 +75,10 @@ class TaskContext:
         self.compute_calls = 0
         #: Free-form log a task may append progress records to.
         self.log: List[str] = []
+        #: Observability suite (:class:`repro.obs.ObsSuite`) when the
+        #: platform runs with tracing on; ``None`` makes :meth:`span` a
+        #: no-op, so annotated workloads run unchanged everywhere.
+        self.obs = None
 
     # -- shared memory access ------------------------------------------------------
     def smem(self, index: int = 0) -> SharedMemoryAPI:
@@ -199,6 +204,31 @@ class TaskContext:
     def note(self, message: str) -> None:
         """Append a progress note to the task log (no simulated time)."""
         self.log.append(message)
+
+    @contextmanager
+    def span(self, name: str):
+        """Annotate a workload phase on the PE's timeline track.
+
+        Usage (wrapping any mix of ``yield from`` protocol calls and
+        ``compute`` bursts)::
+
+            with ctx.span("lpc"):
+                yield from ctx.compute(1200)
+
+        The span covers the simulated time the block consumed and lands
+        in the trace as a ``task``-category event.  Without observability
+        (``self.obs is None``) this is a zero-cost no-op — annotations
+        never change the simulation.
+        """
+        obs = self.obs
+        if obs is None:
+            yield
+            return
+        began = obs.now()
+        try:
+            yield
+        finally:
+            obs.task_span(self, name, began, obs.now())
 
 
 #: Type of a task body: a generator function taking the context.

@@ -64,24 +64,31 @@ def make_stencil_task(values: Sequence[int], iterations: int = 1,
 
     def task(ctx: TaskContext) -> Generator[object, None, List[int]]:
         smem = ctx.smem(memory_index)
-        src_vptr = yield from smem.alloc(size, DataType.UINT32)
-        dst_vptr = yield from smem.alloc(size, DataType.UINT32)
-        yield from smem.write_array(src_vptr, values)
+        # ctx.span annotations mark the phases on the trace timeline;
+        # no-ops without observability.
+        with ctx.span("setup"):
+            src_vptr = yield from smem.alloc(size, DataType.UINT32)
+            dst_vptr = yield from smem.alloc(size, DataType.UINT32)
+            yield from smem.write_array(src_vptr, values)
         source, destination = src_vptr, dst_vptr
-        for _ in range(iterations):
-            for step in range(size):
-                index = (step * stride) % size
-                left = yield from smem.read(source, offset=max(0, index - 1))
-                mid = yield from smem.read(source, offset=index)
-                right = yield from smem.read(source,
-                                             offset=min(size - 1, index + 1))
-                value = ((left + 2 * mid + right) >> 2) & MASK
-                yield from smem.write(destination, value, offset=index)
-                yield from ctx.compute_ops(alu=4, local=3)
+        for sweep in range(iterations):
+            with ctx.span(f"sweep{sweep}"):
+                for step in range(size):
+                    index = (step * stride) % size
+                    left = yield from smem.read(source,
+                                                offset=max(0, index - 1))
+                    mid = yield from smem.read(source, offset=index)
+                    right = yield from smem.read(source,
+                                                 offset=min(size - 1,
+                                                            index + 1))
+                    value = ((left + 2 * mid + right) >> 2) & MASK
+                    yield from smem.write(destination, value, offset=index)
+                    yield from ctx.compute_ops(alu=4, local=3)
             source, destination = destination, source
-        result = yield from smem.read_array(source, size)
-        yield from smem.free(dst_vptr)
-        yield from smem.free(src_vptr)
+        with ctx.span("collect"):
+            result = yield from smem.read_array(source, size)
+            yield from smem.free(dst_vptr)
+            yield from smem.free(src_vptr)
         ctx.note(f"stencil: {iterations} sweep(s) over {size} elements, "
                  f"stride {stride}")
         return result

@@ -102,3 +102,53 @@ class TestVcdGolden:
         assert "$scope module trace $end" in text
         assert "$enddefinitions $end" in text
         assert text.endswith("\n")
+
+
+class TestManySignals:
+    """Identifier generation beyond the 94 printable single characters."""
+
+    @staticmethod
+    def _traced_run(count):
+        top = Module("top")
+        mod = Module("m", parent=top)
+        signals = [mod.add_signal(Signal(0, name=f"sig{index}"))
+                   for index in range(count)]
+
+        def writer():
+            yield 10
+            for index, signal in enumerate(signals):
+                signal.write(index + 1)
+            yield 0
+            box["tracer"].sample()
+
+        mod.add_process(writer)
+        sim = Simulator(top)
+        tracer = SignalTracer(sim)
+        box = {"tracer": tracer}
+        for signal in signals:
+            tracer.watch(signal)
+        sim.run()
+        return tracer
+
+    def test_identifiers_stay_unique_and_printable_beyond_93(self):
+        tracer = self._traced_run(200)
+        text = tracer.to_vcd()
+        idents = re.findall(r"\$var wire \d+ (\S+) \S+ \$end", text)
+        assert len(idents) == 200
+        assert len(set(idents)) == 200, "identifier collision"
+        for ident in idents:
+            assert all(33 <= ord(char) <= 126 for char in ident), ident
+        # The first 94 stay single characters (golden compatibility).
+        assert all(len(ident) == 1 for ident in idents[:94])
+        assert all(len(ident) == 2 for ident in idents[94:])
+
+    def test_round_trip_with_200_signals(self):
+        tracer = self._traced_run(200)
+        histories = parse_vcd(tracer.to_vcd())
+        assert len(histories) == 200
+        for index in range(200):
+            assert histories[f"sig{index}"] == [(0, 0), (10, index + 1)]
+
+    def test_identifier_sequence_is_bijective(self):
+        seen = {SignalTracer._vcd_identifier(index) for index in range(3000)}
+        assert len(seen) == 3000

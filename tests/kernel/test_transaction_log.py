@@ -1,0 +1,59 @@
+"""TransactionLog capacity semantics: keep-first vs. the ring buffer."""
+
+import pytest
+
+from repro.kernel.trace import TransactionLog
+
+
+def _fill(log, count):
+    for index in range(count):
+        log.record(index * 10, "src", "op", seq=index)
+
+
+class TestKeepFirst:
+    def test_default_keeps_the_start_and_counts_drops(self):
+        log = TransactionLog(capacity=3)
+        assert log.keep == "first"
+        _fill(log, 5)
+        assert len(log) == 3
+        assert [record.fields["seq"] for record in log.records] == [0, 1, 2]
+        assert log.dropped == 2
+
+    def test_unbounded_log_never_drops(self):
+        log = TransactionLog()
+        _fill(log, 10)
+        assert len(log) == 10
+        assert log.dropped == 0
+
+
+class TestKeepLast:
+    def test_ring_buffer_keeps_the_end_and_counts_drops(self):
+        log = TransactionLog(capacity=3, keep="last")
+        _fill(log, 5)
+        assert len(log) == 3
+        assert [record.fields["seq"] for record in log.records] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_filter_and_kinds_work_over_the_deque(self):
+        log = TransactionLog(capacity=2, keep="last")
+        log.record(0, "a", "read")
+        log.record(1, "b", "write")
+        log.record(2, "a", "read")
+        assert [record.source for record in log.filter(kind="read")] == ["a"]
+        assert list(log.kinds()) == ["write", "read"]
+
+    def test_below_capacity_drops_nothing(self):
+        log = TransactionLog(capacity=8, keep="last")
+        _fill(log, 3)
+        assert len(log) == 3
+        assert log.dropped == 0
+
+
+class TestValidation:
+    def test_rejects_unknown_keep(self):
+        with pytest.raises(ValueError):
+            TransactionLog(capacity=4, keep="middle")
+
+    def test_keep_last_requires_capacity(self):
+        with pytest.raises(ValueError):
+            TransactionLog(keep="last")

@@ -1,0 +1,76 @@
+"""The ``python -m repro.obs.export`` demo CLI and its acceptance content.
+
+A single devices+caches GSM run must yield Perfetto-loadable JSON
+containing PE task spans, fabric transaction spans, an IRQ instant and
+at least one ``ctx.span`` workload annotation.
+"""
+
+import json
+
+from repro.obs.export import main
+
+
+def _run_cli(tmp_path, *extra):
+    out = tmp_path / "trace.json"
+    assert main(["--quick", "-o", str(out), *extra]) == 0
+    with open(out) as handle:
+        return json.load(handle)
+
+
+def _named(events, track_names):
+    """Map pid/tid back to track names via the metadata events."""
+    processes = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "process_name"}
+    threads = {(e["pid"], e["tid"]): e["args"]["name"] for e in events
+               if e.get("ph") == "M" and e["name"] == "thread_name"}
+    resolved = []
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        group = processes.get(event["pid"])
+        lane = threads.get((event["pid"], event["tid"]))
+        resolved.append((group, lane, event))
+    return resolved
+
+
+def test_cli_emits_acceptance_content(tmp_path, capsys):
+    payload = _run_cli(tmp_path)
+    events = payload["traceEvents"]
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid"):
+            assert key in event
+    resolved = _named(events, None)
+
+    pe_tasks = [e for group, _, e in resolved
+                if group == "pes" and e["ph"] == "X" and e["name"] == "task"]
+    assert len(pe_tasks) == 2, "one task span per PE"
+
+    fabric_spans = [e for group, _, e in resolved
+                    if group == "fabric" and e["ph"] == "X"]
+    assert fabric_spans, "fabric transaction spans expected"
+    assert any(e["cat"] == "fabric" for e in fabric_spans)
+
+    irq_instants = [e for group, _, e in resolved
+                    if e["ph"] == "i" and e["cat"] == "irq"]
+    assert irq_instants, "the periodic timer must land IRQ instants"
+
+    annotations = [e for group, _, e in resolved
+                   if group == "pes" and e["ph"] == "X"
+                   and e["cat"] == "task" and e["name"] != "task"]
+    assert annotations, "ctx.span workload annotations expected"
+    assert any(e["name"].startswith("frame") for e in annotations)
+
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out
+
+    assert payload["otherData"]["dropped_events"] == 0
+    assert payload["otherData"]["scenario"] == "obs-demo-gsm"
+
+
+def test_cli_timeline_and_timeseries_options(tmp_path, capsys):
+    ts_path = tmp_path / "ts.csv"
+    _run_cli(tmp_path, "--timeline", "--timeseries-csv", str(ts_path))
+    captured = capsys.readouterr()
+    assert "timeline 0 .." in captured.out
+    assert "metrics rows" in captured.out
+    assert ts_path.exists()

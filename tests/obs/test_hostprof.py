@@ -1,0 +1,22 @@
+"""Host-time attribution: buckets per process, reported not traced."""
+
+from repro.api import PlatformBuilder, Scenario
+from repro.api.runner import run_scenario
+
+
+def test_host_profile_buckets_land_in_obs_summary():
+    config = (PlatformBuilder().pes(2).wrapper_memories(1)
+              .trace(host_profile=True).build())
+    scenario = Scenario(name="hp", config=config, workload="producer_consumer",
+                        params={"num_items": 8, "seed": 3}, seed=3)
+    result = run_scenario(scenario, keep_platform=True, capture_errors=False)
+    result.raise_for_status()
+    profile = result.obs_summary["host_profile"]
+    assert profile, "expected at least one host-time bucket"
+    assert all(seconds >= 0 for seconds in profile.values())
+    # Attribution keys are process names (or the kernel bucket).
+    assert any(".program" in name or name == "kernel" for name in profile)
+    # Host time is wall-clock and thus non-deterministic: it must stay
+    # out of the deterministic trace event stream.
+    assert all(event.cat != "hostprof"
+               for event in result.platform.obs.trace.events)

@@ -1,0 +1,125 @@
+"""The metrics sampler: boundary semantics, platform rows, writers."""
+
+import csv
+import json
+
+from repro.api import (
+    PlatformBuilder,
+    Scenario,
+    write_timeseries_csv,
+    write_timeseries_json,
+)
+from repro.api.runner import run_scenario
+from repro.obs.metrics import MetricsSampler
+
+
+class TestBoundarySemantics:
+    @staticmethod
+    def _sampler(interval=100, **kwargs):
+        state = {"count": 0}
+
+        def deltas():
+            return {"count": state["count"]}
+
+        sampler = MetricsSampler(interval_ps=interval, clock_period=10,
+                                 sample_deltas=deltas,
+                                 sample_gauges=dict, **kwargs)
+        return sampler, state
+
+    def test_rows_stamp_at_crossed_boundaries(self):
+        sampler, state = self._sampler()
+        state["count"] = 3
+        sampler.tick(50)       # within the first interval: no row
+        assert sampler.rows == []
+        state["count"] = 7
+        sampler.tick(250)      # crosses 100 and 200
+        assert [row["t_ps"] for row in sampler.rows] == [100, 200]
+        assert [row["t_cycles"] for row in sampler.rows] == [10, 20]
+        # Both boundaries sample the state at the first observation past
+        # them: the delta lands on the first crossed boundary.
+        assert sampler.rows[0]["count"] == 7
+        assert sampler.rows[1]["count"] == 0
+
+    def test_flush_emits_partial_tail(self):
+        sampler, state = self._sampler()
+        state["count"] = 2
+        sampler.flush(130)
+        assert [row["t_ps"] for row in sampler.rows] == [100, 130]
+
+    def test_flush_without_tail_emits_boundaries_only(self):
+        sampler, _ = self._sampler()
+        sampler.flush(200)
+        assert [row["t_ps"] for row in sampler.rows] == [100, 200]
+
+    def test_derive_hook_sees_elapsed(self):
+        seen = []
+
+        def derive(row, elapsed):
+            seen.append(elapsed)
+            row["derived"] = True
+
+        sampler, _ = self._sampler(derive=derive)
+        sampler.flush(250)
+        assert seen == [100, 100, 50]
+        assert all(row["derived"] for row in sampler.rows)
+
+
+def _result(tmp_path=None, interval=200):
+    config = (PlatformBuilder().pes(2).wrapper_memories(1)
+              .metrics(interval_cycles=interval).build())
+    scenario = Scenario(name="m", config=config, workload="producer_consumer",
+                        params={"num_items": 8, "seed": 3}, seed=3)
+    result = run_scenario(scenario, keep_platform=True, capture_errors=False)
+    return result.raise_for_status()
+
+
+class TestPlatformTimeseries:
+    def test_report_carries_rows_without_tracing(self):
+        result = _result()
+        rows = result.report.timeseries
+        assert rows, "metrics-only obs must still produce rows"
+        assert result.timeseries == rows  # ScenarioResult passthrough
+        # Metrics-only: no trace collector at all.
+        assert result.platform.obs.trace is None
+        assert result.obs_summary["metrics_rows"] == len(rows)
+
+    def test_rows_have_time_and_counter_columns(self):
+        result = _result()
+        rows = result.report.timeseries
+        clock_period = result.report.clock_period
+        for row in rows:
+            assert row["t_cycles"] == row["t_ps"] // clock_period
+        assert "bus_transactions" in rows[0]
+        assert "bus_busy_cycles" in rows[0]
+        assert "runnable" in rows[0]
+        assert "outstanding" in rows[0]
+        # Counter deltas over the whole series sum to the run's totals.
+        total = sum(row["bus_transactions"] for row in rows)
+        assert total == result.report.total_transactions()
+
+    def test_rows_are_in_report_as_dict(self):
+        report = _result().report
+        assert report.as_dict()["timeseries"] == report.timeseries
+        assert report.as_dict()["obs_summary"] == report.obs_summary
+
+
+class TestWriters:
+    def test_csv_round_trip(self, tmp_path):
+        result = _result()
+        path = tmp_path / "ts.csv"
+        write_timeseries_csv(result.timeseries, str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.timeseries)
+        assert rows[0]["t_ps"] == str(result.timeseries[0]["t_ps"])
+
+    def test_json_round_trip(self, tmp_path):
+        result = _result()
+        path = tmp_path / "ts.json"
+        write_timeseries_json(result.timeseries, str(path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == "repro.obs.timeseries/v1"
+        assert payload["count"] == len(result.timeseries)
+        assert payload["rows"] == result.timeseries
+        assert "t_ps" in payload["columns"]

@@ -1,0 +1,107 @@
+"""Observability must be timing- and schedule-transparent.
+
+The acceptance bar of ``repro.obs`` (same shape as the sanitizers'
+``tests/check/test_bit_identical.py``): an observed run reaches exactly
+the same simulated time, kernel counters and results as the unobserved
+run of the same scenario — on every topology, with devices and caches —
+and the default ``obs=None`` platform installs zero hooks.
+"""
+
+import pytest
+
+import repro.sw.catalog  # noqa: F401  (registers the workloads)
+from repro.api import PlatformBuilder
+from repro.soc.platform import Platform
+from repro.sw.registry import workload
+
+#: Golden kernel counters that must not move when observability attaches.
+COUNTERS = ("delta_cycles", "timed_steps", "process_activations",
+            "events_fired")
+
+
+def _builder(kind):
+    builder = PlatformBuilder().pes(2).wrapper_memories(1)
+    if kind == "crossbar":
+        builder = builder.crossbar()
+    elif kind == "mesh":
+        builder = builder.mesh()
+    return builder
+
+
+def _run(builder, name, observe, **params):
+    if observe:
+        builder = builder.trace().metrics(interval_cycles=128)
+    config = builder.build()
+    inst = workload.create(name, config, **params)
+    platform = Platform(config)
+    platform.add_tasks(inst.tasks)
+    return platform.run(), platform
+
+
+@pytest.mark.parametrize("kind", ["shared_bus", "crossbar", "mesh"])
+def test_obs_does_not_perturb_simulated_time(kind):
+    off, _ = _run(_builder(kind), "producer_consumer", False,
+                  num_items=8, seed=3)
+    on, platform = _run(_builder(kind), "producer_consumer", True,
+                        num_items=8, seed=3)
+    assert on.simulated_time == off.simulated_time
+    for counter in COUNTERS:
+        assert on.kernel_stats[counter] == off.kernel_stats[counter], counter
+    assert on.results == off.results
+    # ... while actually having observed something.
+    assert len(platform.obs.trace) > 0
+    assert len(on.timeseries) > 0
+
+
+def test_obs_transparent_with_devices_and_caches():
+    def builder():
+        return (PlatformBuilder().pes(2).wrapper_memories(2).dma(2)
+                .l1_cache(sets=8, ways=2, line_bytes=16))
+
+    off, _ = _run(builder(), "stress_dma_copy", False, words=32, seed=5)
+    on, platform = _run(builder(), "stress_dma_copy", True, words=32, seed=5)
+    assert on.simulated_time == off.simulated_time
+    for counter in COUNTERS:
+        assert on.kernel_stats[counter] == off.kernel_stats[counter], counter
+    assert on.results == off.results
+    trace = platform.obs.trace
+    assert trace.by_category("dma"), "DMA transfer spans expected"
+    assert trace.by_category("irq"), "IRQ instants expected"
+    assert trace.by_category("cache"), "cache fill/writeback spans expected"
+
+
+def test_obs_transparent_alongside_sanitizers():
+    """Both observer stacks attach without displacing each other."""
+    base, _ = _run(_builder("shared_bus"), "producer_consumer", False,
+                   num_items=8, seed=3)
+    builder = _builder("shared_bus").sanitize()
+    both, platform = _run(builder, "producer_consumer", True,
+                          num_items=8, seed=3)
+    assert both.simulated_time == base.simulated_time
+    for counter in COUNTERS:
+        assert both.kernel_stats[counter] == base.kernel_stats[counter]
+    assert both.sanitizer_reports == []
+    assert platform.irq_controller is None  # no devices in this scenario
+    assert len(platform.obs.trace) > 0
+
+
+def test_obs_disabled_installs_zero_hooks():
+    config = _builder("shared_bus").build()
+    assert config.obs is None
+    platform = Platform(config)
+    assert platform.obs is None
+    assert platform.interconnect._issue_hooks == []
+    assert platform.interconnect._complete_hooks == []
+
+
+def test_obs_enabled_installs_hooks_and_observer_slots():
+    config = (_builder("shared_bus").dma(1)
+              .trace().metrics(interval_cycles=64).build())
+    platform = Platform(config)
+    assert platform.obs is not None
+    assert len(platform.interconnect._issue_hooks) == 1
+    assert len(platform.interconnect._complete_hooks) == 1
+    assert platform.irq_controller.obs_observer is platform.obs
+    assert platform.irq_controller.check_observer is None  # untouched
+    for engine in platform.dma_engines:
+        assert engine.obs_observer is platform.obs

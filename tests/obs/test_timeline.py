@@ -1,0 +1,40 @@
+"""The text timeline renderer."""
+
+from repro.obs import TraceCollector, longest_spans, render_timeline
+
+
+def _collector():
+    collector = TraceCollector()
+    collector.complete("task", "task", 0, 1000, ("pes", "pe0"))
+    collector.complete("read smem0", "fabric", 100, 200, ("fabric", "pe0"))
+    collector.instant("irq raise", "irq", 500, ("devices", "irq"))
+    collector.counter("platform", "metrics", 250, ("metrics", "counters"),
+                      {"x": 1})
+    return collector
+
+
+def test_render_marks_spans_instants_and_counters():
+    text = render_timeline(_collector(), width=40)
+    lines = text.splitlines()
+    assert lines[0].startswith("timeline 0 .. 1_000 ps")
+    by_label = {line.split()[0]: line for line in lines[1:-1]}
+    assert "=" in by_label["pes/pe0"]
+    assert "!" in by_label["devices/irq"]
+    assert "*" in by_label["metrics/counters"]
+    assert by_label["pes/pe0"].rstrip().endswith("1 ev")
+    assert lines[-1].startswith("legend:")
+
+
+def test_category_filter_and_empty_render():
+    text = render_timeline(_collector(), width=40, categories=("irq",))
+    assert "pes/pe0" not in text and "devices/irq" in text
+    assert render_timeline([], width=40) == "timeline: no events"
+
+
+def test_render_is_deterministic():
+    assert render_timeline(_collector()) == render_timeline(_collector())
+
+
+def test_longest_spans_orders_by_duration():
+    spans = longest_spans(_collector(), count=5)
+    assert [span.name for span in spans] == ["task", "read smem0"]
