@@ -30,7 +30,10 @@ The package is organised as the paper's Figure 1:
 * :mod:`repro.api` — the declarative experiment layer: platform builder,
   scenarios, the (optionally process-sharded) experiment runner and
   structured result writers;
-* :mod:`repro.analysis` — evaluation metrics.
+* :mod:`repro.store` — the sweep observatory substrate: content-addressed
+  persistent result store (SQLite) and live sweep telemetry;
+* :mod:`repro.analysis` — evaluation metrics and the sweep dashboard
+  (``python -m repro.analysis.serve``).
 
 Quick start::
 
@@ -63,7 +66,7 @@ or, with a registered workload (see :data:`repro.sw.workload`)::
     [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "analysis",
@@ -76,6 +79,7 @@ __all__ = [
     "memory",
     "noc",
     "soc",
+    "store",
     "sw",
     "wrapper",
 ]

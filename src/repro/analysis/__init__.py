@@ -2,7 +2,10 @@
 
 Trace analysis (Perfetto export, text timelines, longest-span digests)
 lives in :mod:`repro.obs`; the conversion entry points are re-exported
-here so analysis scripts have one import surface.
+here so analysis scripts have one import surface.  The sweep observatory
+(:mod:`repro.analysis.serve`) exposes a persisted
+:class:`~repro.store.ResultStore` over HTTP and an offline ``query``
+CLI — run ``python -m repro.analysis.serve --help``.
 """
 
 from .bench_compare import (
@@ -25,7 +28,17 @@ from ..obs.export import chrome_trace, write_trace
 from ..obs.timeline import longest_spans, render_timeline
 from .sweep import best_point, expand_grid, run_sweep, sweep_table
 
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.analysis.serve`` must not find the module
+    # pre-imported (runpy would warn and execute a second copy).
+    if name == "DashboardData":
+        from .serve import DashboardData
+        return DashboardData
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "DashboardData",
     "best_point",
     "chrome_trace",
     "compare_bench_entries",

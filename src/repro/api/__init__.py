@@ -11,6 +11,9 @@ co-simulation platform:
 * :class:`ExperimentRunner` / :func:`run_scenario` — serial or
   process-sharded execution with per-run timeouts and seeded
   reproducibility;
+* :class:`~repro.store.ResultStore` / :class:`~repro.store.SweepMonitor`
+  — content-addressed result caching and live sweep telemetry
+  (re-exported from :mod:`repro.store`);
 * :func:`results_table` / :func:`write_json` / :func:`write_csv` —
   structured result output;
 * :func:`drive` / :func:`single_memory_testbench` — micro-benchmark
@@ -48,6 +51,7 @@ from .perf import BenchResult, PerfRecorder, PerfTimer, bench_json_path, load_be
 from .results import kernel_rates_table, results_table, write_csv, write_json
 from .runner import ExperimentRunner, run_scenario, run_tasks
 from .scenario import Scenario, ScenarioResult, expand_grid, scenario_grid
+from ..store import ResultStore, SweepMonitor, UncacheableScenarioError
 
 __all__ = [
     "BenchResult",
@@ -67,9 +71,12 @@ __all__ = [
     "PerfRecorder",
     "PerfTimer",
     "PlatformBuilder",
+    "ResultStore",
     "Scenario",
     "ScenarioResult",
+    "SweepMonitor",
     "TimerConfig",
+    "UncacheableScenarioError",
     "Workload",
     "WorkloadError",
     "WorkloadRegistry",

@@ -23,8 +23,10 @@ regressions of the scheduler fast path.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
@@ -208,18 +210,34 @@ class PerfRecorder:
 
     # -- persistence ---------------------------------------------------------
     def flush(self) -> str:
-        """Merge the collected records into the JSON file; returns the path."""
-        payload = self._load()
-        entries = payload.setdefault("entries", {})
-        for record in self.records:
-            entries[record.key] = record.as_dict()
-        payload["schema"] = SCHEMA
-        payload["count"] = len(entries)
-        tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, self.path)
+        """Merge the collected records into the JSON file; returns the path.
+
+        Crash-safe and concurrent-safe: the read-merge-write cycle runs
+        under an exclusive lock file (so two bench processes flushing the
+        same file cannot drop each other's rows) and the new content lands
+        via a uniquely named temp file + atomic ``os.replace`` (so a crash
+        mid-write never leaves a truncated ``BENCH_kernel.json`` behind).
+        """
+        with _flush_lock(self.path):
+            payload = self._load()
+            entries = payload.setdefault("entries", {})
+            for record in self.records:
+                entries[record.key] = record.as_dict()
+            payload["schema"] = SCHEMA
+            payload["count"] = len(entries)
+            directory = os.path.dirname(os.path.abspath(self.path))
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(self.path) + ".",
+                suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                    handle.write("\n")
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
+                raise
         return self.path
 
     def _load(self) -> dict:
@@ -233,6 +251,49 @@ class PerfRecorder:
         if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
             return {}
         return payload
+
+
+#: Seconds a flush waits for a competing process's lock before failing.
+_LOCK_TIMEOUT_S = 30.0
+#: A lock file older than this is presumed abandoned (crashed holder).
+_LOCK_STALE_S = 60.0
+
+
+@contextlib.contextmanager
+def _flush_lock(path: str):
+    """Exclusive cross-process lock guarding one bench file's flush cycle.
+
+    Portable stdlib locking: ``O_CREAT | O_EXCL`` on a ``<path>.lock``
+    sidecar — the creation either succeeds atomically or raises.  Waiters
+    back off briefly and retry; a lock whose mtime is older than
+    ``_LOCK_STALE_S`` is treated as abandoned by a crashed holder and
+    broken.  Raises ``TimeoutError`` after ``_LOCK_TIMEOUT_S`` so a stuck
+    lock is a loud failure, not a silent hang.
+    """
+    lock_path = f"{path}.lock"
+    deadline = time.monotonic() + _LOCK_TIMEOUT_S
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            with contextlib.suppress(OSError):
+                if time.time() - os.path.getmtime(lock_path) > _LOCK_STALE_S:
+                    os.unlink(lock_path)  # break the abandoned lock
+                    continue
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"could not acquire {lock_path} within "
+                    f"{_LOCK_TIMEOUT_S:.0f}s; remove it if its owner died"
+                ) from None
+            time.sleep(0.01)  # noqa: RC002 - host-side lock backoff
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(lock_path)
 
 
 def load_bench_entries(path: Optional[str] = None) -> Dict[str, dict]:

@@ -96,6 +96,20 @@ class Scenario:
             return self.workload
         return getattr(self.workload, "__name__", repr(self.workload))
 
+    # -- content addressing ------------------------------------------------------
+    def cache_key(self, code_version: Optional[str] = None) -> str:
+        """Stable content key of this scenario (see :mod:`repro.store`).
+
+        Two scenarios share a key exactly when they describe the same
+        simulation under the same code: canonicalized config, registry
+        workload name, params, seed, run limits and checks all equal —
+        dict ordering never matters.  Raises
+        :class:`~repro.store.hashing.UncacheableScenarioError` for inline
+        workload factories, whose behaviour no content key can observe.
+        """
+        from ..store.hashing import scenario_key
+        return scenario_key(self, code_version=code_version)
+
 
 @dataclass
 class ScenarioResult:
@@ -124,6 +138,14 @@ class ScenarioResult:
     #: The platform instance (serial in-process runs with
     #: ``keep_platforms=True`` only; never crosses a process boundary).
     platform: object = None
+    #: Content key the result is stored under (runs with a result store
+    #: only; ``None`` for uncacheable scenarios and store-less runs).
+    cache_key: Optional[str] = None
+    #: True when this result came out of the store instead of a fresh
+    #: simulation.  Runtime provenance, like ``platform``: deliberately
+    #: excluded from :meth:`as_dict` so a cached re-run serialises
+    #: byte-identically to the cold run that produced it.
+    cached: bool = False
 
     # -- views ------------------------------------------------------------------------
     def row(self) -> Dict[str, object]:
@@ -158,6 +180,7 @@ class ScenarioResult:
             "timed_out": self.timed_out,
             "host_seconds": self.host_seconds,
             "index": self.index,
+            "cache_key": self.cache_key,
             "report": None if self.report is None else self.report.as_dict(),
         }
 

@@ -1,0 +1,52 @@
+"""repro.store — the persistent sweep observatory substrate.
+
+Three pieces that turn :class:`~repro.api.runner.ExperimentRunner` sweeps
+from fire-and-forget scripts into an incremental, observable service:
+
+* :mod:`repro.store.hashing` — stable content keys for scenarios
+  (:func:`scenario_key`): canonicalized config + workload name + params +
+  seed, salted with a code version;
+* :mod:`repro.store.store` — :class:`ResultStore`, the SQLite-backed,
+  schema-versioned, corruption-tolerant result cache (``get``/``put``/
+  ``invalidate``); re-running an unchanged scenario is a cache hit, a
+  killed sweep resumes from what it already completed;
+* :mod:`repro.store.telemetry` — :class:`SweepEvent` structured worker
+  events, the JSONL event log, and :class:`SweepMonitor`'s live progress
+  line + straggler/failure summary.
+
+The query front door over all of it is ``python -m repro.analysis.serve``.
+"""
+
+from .hashing import (
+    CODE_VERSION,
+    UncacheableScenarioError,
+    canonical_scenario,
+    canonical_value,
+    scenario_key,
+)
+from .store import DEFAULT_FILENAME, SCHEMA_VERSION, ResultStore
+from .telemetry import (
+    EVENT_KINDS,
+    TERMINAL_KINDS,
+    SweepEvent,
+    SweepMonitor,
+    read_events,
+    sweep_progress,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "DEFAULT_FILENAME",
+    "EVENT_KINDS",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SweepEvent",
+    "SweepMonitor",
+    "TERMINAL_KINDS",
+    "UncacheableScenarioError",
+    "canonical_scenario",
+    "canonical_value",
+    "read_events",
+    "scenario_key",
+    "sweep_progress",
+]

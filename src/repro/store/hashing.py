@@ -1,0 +1,134 @@
+"""Stable content hashing of scenarios — the result-store cache key.
+
+A :class:`~repro.api.scenario.Scenario` is plain data (config dataclass +
+registry workload name + params + seed + limits), so two scenarios that
+describe the same experiment can be given the same *content key*:
+:func:`scenario_key` canonicalizes the scenario into a JSON document with
+deterministic ordering (dict keys sorted, enums by class+value, dataclasses
+by class+field map, floats by ``repr``) and hashes it with SHA-256.  The key
+is what :class:`~repro.store.store.ResultStore` indexes results by — equal
+key means "this exact simulation has already been run".
+
+Every key is salted with a *code version* (:data:`CODE_VERSION`, bumped with
+the package version) so results cached by an older build of the simulator
+never masquerade as results of the current one; callers running from a
+working tree can pass their own salt (e.g. a git commit hash) for stricter
+invalidation.
+
+Not everything is hashable: a scenario whose workload is an inline factory
+(not a registry name) has behaviour the key cannot see, and
+:func:`scenario_key` raises :class:`UncacheableScenarioError` for it — the
+runner treats such scenarios as permanent cache misses.  Result *checks*
+are represented by their ``module.qualname`` (their code is covered by the
+code-version salt like all other repo code).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Optional
+
+from .. import __version__
+
+#: Schema tag of the canonical document; bump on canonicalization changes.
+KEY_SCHEMA = "repro.store.key/v1"
+
+#: Default code-version salt: results cached by one package version are
+#: invisible to every other version.
+CODE_VERSION = f"repro/{__version__}"
+
+
+class UncacheableScenarioError(ValueError):
+    """The scenario has no stable content key (e.g. an inline workload
+    factory, whose behaviour the key cannot observe)."""
+
+
+def canonical_value(value: object) -> object:
+    """Recursively convert ``value`` into a JSON-stable representation.
+
+    The output is deterministic across processes and interpreter runs:
+    container ordering is preserved (dict keys are sorted at dump time),
+    enums and dataclasses carry their class names so equal payloads of
+    different types hash differently, and floats go through ``repr`` so
+    the full precision participates in the key.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["float", repr(value)]
+    if isinstance(value, bytes):
+        return ["bytes", value.hex()]
+    if isinstance(value, enum.Enum):
+        return ["enum", _type_name(type(value)), canonical_value(value.value)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: canonical_value(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return ["dataclass", _type_name(type(value)), fields]
+    if isinstance(value, dict):
+        return {str(key): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return ["set", sorted(json.dumps(canonical_value(item), sort_keys=True)
+                              for item in value)]
+    if callable(value):
+        return ["callable", _callable_name(value)]
+    if hasattr(value, "__dict__"):
+        return ["object", _type_name(type(value)),
+                canonical_value(vars(value))]
+    return ["repr", repr(value)]
+
+
+def _type_name(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _callable_name(fn: object) -> str:
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{qualname}"
+
+
+def canonical_scenario(scenario, *, code_version: Optional[str] = None) -> dict:
+    """The canonical key document of one scenario (pre-hash form).
+
+    Raises :class:`UncacheableScenarioError` when the scenario's workload
+    is an inline factory: the registry *name* is the only workload
+    reference whose behaviour is pinned by repo code (and therefore by the
+    code-version salt).
+    """
+    if not isinstance(scenario.workload, str):
+        raise UncacheableScenarioError(
+            f"scenario {scenario.name!r} references an inline workload "
+            f"factory ({_callable_name(scenario.workload)}); only "
+            f"registry-named workloads have a stable content key"
+        )
+    return {
+        "schema": KEY_SCHEMA,
+        "code_version": code_version or CODE_VERSION,
+        "name": scenario.name,
+        "config": canonical_value(scenario.config),
+        "workload": scenario.workload,
+        "params": canonical_value(scenario.params),
+        "seed": scenario.seed,
+        "max_time": scenario.max_time,
+        "expect_finished": scenario.expect_finished,
+        "checks": [_callable_name(check) for check in scenario.checks],
+        "overrides": canonical_value(scenario.overrides),
+    }
+
+
+def scenario_key(scenario, *, code_version: Optional[str] = None) -> str:
+    """SHA-256 content key of a scenario (64 hex chars).
+
+    Equal keys mean "the same simulation under the same code": the same
+    canonicalized config, workload name, params, seed, limits, checks and
+    code-version salt.  Dict ordering never matters; any value change —
+    one config field, one param, the seed — produces a different key.
+    """
+    document = canonical_scenario(scenario, code_version=code_version)
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -1,7 +1,9 @@
 """Tests for the perf subsystem: PerfTimer, BenchResult, PerfRecorder."""
 
 import json
+import os
 
+import pytest
 
 from repro.api import (
     BenchResult,
@@ -14,6 +16,18 @@ from repro.api import (
     load_bench_entries,
 )
 from repro.api.perf import ENV_PATH, SCHEMA
+
+
+def _flush_many(path, rank):
+    """Spawn-process body: many small racing flushes into one file."""
+    for step in range(10):
+        recorder = PerfRecorder(f"bench_{rank}", path=path)
+        recorder.record_measurement(f"s{step}", 0.1)
+        recorder.flush()
+
+
+def _raise_mid_replace(*_args, **_kwargs):
+    raise RuntimeError("simulated crash")
 
 
 class TestPerfTimer:
@@ -126,3 +140,43 @@ class TestPerfRecorder:
 
     def test_load_missing_file_is_empty(self, tmp_path):
         assert load_bench_entries(str(tmp_path / "absent.json")) == {}
+
+    def test_concurrent_flushes_lose_no_entries(self, tmp_path):
+        """Parallel CI shards flush into one bench file; the lock + atomic
+        replace must keep every process's rows."""
+        import multiprocessing
+
+        path = str(tmp_path / "bench.json")
+        context = multiprocessing.get_context("spawn")
+        workers = [context.Process(target=_flush_many, args=(path, rank))
+                   for rank in range(4)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        entries = load_bench_entries(path)
+        assert len(entries) == 4 * 10
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name != "bench.json"]
+        assert leftovers == []  # no .tmp or .lock debris
+
+    def test_interrupted_flush_leaves_old_file_intact(self, tmp_path,
+                                                      monkeypatch):
+        path = str(tmp_path / "bench.json")
+        recorder = PerfRecorder("bench", path=path)
+        recorder.record_measurement("s", 1.0)
+        recorder.flush()
+
+        crashing = PerfRecorder("bench", path=path)
+        crashing.record_measurement("other", 2.0)
+        monkeypatch.setattr(os, "replace",
+                            _raise_mid_replace)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashing.flush()
+        monkeypatch.undo()
+        entries = load_bench_entries(path)
+        assert set(entries) == {"bench/s"}  # old contents survived
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name != "bench.json"]
+        assert leftovers == []

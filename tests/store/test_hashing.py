@@ -1,0 +1,122 @@
+"""Scenario content-key semantics: stability, sensitivity, uncacheability."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import PlatformBuilder, Scenario
+from repro.soc.config import InterconnectKind
+from repro.store import (
+    CODE_VERSION,
+    UncacheableScenarioError,
+    canonical_value,
+    scenario_key,
+)
+
+
+def _config(**overrides):
+    config = PlatformBuilder().pes(2).wrapper_memories(1).build()
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _scenario(**kwargs):
+    defaults = dict(name="point", config=_config(), workload="fir",
+                    params={"num_samples": 8, "seed": 3}, seed=42)
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestKeyStability:
+    def test_key_is_deterministic(self):
+        assert _scenario().cache_key() == _scenario().cache_key()
+
+    def test_param_dict_ordering_does_not_matter(self):
+        a = _scenario(params={"num_samples": 8, "seed": 3})
+        b = _scenario(params={"seed": 3, "num_samples": 8})
+        assert a.cache_key() == b.cache_key()
+
+    def test_override_dict_ordering_does_not_matter(self):
+        a = _scenario(overrides={"x": 1, "y": 2})
+        b = _scenario(overrides={"y": 2, "x": 1})
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_shape(self):
+        key = _scenario().cache_key()
+        assert len(key) == 64
+        assert int(key, 16) >= 0  # hex digest
+
+    def test_module_function_matches_method(self):
+        scenario = _scenario()
+        assert scenario.cache_key() == scenario_key(scenario)
+
+
+class TestKeySensitivity:
+    def test_config_change_misses(self):
+        a = _scenario(config=_config())
+        b = _scenario(config=_config(num_memories=2))
+        assert a.cache_key() != b.cache_key()
+
+    def test_enum_config_change_misses(self):
+        a = _scenario(config=_config())
+        b = _scenario(
+            config=_config(interconnect=InterconnectKind.CROSSBAR))
+        assert a.cache_key() != b.cache_key()
+
+    def test_seed_change_misses(self):
+        assert _scenario(seed=1).cache_key() != _scenario(seed=2).cache_key()
+
+    def test_workload_change_misses(self):
+        assert (_scenario(workload="fir", params={}).cache_key()
+                != _scenario(workload="matmul", params={}).cache_key())
+
+    def test_param_change_misses(self):
+        a = _scenario(params={"num_samples": 8})
+        b = _scenario(params={"num_samples": 16})
+        assert a.cache_key() != b.cache_key()
+
+    def test_max_time_change_misses(self):
+        assert (_scenario(max_time=None).cache_key()
+                != _scenario(max_time=10_000).cache_key())
+
+    def test_code_version_salt_misses(self):
+        scenario = _scenario()
+        assert (scenario.cache_key()
+                == scenario.cache_key(code_version=CODE_VERSION))
+        assert (scenario.cache_key(code_version="a")
+                != scenario.cache_key(code_version="b"))
+
+
+class TestUncacheable:
+    def test_inline_factory_raises(self):
+        def factory(config, **params):
+            return []
+
+        scenario = _scenario(workload=factory, params={})
+        with pytest.raises(UncacheableScenarioError, match="inline workload"):
+            scenario.cache_key()
+
+
+class TestCanonicalValue:
+    def test_scalars_pass_through(self):
+        assert canonical_value(None) is None
+        assert canonical_value(True) is True
+        assert canonical_value(7) == 7
+        assert canonical_value("x") == "x"
+
+    def test_float_full_precision(self):
+        assert canonical_value(0.1) == ["float", repr(0.1)]
+
+    def test_enum_carries_class(self):
+        tagged = canonical_value(InterconnectKind.MESH)
+        assert tagged[0] == "enum"
+        assert tagged[1].endswith("InterconnectKind")
+        assert tagged[2] == "mesh"
+
+    def test_dataclass_carries_class_and_fields(self):
+        tagged = canonical_value(_config())
+        assert tagged[0] == "dataclass"
+        assert tagged[1].endswith("PlatformConfig")
+        assert tagged[2]["num_pes"] == 2
+
+    def test_sets_are_order_free(self):
+        assert canonical_value({3, 1, 2}) == canonical_value({2, 3, 1})
