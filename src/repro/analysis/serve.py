@@ -134,8 +134,15 @@ class DashboardData:
         return {"dir": self.traces_dir, "files": files}
 
     def trace_path(self, name: str) -> Optional[str]:
-        """Filesystem path of one listed trace artifact (path-safe)."""
+        """Filesystem path of one *listed* trace artifact (path-safe).
+
+        Only names the :meth:`traces` listing would show are served: a
+        bare basename with a ``.json``/``.csv`` extension.  Anything else
+        sitting in the traces directory is not downloadable.
+        """
         if not self.traces_dir or os.path.basename(name) != name:
+            return None
+        if not name.endswith((".json", ".csv")):
             return None
         path = os.path.join(self.traces_dir, name)
         return path if os.path.isfile(path) else None
@@ -361,9 +368,19 @@ def make_handler(data: DashboardData, refresh_s: Optional[int] = None):
             if path is None:
                 self._send_json({"error": "no such trace"}, status=404)
                 return
+            # Stream in chunks: trace exports can be large and one request
+            # must not hold the whole artifact in memory.
             with open(path, "rb") as handle:
-                body = handle.read()
-            self._send(body, "application/octet-stream", 200)
+                size = os.fstat(handle.fileno()).st_size
+                self.send_response(200)
+                self.send_header("Content-Type", "application/octet-stream")
+                self.send_header("Content-Length", str(size))
+                self.end_headers()
+                while True:
+                    chunk = handle.read(64 * 1024)
+                    if not chunk:
+                        break
+                    self.wfile.write(chunk)
 
         def _send(self, body: bytes, content_type: str, status: int) -> None:
             self.send_response(status)

@@ -267,8 +267,12 @@ def _flush_lock(path: str):
     sidecar — the creation either succeeds atomically or raises.  Waiters
     back off briefly and retry; a lock whose mtime is older than
     ``_LOCK_STALE_S`` is treated as abandoned by a crashed holder and
-    broken.  Raises ``TimeoutError`` after ``_LOCK_TIMEOUT_S`` so a stuck
-    lock is a loud failure, not a silent hang.
+    broken.  The break itself is an atomic rename to a per-process name,
+    so when several waiters observe the same stale lock exactly one of
+    them removes it — a slow waiter can never unlink the *fresh* lock a
+    faster waiter just created.  Raises ``TimeoutError`` after
+    ``_LOCK_TIMEOUT_S`` so a stuck lock is a loud failure, not a silent
+    hang.
     """
     lock_path = f"{path}.lock"
     deadline = time.monotonic() + _LOCK_TIMEOUT_S
@@ -277,10 +281,8 @@ def _flush_lock(path: str):
             fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             break
         except FileExistsError:
-            with contextlib.suppress(OSError):
-                if time.time() - os.path.getmtime(lock_path) > _LOCK_STALE_S:
-                    os.unlink(lock_path)  # break the abandoned lock
-                    continue
+            if _break_stale_lock(lock_path):
+                continue
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"could not acquire {lock_path} within "
@@ -294,6 +296,43 @@ def _flush_lock(path: str):
     finally:
         with contextlib.suppress(OSError):
             os.unlink(lock_path)
+
+
+def _break_stale_lock(lock_path: str) -> bool:
+    """Atomically remove ``lock_path`` if abandoned; True when broken.
+
+    The removal renames the lock to a unique per-process name — rename is
+    atomic, so of any number of waiters racing on the same stale lock at
+    most one succeeds and the rest see ``FileNotFoundError``.  After the
+    rename the captured file's identity is compared against the pre-check
+    stat: if a fresh lock replaced the stale one between stat and rename
+    (the lost-update window of a naive unlink) the live lock is restored
+    via ``os.link`` — which fails instead of clobbering if yet another
+    lock appeared meanwhile — and the break is not claimed.
+    """
+    try:
+        stat = os.stat(lock_path)
+    except OSError:
+        return True  # gone already: retry acquisition
+    if time.time() - stat.st_mtime <= _LOCK_STALE_S:
+        return False
+    grabbed = f"{lock_path}.break.{os.getpid()}"
+    try:
+        os.rename(lock_path, grabbed)
+    except OSError:
+        return False  # another waiter won the break (or the holder left)
+    try:
+        taken = os.stat(grabbed)
+        if (taken.st_ino, taken.st_mtime) == (stat.st_ino, stat.st_mtime):
+            return True  # we removed exactly the stale lock we measured
+        # We grabbed a *fresh* lock created inside the stat->rename
+        # window: hand it back without clobbering any newer one.
+        with contextlib.suppress(OSError):
+            os.link(grabbed, lock_path)
+        return False
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(grabbed)
 
 
 def load_bench_entries(path: Optional[str] = None) -> Dict[str, dict]:

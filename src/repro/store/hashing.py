@@ -34,7 +34,7 @@ from typing import Optional
 from .. import __version__
 
 #: Schema tag of the canonical document; bump on canonicalization changes.
-KEY_SCHEMA = "repro.store.key/v1"
+KEY_SCHEMA = "repro.store.key/v2"
 
 #: Default code-version salt: results cached by one package version are
 #: invisible to every other version.
@@ -49,11 +49,17 @@ class UncacheableScenarioError(ValueError):
 def canonical_value(value: object) -> object:
     """Recursively convert ``value`` into a JSON-stable representation.
 
-    The output is deterministic across processes and interpreter runs:
-    container ordering is preserved (dict keys are sorted at dump time),
-    enums and dataclasses carry their class names so equal payloads of
-    different types hash differently, and floats go through ``repr`` so
-    the full precision participates in the key.
+    The output is deterministic across processes and interpreter runs and
+    *unambiguous*: JSON scalars (``None``/bool/int/str) pass through, and
+    every other value becomes a ``[tag, ...]`` list whose first element
+    names its kind — including plain lists (``["list", ...]``) and dicts
+    (``["dict", [[key, value], ...]]``) — so a literal param value such as
+    ``["float", "1.0"]`` can never canonicalize to the same document as
+    the float ``1.0``, and dict keys ``1`` and ``"1"`` stay distinct.
+    Container ordering is preserved for sequences, dict/set entries are
+    sorted by their canonical encoding, enums and dataclasses carry their
+    class names, and floats go through ``repr`` so the full precision
+    participates in the key.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
@@ -64,15 +70,18 @@ def canonical_value(value: object) -> object:
     if isinstance(value, enum.Enum):
         return ["enum", _type_name(type(value)), canonical_value(value.value)]
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = {f.name: canonical_value(getattr(value, f.name))
-                  for f in dataclasses.fields(value)}
-        return ["dataclass", _type_name(type(value)), fields]
+        fields = [[f.name, canonical_value(getattr(value, f.name))]
+                  for f in dataclasses.fields(value)]
+        return ["dataclass", _type_name(type(value)),
+                sorted(fields, key=lambda pair: pair[0])]
     if isinstance(value, dict):
-        return {str(key): canonical_value(item) for key, item in value.items()}
+        items = [[canonical_value(key), canonical_value(item)]
+                 for key, item in value.items()]
+        return ["dict", sorted(items, key=lambda pair: _encode(pair[0]))]
     if isinstance(value, (list, tuple)):
-        return [canonical_value(item) for item in value]
+        return ["list"] + [canonical_value(item) for item in value]
     if isinstance(value, (set, frozenset)):
-        return ["set", sorted(json.dumps(canonical_value(item), sort_keys=True)
+        return ["set", sorted(_encode(canonical_value(item))
                               for item in value)]
     if callable(value):
         return ["callable", _callable_name(value)]
@@ -80,6 +89,12 @@ def canonical_value(value: object) -> object:
         return ["object", _type_name(type(value)),
                 canonical_value(vars(value))]
     return ["repr", repr(value)]
+
+
+def _encode(canonical: object) -> str:
+    """Deterministic JSON encoding of an already-canonical node (used to
+    order dict/set entries)."""
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":"))
 
 
 def _type_name(cls: type) -> str:

@@ -219,13 +219,27 @@ class _RestrictedUnpickler(pickle.Unpickler):
     The store only ever contains payloads this package wrote, but the file
     sits on disk where anything may have scribbled on it — refusing
     non-``repro`` globals turns a tampered payload into an ordinary corrupt
-    row (a miss) instead of arbitrary object construction.
+    row (a miss) instead of arbitrary object construction.  The allowlist
+    is exact: our own package plus the container types stdlib pickling
+    legitimately references by global; never ``eval``/``exec``/``getattr``
+    or any other builtin with call-time side effects.
     """
 
-    _ALLOWED_ROOTS = ("repro.", "builtins", "collections", "enum")
+    #: Exact stdlib modules a ScenarioResult payload may reference.
+    _EXACT_MODULES = frozenset({"collections", "enum"})
+    #: Side-effect-free builtins pickling emits as GLOBAL/STACK_GLOBAL.
+    _SAFE_BUILTINS = frozenset({
+        "set", "frozenset", "dict", "list", "tuple",
+        "bytearray", "complex", "range", "slice",
+    })
 
     def find_class(self, module: str, name: str):
-        if module == "builtins" or module.startswith(self._ALLOWED_ROOTS):
+        allowed = (
+            module == "repro" or module.startswith("repro.")
+            or module in self._EXACT_MODULES
+            or (module == "builtins" and name in self._SAFE_BUILTINS)
+        )
+        if allowed:
             return super().find_class(module, name)
         raise pickle.UnpicklingError(
             f"payload references forbidden global {module}.{name}")

@@ -81,6 +81,17 @@ class TestDashboardData:
         assert data.trace_path("../escape.json") is None
         assert data.trace_path("absent.json") is None
 
+    def test_unlisted_extensions_are_not_served(self, sweep_dir, data):
+        # A stray file in the traces dir is neither listed nor fetchable.
+        stray = sweep_dir["root"] / "traces" / "secrets.txt"
+        stray.write_text("not a trace")
+        try:
+            names = [f["name"] for f in data.traces()["files"]]
+            assert "secrets.txt" not in names
+            assert data.trace_path("secrets.txt") is None
+        finally:
+            stray.unlink()
+
     def test_missing_artifacts_are_empty_not_fatal(self, tmp_path):
         empty = DashboardData(store_path=str(tmp_path / "none.sqlite"))
         assert empty.results()["count"] == 0

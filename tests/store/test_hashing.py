@@ -116,7 +116,35 @@ class TestCanonicalValue:
         tagged = canonical_value(_config())
         assert tagged[0] == "dataclass"
         assert tagged[1].endswith("PlatformConfig")
-        assert tagged[2]["num_pes"] == 2
+        assert ["num_pes", 2] in tagged[2]
 
     def test_sets_are_order_free(self):
         assert canonical_value({3, 1, 2}) == canonical_value({2, 3, 1})
+
+    def test_dicts_are_order_free(self):
+        assert (canonical_value({"a": 1, "b": 2})
+                == canonical_value({"b": 2, "a": 1}))
+
+
+class TestCanonicalUnambiguity:
+    """Tagged forms must never collide with literal container values."""
+
+    def test_literal_list_does_not_collide_with_float_tag(self):
+        assert canonical_value(["float", "1.0"]) != canonical_value(1.0)
+
+    def test_literal_list_does_not_collide_with_bytes_tag(self):
+        assert (canonical_value(["bytes", "ff"])
+                != canonical_value(bytes.fromhex("ff")))
+
+    def test_nested_list_tag_does_not_collide(self):
+        assert (canonical_value(["list", "x"])
+                != canonical_value([["x"]]))
+        assert canonical_value(["list", "x"]) != canonical_value(["x"])
+
+    def test_int_and_str_dict_keys_stay_distinct(self):
+        assert canonical_value({1: "x"}) != canonical_value({"1": "x"})
+
+    def test_scenario_keys_differ_for_colliding_literals(self):
+        a = _scenario(params={"p": 1.0})
+        b = _scenario(params={"p": ["float", "1.0"]})
+        assert a.cache_key() != b.cache_key()

@@ -3,6 +3,8 @@
 import os
 import sqlite3
 
+import pytest
+
 from repro.api import ExperimentRunner, PlatformBuilder, Scenario
 from repro.store import SCHEMA_VERSION, ResultStore
 
@@ -124,6 +126,25 @@ class TestCorruptionTolerance:
         with ResultStore(path) as store:
             assert store.get(key) is None
             assert store.stats["corrupt"] == 1
+
+    def test_dangerous_builtins_are_rejected(self, tmp_path):
+        import builtins
+        import pickle
+
+        from repro.store.store import _restricted_loads
+
+        for name in ("eval", "exec", "getattr", "__import__", "open"):
+            evil = pickle.dumps(getattr(builtins, name))
+            with pytest.raises(pickle.UnpicklingError, match="forbidden"):
+                _restricted_loads(evil)
+
+    def test_safe_builtin_containers_still_load(self, tmp_path):
+        import pickle
+
+        from repro.store.store import _restricted_loads
+
+        payload = {"a": frozenset({1, 2}), "b": (3, [4]), "c": bytearray(b"x")}
+        assert _restricted_loads(pickle.dumps(payload)) == payload
 
     def test_non_database_file_is_rebuilt(self, tmp_path):
         path = str(tmp_path / "s.sqlite")
