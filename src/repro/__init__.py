@@ -66,7 +66,7 @@ or, with a registered workload (see :data:`repro.sw.workload`)::
     [result] = ExperimentRunner([scenario]).run()
 """
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "analysis",

@@ -158,6 +158,23 @@ class PlatformBuilder:
             raise BuilderError(f"invalid mesh description: {exc}") from exc
         return self._set(interconnect=InterconnectKind.MESH, noc=noc)
 
+    def partitions(self, count: int,
+                   epoch_cycles: Optional[int] = None) -> "PlatformBuilder":
+        """Partitioned (PDES) execution: shard the mesh into ``count``
+        spatial partitions, each simulated by its own worker process.
+
+        ``count`` must be a power of two (1 disables partitioning);
+        ``epoch_cycles`` overrides the conservative-sync window — the
+        modelled latency of every boundary-crossing link.
+        """
+        count = self._positive_int(count, "partition count")
+        if count & (count - 1):
+            raise BuilderError(
+                f"partition count must be a power of two, got {count}")
+        if epoch_cycles is not None:
+            self._positive_int(epoch_cycles, "epoch cycles")
+        return self._set(partitions=count, pdes_epoch_cycles=epoch_cycles)
+
     def arbitration(self,
                     kind: Union[ArbitrationKind, str] = ArbitrationKind.ROUND_ROBIN,
                     *,

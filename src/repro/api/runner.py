@@ -78,9 +78,17 @@ def run_scenario(scenario: Scenario, *, index: int = 0,
     platform = None
     try:
         bundle = _build_seeded_workload(scenario)
-        platform = Platform(scenario.config)
-        platform.add_tasks(bundle.tasks)
-        report = platform.run(max_time=scenario.max_time)
+        if scenario.config.partitions > 1:
+            # Partitioned (PDES) execution: the coordinator builds one
+            # platform shard per partition itself (each worker rebuilds
+            # the seeded workload), so no platform exists in this process.
+            from ..pdes.coordinator import run_partitioned
+
+            report = run_partitioned(scenario)
+        else:
+            platform = Platform(scenario.config)
+            platform.add_tasks(bundle.tasks)
+            report = platform.run(max_time=scenario.max_time)
         result.report = report
         if scenario.expect_finished and not report.all_pes_finished:
             unfinished = sorted(name for name, done in report.finished.items()
@@ -137,6 +145,19 @@ def _run_check(check, report) -> List[str]:
     if verdict is False:
         return [f"{label}: failed"]
     return [str(verdict)]
+
+
+def _cacheable_report(report) -> bool:
+    """Whether a report may enter the result store.
+
+    Partitioned runs share the sequential scenario key (the partition
+    count is execution strategy, not simulated hardware), which is only
+    sound when the run was bit-identical to sequential — i.e. no message
+    ever paid the boundary-cut latency.  Cross-partition traffic makes
+    the timing a function of the tiling, so those runs are never cached.
+    """
+    pdes = getattr(report, "pdes", None)
+    return pdes is None or pdes.get("boundary_messages") == 0
 
 
 def _scenario_worker(connection, scenario: Scenario, index: int,
@@ -416,7 +437,8 @@ class ExperimentRunner:
         results[index] = result
         if (self.store is not None and key is not None
                 and result.report is not None and result.error is None
-                and not result.timed_out):
+                and not result.timed_out
+                and _cacheable_report(result.report)):
             self.store.put(key, result,
                            workload=self.scenarios[index].workload_name)
         if result.timed_out:

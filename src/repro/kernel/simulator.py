@@ -463,6 +463,19 @@ class Simulator:
             self._immediate_runnable
         )
 
+    def next_activity_time(self) -> Optional[int]:
+        """Earliest time at which this simulator has work, or ``None``.
+
+        ``now`` when delta/immediate work is queued, else the head of the
+        timed heap.  The heap may hold stale (cancelled/overridden)
+        entries, so the returned bound can be earlier than the first entry
+        that actually fires — a conservative lower bound, which is exactly
+        what the PDES coordinator needs for a sound lookahead horizon.
+        """
+        if self._immediate_runnable or self._delta_queue:
+            return self.now
+        return self._timed_events.next_time()
+
     @property
     def runnable_depth(self) -> int:
         """Processes/events queued for the current delta cycle.

@@ -105,7 +105,14 @@ class _OutputPort:
         self.event.notify()
 
     def waiting_lanes(self) -> List[int]:
-        return sorted(lane for lane, queue in self.queues.items() if queue)
+        queues = self.queues
+        if len(queues) == 1:
+            # Fast path: most ports only ever see a single input lane (an
+            # injection port with one local master, a link port fed from
+            # one entry side), so skip the sort and the genexpr.
+            for lane, queue in queues.items():
+                return [lane] if queue else []
+        return sorted(lane for lane, queue in queues.items() if queue)
 
 
 class _SlaveServer:
@@ -193,23 +200,35 @@ class MeshNoc(Fabric):
                          name=f"{label}_{display}")
 
     # -- placement ---------------------------------------------------------------
-    def node_of_master(self, master_id: int) -> int:
+    # The placement rules are static so the partition planner
+    # (:mod:`repro.pdes.plan`) can assign owners from a resolved
+    # :class:`NocConfig` alone, without building the fabric.
+    @staticmethod
+    def master_node(config: NocConfig, master_id: int) -> int:
         """Mesh node of a master (row-major from node 0 by default)."""
-        nodes = self.config.pe_nodes
+        nodes = config.pe_nodes
         if nodes:
             return nodes[master_id % len(nodes)]
-        return master_id % self.num_nodes
+        return master_id % (config.rows * config.cols)
 
-    def node_of_slave(self, slave_index: int) -> int:
+    @staticmethod
+    def slave_node(config: NocConfig, slave_index: int) -> int:
         """Mesh node of the ``slave_index``-th attached slave.
 
         Defaults to spreading slaves from the far corner of the mesh
         backwards, opposite the masters filling it from node 0.
         """
-        nodes = self.config.memory_nodes
+        nodes = config.memory_nodes
+        num_nodes = config.rows * config.cols
         if nodes:
             return nodes[slave_index % len(nodes)]
-        return self.num_nodes - 1 - (slave_index % self.num_nodes)
+        return num_nodes - 1 - (slave_index % num_nodes)
+
+    def node_of_master(self, master_id: int) -> int:
+        return self.master_node(self.config, master_id)
+
+    def node_of_slave(self, slave_index: int) -> int:
+        return self.slave_node(self.config, slave_index)
 
     # -- construction-time wiring --------------------------------------------------
     def _on_attach(self, region: Region, slave: BusSlave) -> None:
@@ -298,6 +317,11 @@ class MeshNoc(Fabric):
         period = self.period
         config = self.config
         net = self._nets[label]
+        # Hoisted out of the per-packet path: these never change after
+        # construction, and the products were recomputed for every hop.
+        router_cycles = config.router_cycles
+        link_cycles = config.link_cycles
+        head_link_time = link_cycles * period
         while True:
             lanes = port.waiting_lanes()
             if not lanes:
@@ -310,11 +334,11 @@ class MeshNoc(Fabric):
             winner = port.arbiter.grant(lanes)
             packet = port.queues[winner].popleft()
             # Router pipeline: route computation, VC and switch allocation.
-            for _ in range(config.router_cycles):
+            for _ in range(router_cycles):
                 yield period
             # The head flit crosses the link...
-            yield config.link_cycles * period
-            tail_cycles = (packet.flits - 1) * config.link_cycles
+            yield head_link_time
+            tail_cycles = (packet.flits - 1) * link_cycles
             if packet.hop + 1 < len(packet.path):
                 # ...and is handed downstream while the body flits still
                 # stream over this channel (wormhole pipelining).  A full
@@ -328,8 +352,8 @@ class MeshNoc(Fabric):
                 if tail_cycles:
                     yield tail_cycles * period
                 self._eject(packet)
-            port.stats.busy_cycles += (config.router_cycles
-                                       + packet.flits * config.link_cycles)
+            port.stats.busy_cycles += (router_cycles
+                                       + packet.flits * link_cycles)
             port.stats.packets += 1
             port.stats.flits += packet.flits
             port.occupancy -= 1

@@ -1,0 +1,34 @@
+"""repro.pdes — partitioned (parallel discrete-event) simulation.
+
+Shards a mesh platform into rectangular spatial partitions, runs each
+partition's event loop in its own worker process, and synchronizes
+conservatively at link-latency epochs:
+
+* :func:`plan_partitions` / :class:`PartitionPlan` — quadrant tiling of
+  the NoC, PE/memory ownership, epoch (lookahead) selection;
+* :class:`~repro.pdes.partition.PartitionSim` — one partition's platform
+  shard plus its epoch-bounded kernel windows;
+* :func:`run_partitioned` — the coordinator: lockstep epoch barriers,
+  boundary-flit routing, null messages (empty outboxes + next-activity
+  reports), merged :class:`~repro.soc.stats.SimulationReport`;
+* :class:`~repro.noc.partitioned.PartitionError` — raised for features
+  that partitioning rejects (re-exported here for convenience).
+
+Scenario code never calls this module directly: setting
+``partitions=N`` on a :class:`~repro.soc.config.PlatformConfig` makes
+:func:`repro.api.run_scenario` dispatch here automatically.
+"""
+
+from ..noc.partitioned import BoundaryFlit, PartitionContext, PartitionError
+from .coordinator import run_partitioned
+from .plan import DEFAULT_EPOCH_CYCLES, PartitionPlan, plan_partitions
+
+__all__ = [
+    "BoundaryFlit",
+    "DEFAULT_EPOCH_CYCLES",
+    "PartitionContext",
+    "PartitionError",
+    "PartitionPlan",
+    "plan_partitions",
+    "run_partitioned",
+]

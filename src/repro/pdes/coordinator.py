@@ -1,0 +1,235 @@
+"""The PDES coordinator: lockstep epoch barriers over worker pipes.
+
+:func:`run_partitioned` plans the tiling, spawns one worker process per
+partition (reusing the :class:`~repro.api.runner.ExperimentRunner`
+pipe-protocol style), and advances all partitions in conservative
+lockstep windows:
+
+1. every partition reports its *next activity time* ``na_p`` — the
+   earliest instant anything can happen there, including its own
+   undelivered inbound flits (this is the null message: an empty outbox
+   plus a time promise);
+2. the coordinator folds in the flits it is still routing and picks the
+   horizon ``H = min_p(effective na_p) + lookahead`` — no partition can
+   receive anything before ``H``, because every boundary crossing pays
+   the full ``epoch_cycles`` cut latency on top of a departure no
+   earlier than ``min_p(effective na_p)``;
+3. all partitions simulate to ``H`` in parallel and exchange the flits
+   that crossed a cut on the way.
+
+When every partition is drained (all ``na`` are ``None`` and nothing is
+in flight) the workers trim their clocks to the last real activity and
+ship their statistics, which :func:`~repro.pdes.merge.merge_reports`
+folds into one sequential-shaped :class:`~repro.soc.stats.SimulationReport`.
+
+Inside an already-forked daemon worker (an ``ExperimentRunner`` shard)
+processes cannot fork again, so the same round loop runs in-process over
+:class:`~repro.pdes.partition.PartitionSim` objects directly — identical
+simulation, no parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _wallclock
+import traceback
+from typing import List, Optional, Tuple
+
+from ..noc.partitioned import BoundaryFlit
+from .merge import merge_reports
+from .partition import PartitionPayload, PartitionSim
+from .plan import PartitionPlan, plan_partitions
+
+#: Hard cap on sync rounds — a runaway backstop far above any real run
+#: (the horizon advances by at least one epoch per round).
+_MAX_ROUNDS = 10_000_000
+
+
+class PartitionWorkerError(RuntimeError):
+    """A partition worker died or reported a failure."""
+
+
+def _partition_main(conn, scenario, plan: PartitionPlan, index: int) -> None:
+    """Worker-process entry point (same pipe idiom as the runner shards)."""
+    try:
+        part = PartitionSim(scenario, plan, index)
+        conn.send(("ready", part.next_activity()))
+        while True:
+            message = conn.recv()
+            if message[0] == "run":
+                _, horizon, inbound = message
+                outbox, bound = part.advance(horizon, inbound)
+                conn.send(("round", outbox, bound))
+            elif message[0] == "finish":
+                conn.send(("final", part.finish()))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {message[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessWorker:
+    """One partition in its own process, spoken to over a pipe."""
+
+    def __init__(self, ctx, scenario, plan: PartitionPlan, index: int) -> None:
+        self.index = index
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_partition_main, args=(child, scenario, plan, index),
+            daemon=True, name=f"pdes-p{index}",
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            raise PartitionWorkerError(
+                f"partition {self.index} worker died "
+                f"(exit code {self.process.exitcode})"
+            ) from None
+        if message[0] == "error":
+            raise PartitionWorkerError(
+                f"partition {self.index} failed:\n{message[1]}")
+        return message
+
+    def ready(self) -> Optional[int]:
+        return self._recv()[1]
+
+    def start_round(self, horizon: int, inbound: List[BoundaryFlit]) -> None:
+        self.conn.send(("run", horizon, inbound))
+
+    def finish_round(self) -> Tuple[List[BoundaryFlit], Optional[int]]:
+        _, outbox, bound = self._recv()
+        return outbox, bound
+
+    def finish(self) -> PartitionPayload:
+        self.conn.send(("finish",))
+        return self._recv()[1]
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - cleanup path
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+class _InProcessWorker:
+    """Fallback: the same round protocol over a local PartitionSim."""
+
+    def __init__(self, scenario, plan: PartitionPlan, index: int) -> None:
+        self.index = index
+        self.part = PartitionSim(scenario, plan, index)
+        self._round: Optional[Tuple[int, List[BoundaryFlit]]] = None
+
+    def ready(self) -> Optional[int]:
+        return self.part.next_activity()
+
+    def start_round(self, horizon: int, inbound: List[BoundaryFlit]) -> None:
+        self._round = (horizon, inbound)
+
+    def finish_round(self) -> Tuple[List[BoundaryFlit], Optional[int]]:
+        horizon, inbound = self._round
+        self._round = None
+        return self.part.advance(horizon, inbound)
+
+    def finish(self) -> PartitionPayload:
+        return self.part.finish()
+
+    def close(self) -> None:
+        pass
+
+
+def run_partitioned(scenario, *, mode: str = "auto"):
+    """Run ``scenario`` partitioned; returns the merged report.
+
+    ``mode`` is ``"process"`` (one worker process per partition),
+    ``"inprocess"`` (same windows, no processes — used automatically
+    inside daemon workers, which cannot fork), or ``"auto"``.
+    """
+    config = scenario.config
+    plan = plan_partitions(config)
+    count = plan.partitions
+    lookahead = plan.epoch_cycles * config.clock_period
+    max_time = scenario.max_time
+    if mode == "auto":
+        mode = ("inprocess" if multiprocessing.current_process().daemon
+                else "process")
+    if mode not in ("process", "inprocess"):
+        raise ValueError(f"unknown PDES mode {mode!r}")
+
+    wall_start = _wallclock.perf_counter()
+    if mode == "process":
+        ctx = multiprocessing.get_context()
+        workers: List = [_ProcessWorker(ctx, scenario, plan, index)
+                         for index in range(count)]
+    else:
+        workers = [_InProcessWorker(scenario, plan, index)
+                   for index in range(count)]
+
+    rounds = 0
+    boundary_messages = 0
+    try:
+        bounds: List[Optional[int]] = [worker.ready() for worker in workers]
+        inbound: List[List[BoundaryFlit]] = [[] for _ in range(count)]
+        frontier = 0
+        while True:
+            effective = list(bounds)
+            for dest in range(count):
+                for flit in inbound[dest]:
+                    if (effective[dest] is None
+                            or flit.deliver_time < effective[dest]):
+                        effective[dest] = flit.deliver_time
+            alive = [bound for bound in effective if bound is not None]
+            if not alive:
+                break
+            earliest = min(alive)
+            if max_time is not None and earliest > max_time:
+                if frontier >= max_time:
+                    break
+                # Nothing more can happen before the deadline: pad every
+                # partition's clock to it, exactly like sc_start.
+                horizon = max_time
+            else:
+                horizon = earliest + lookahead
+                if max_time is not None and horizon > max_time:
+                    horizon = max_time
+            for index, worker in enumerate(workers):
+                worker.start_round(horizon, inbound[index])
+            inbound = [[] for _ in range(count)]
+            for index, worker in enumerate(workers):
+                outbox, bound = worker.finish_round()
+                bounds[index] = bound
+                for flit in outbox:
+                    # The flit's next port key names the node it enters;
+                    # its owner is the destination partition.
+                    node = flit.packet.path[flit.packet.hop][1]
+                    inbound[plan.node_owner[node]].append(flit)
+                    boundary_messages += 1
+            frontier = horizon
+            rounds += 1
+            if rounds > _MAX_ROUNDS:  # pragma: no cover - runaway guard
+                raise PartitionWorkerError(
+                    "PDES round limit exceeded (coordinator stuck?)")
+        payloads = [worker.finish() for worker in workers]
+    finally:
+        for worker in workers:
+            worker.close()
+    wallclock = _wallclock.perf_counter() - wall_start
+    return merge_reports(
+        scenario, plan, payloads,
+        mode=mode, rounds=rounds,
+        boundary_messages=boundary_messages,
+        wallclock_seconds=wallclock,
+    )

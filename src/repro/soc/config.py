@@ -145,6 +145,21 @@ class PlatformConfig:
     device_base_address: int = 0x2000_0000
     #: Address stride between consecutive device windows.
     device_window_stride: int = 0x0001_0000
+    #: Number of spatial partitions the mesh platform is sharded into for
+    #: parallel (PDES) execution — see :mod:`repro.pdes`.  ``1`` (the
+    #: default) is the ordinary sequential simulation, bit-identical to a
+    #: config without the field.  Values > 1 require a mesh interconnect
+    #: and tile the NoC into that many rectangles, each simulated by its
+    #: own event loop; such configs must be run through
+    #: :func:`repro.pdes.run_partitioned` (the scenario runner dispatches
+    #: automatically).
+    partitions: int = 1
+    #: Conservative-sync window of partitioned runs, in clock cycles: every
+    #: boundary-crossing packet is delivered this many cycles after it
+    #: leaves its source partition, and the coordinator advances all
+    #: partitions in lockstep windows bounded by this lookahead.  ``None``
+    #: derives a default from the mesh timing parameters.
+    pdes_epoch_cycles: Optional[int] = None
     #: Name given to the top module.
     name: str = "mpsoc"
 
@@ -210,6 +225,38 @@ class PlatformConfig:
                 )
             # Validates line assignments / names / counts eagerly.
             self.device_layout()
+        if self.partitions < 1 or self.partitions & (self.partitions - 1):
+            raise ValueError("partitions must be a power of two >= 1")
+        if self.pdes_epoch_cycles is not None and self.pdes_epoch_cycles < 1:
+            raise ValueError("pdes_epoch_cycles must be >= 1 (or None)")
+        if self.partitions > 1:
+            if self.interconnect is not InterconnectKind.MESH:
+                raise ValueError(
+                    "partitioned (PDES) execution tiles the mesh NoC; "
+                    "partitions > 1 requires InterconnectKind.MESH"
+                )
+            if self.cache is not None:
+                raise ValueError(
+                    "partitions > 1 does not support caches: MSI snooping "
+                    "needs a global transfer order the partitioned "
+                    "simulation does not provide"
+                )
+            if self.check is not None:
+                raise ValueError(
+                    "partitions > 1 does not support simulation sanitizers: "
+                    "the race detector needs the global event order; run "
+                    "checked simulations sequentially"
+                )
+            if self.devices:
+                raise ValueError(
+                    "partitions > 1 does not support bus-attached devices "
+                    "(DMA/IRQ/timer windows are not partition-aware yet)"
+                )
+            if self.idle_tick_memories:
+                raise ValueError(
+                    "partitions > 1 does not support cycle-driven idle "
+                    "ticking (the host ticker is a global process)"
+                )
 
     # -- derived helpers -----------------------------------------------------------
     def memory_base(self, index: int) -> int:
@@ -278,4 +325,8 @@ class PlatformConfig:
         layout = self.device_layout()
         if layout is not None:
             text += f" / {layout.describe()}"
+        if self.partitions > 1:
+            epoch = self.pdes_epoch_cycles
+            suffix = f" x{epoch}c" if epoch is not None else ""
+            text += f" / pdes[{self.partitions}p{suffix}]"
         return text

@@ -38,6 +38,11 @@ from ..interconnect.bus import SharedBus
 from ..interconnect.crossbar import Crossbar
 from ..interconnect.monitor import BusMonitor
 from ..noc.mesh import MeshNoc
+from ..noc.partitioned import (
+    BoundaryRuntime,
+    PartitionContext,
+    PartitionedMeshNoc,
+)
 from ..obs.suite import ObsSuite
 from ..kernel import Event, Module, Simulator
 from ..memory.host_memory import HostMemory
@@ -122,13 +127,26 @@ class MemoryIdleTicker(Module):
 
 
 class Platform:
-    """A complete MPSoC co-simulation platform built from a configuration."""
+    """A complete MPSoC co-simulation platform built from a configuration.
+
+    With ``partition`` set (a :class:`~repro.noc.partitioned.PartitionContext`
+    built by :mod:`repro.pdes`), the platform becomes one shard of a
+    partitioned (PDES) run: the mesh is built partition-aware, tasks whose
+    PE lives in another partition are skipped, and the kernel windows are
+    driven by the PDES coordinator instead of :meth:`run`.
+    """
 
     def __init__(self, config: PlatformConfig,
-                 host: Optional[HostMemory] = None) -> None:
+                 host: Optional[HostMemory] = None,
+                 partition: Optional[PartitionContext] = None) -> None:
         self.config = config
         self.top = Module(config.name)
         self.host = host if host is not None else HostMemory()
+        #: PDES shard identity (``None`` on an ordinary sequential platform).
+        self.partition = partition
+        self.boundary: Optional[BoundaryRuntime] = (
+            BoundaryRuntime(partition) if partition is not None else None
+        )
         self.interconnect = self._build_interconnect()
         self.memories: List[DynamicMemory] = [
             self._build_memory(index) for index in range(config.num_memories)
@@ -172,6 +190,12 @@ class Platform:
         if config.obs is not None:
             self.obs = self._build_obs()
         self.processors: List[TaskProcessor] = []
+        #: Global PE index of each entry of :attr:`processors` (in a
+        #: partitioned shard the two differ: foreign PEs are skipped).
+        self.pe_indices: List[int] = []
+        #: Next default placement slot — counts *global* PE slots, so a
+        #: partitioned shard assigns the same indices as the sequential run.
+        self._pe_cursor = 0
         self._pending_tasks: List[TaskFunction] = []
         self.ticker: Optional[MemoryIdleTicker] = None
         if config.idle_tick_memories:
@@ -188,6 +212,13 @@ class Platform:
         config = self.config
         arbitration = config.arbitration_spec()
         if config.interconnect is InterconnectKind.MESH:
+            if self.partition is not None:
+                return PartitionedMeshNoc(
+                    "noc", period=config.clock_period,
+                    config=config.resolved_noc(),
+                    arbitration=arbitration, parent=self.top,
+                    partition=self.partition, runtime=self.boundary,
+                )
             return MeshNoc("noc", period=config.clock_period,
                            config=config.resolved_noc(),
                            arbitration=arbitration, parent=self.top)
@@ -317,15 +348,25 @@ class Platform:
     # -- task placement ------------------------------------------------------------------
     def add_task(self, task: TaskFunction, pe_index: Optional[int] = None,
                  start_delay_cycles: int = 0, name: Optional[str] = None
-                 ) -> TaskProcessor:
-        """Place ``task`` on a processing element (round-robin by default)."""
+                 ) -> Optional[TaskProcessor]:
+        """Place ``task`` on a processing element (round-robin by default).
+
+        On a partitioned shard, a task whose PE belongs to another
+        partition is skipped (the slot still advances, so placement is
+        identical across shards) and ``None`` is returned.
+        """
         if pe_index is None:
-            pe_index = len(self.processors)
+            pe_index = (self._pe_cursor if self.partition is not None
+                        else len(self.processors))
         if pe_index >= self.config.num_pes:
             raise ValueError(
                 f"PE index {pe_index} out of range (platform has "
                 f"{self.config.num_pes} PEs)"
             )
+        if self.partition is not None:
+            self._pe_cursor = max(self._pe_cursor, pe_index + 1)
+            if not self.partition.owns_pe(pe_index):
+                return None
         port = self.interconnect.master_port(pe_index, name=f"pe{pe_index}")
         if self.coherence is not None:
             assert self.config.cache is not None
@@ -359,6 +400,7 @@ class Platform:
             devices=self._device_layout,
         )
         self.processors.append(processor)
+        self.pe_indices.append(pe_index)
         if self.check_suite is not None:
             self.check_suite.register_actor(pe_index, processor.name,
                                             process=processor.processes[0])
@@ -367,13 +409,19 @@ class Platform:
         return processor
 
     def add_tasks(self, tasks: List[TaskFunction]) -> List[TaskProcessor]:
-        """Place one task per PE, in order."""
-        return [self.add_task(task) for task in tasks]
+        """Place one task per PE, in order (skipping foreign PEs on a
+        partitioned shard)."""
+        placed = [self.add_task(task) for task in tasks]
+        return [processor for processor in placed if processor is not None]
 
     # -- execution ----------------------------------------------------------------------------
-    def run(self, max_time: Optional[int] = None) -> SimulationReport:
-        """Simulate until every PE finishes (or ``max_time`` elapses)."""
-        if not self.processors:
+    def prepare_run(self) -> Simulator:
+        """Create the simulator and bind the check/obs suites.
+
+        Split out of :meth:`run` so the PDES partition driver
+        (:mod:`repro.pdes.partition`) can own the kernel windows itself.
+        """
+        if not self.processors and self.partition is None:
             raise RuntimeError("no tasks were added to the platform")
         self.simulator = Simulator(self.top)
         if self.check_suite is not None:
@@ -382,6 +430,29 @@ class Platform:
         if self.obs is not None:
             self.obs.register_caches(self.caches)
             self.obs.install(self.simulator)
+        return self.simulator
+
+    def finish_run(self, wallclock_seconds: float) -> SimulationReport:
+        """End-of-simulation callbacks plus the report (counterpart of
+        :meth:`prepare_run`)."""
+        assert self.simulator is not None
+        self.simulator.finalize()
+        if self.check_suite is not None:
+            self.check_suite.finish(self.simulator.now)
+        if self.obs is not None:
+            self.obs.finish(self.simulator.now)
+        return self._build_report(wallclock_seconds)
+
+    def run(self, max_time: Optional[int] = None) -> SimulationReport:
+        """Simulate until every PE finishes (or ``max_time`` elapses)."""
+        if self.config.partitions > 1 and self.partition is None:
+            raise RuntimeError(
+                "this configuration requests partitioned (PDES) execution; "
+                "run it through repro.pdes.run_partitioned() or the "
+                "scenario runner (repro.api.run_scenario), which dispatch "
+                "automatically"
+            )
+        self.prepare_run()
         wall_start = _wallclock.perf_counter()
         if self.ticker is None and max_time is None and not self.devices:
             # Pure event-driven run: ends when no activity remains.
@@ -407,12 +478,7 @@ class Platform:
             # end at the actual finish time, not the padded boundary.
             self.simulator.trim_to_last_activity()
         wallclock = _wallclock.perf_counter() - wall_start
-        self.simulator.finalize()
-        if self.check_suite is not None:
-            self.check_suite.finish(self.simulator.now)
-        if self.obs is not None:
-            self.obs.finish(self.simulator.now)
-        return self._build_report(wallclock)
+        return self.finish_run(wallclock)
 
     def _build_report(self, wallclock_seconds: float) -> SimulationReport:
         assert self.simulator is not None

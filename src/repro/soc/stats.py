@@ -49,6 +49,11 @@ class SimulationReport:
     #: ``results`` entry is ``None`` — check this instead of trusting a
     #: ``None`` result to mean "the task returned nothing".
     finished: Dict[str, bool] = field(default_factory=dict)
+    #: Partitioned (PDES) execution breakdown — partition/epoch geometry,
+    #: sync rounds, boundary-message counts and per-partition kernel stats
+    #: (see :func:`repro.pdes.merge.merge_reports`).  ``None`` on ordinary
+    #: sequential runs.
+    pdes: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not self.finished:
@@ -169,6 +174,14 @@ class SimulationReport:
             if self.timeseries:
                 parts.append(f"{len(self.timeseries)} metrics rows")
             lines.append(f"observability:   {', '.join(parts)}")
+        if self.pdes is not None:
+            lines.append(
+                f"pdes:            {self.pdes.get('partitions')} partitions, "
+                f"{self.pdes.get('epoch_cycles')}-cycle epochs, "
+                f"{self.pdes.get('rounds')} rounds, "
+                f"{self.pdes.get('boundary_messages')} boundary messages "
+                f"({self.pdes.get('mode')})"
+            )
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -178,7 +191,7 @@ class SimulationReport:
         rounded to zero: ``float("inf")`` would serialise as the
         non-standard ``Infinity`` token most JSON parsers reject.
         """
-        return {
+        data = {
             "description": self.description,
             "simulated_time": self.simulated_time,
             "simulated_cycles": self.simulated_cycles,
@@ -195,6 +208,9 @@ class SimulationReport:
             "obs_summary": self.obs_summary,
             "finished": dict(self.finished),
         }
+        if self.pdes is not None:
+            data["pdes"] = self.pdes
+        return data
 
 
 def speed_degradation(reference: SimulationReport, other: SimulationReport) -> float:

@@ -125,7 +125,11 @@ def canonical_scenario(scenario, *, code_version: Optional[str] = None) -> dict:
         "schema": KEY_SCHEMA,
         "code_version": code_version or CODE_VERSION,
         "name": scenario.name,
-        "config": canonical_value(scenario.config),
+        # Partitioning is execution strategy, not simulated hardware: a
+        # partitioned run only enters the store when bit-identical to the
+        # sequential one, so both share a key (normalized to partitions=1).
+        "config": canonical_value(dataclasses.replace(
+            scenario.config, partitions=1, pdes_epoch_cycles=None)),
         "workload": scenario.workload,
         "params": canonical_value(scenario.params),
         "seed": scenario.seed,

@@ -1,0 +1,109 @@
+"""Unit tests of the statistics-merge helpers on synthetic payloads."""
+
+from array import array
+
+from repro.fabric.stats import BusStats, percentile_summary
+from repro.noc.stats import NocStats
+from repro.pdes.merge import (
+    merge_bus_stats,
+    merge_grant_counts,
+    merge_kernel_stats,
+    merge_latencies,
+    merge_noc_stats,
+)
+from repro.pdes.partition import PartitionPayload
+
+
+def payload(index, **overrides):
+    base = dict(index=index, pes=(index,), memories=(index,),
+                simulated_time=1000 * (index + 1),
+                kernel_stats={}, wallclock_seconds=0.0,
+                boundary_sent=0, boundary_received=0)
+    base.update(overrides)
+    return PartitionPayload(**base)
+
+
+def bus(transactions, per_master):
+    stats = BusStats()
+    stats.transactions = transactions
+    stats.busy_cycles = transactions * 3
+    for master_id, count in per_master.items():
+        entry = stats.master(master_id)
+        entry.transactions = count
+        entry.reads = count // 2
+        entry.writes = count - count // 2
+        entry.words = count * 4
+        entry.busy_cycles = count * 3
+        entry.wait_cycles = count
+    return stats
+
+
+def test_kernel_counters_sum_and_end_time_is_max():
+    merged = merge_kernel_stats([
+        {"delta_cycles": 10, "timed_steps": 4, "process_activations": 20,
+         "events_fired": 8, "wallclock_seconds": 0.5, "end_time": 900},
+        {"delta_cycles": 7, "timed_steps": 6, "process_activations": 11,
+         "events_fired": 5, "wallclock_seconds": 0.25, "end_time": 1200},
+    ])
+    assert merged["delta_cycles"] == 17
+    assert merged["timed_steps"] == 10
+    assert merged["process_activations"] == 31
+    assert merged["events_fired"] == 13
+    assert merged["wallclock_seconds"] == 0.75
+    assert merged["end_time"] == 1200
+
+
+def test_bus_stats_sum_without_double_counting():
+    merged = merge_bus_stats([
+        payload(0, bus_stats=bus(10, {0: 6, 1: 4})),
+        payload(1, bus_stats=bus(5, {2: 5})),
+    ])
+    assert merged.transactions == 15
+    assert merged.busy_cycles == 45
+    assert sorted(merged.per_master) == [0, 1, 2]
+    assert merged.per_master[0].transactions == 6
+    assert merged.per_master[2].words == 20
+    # Per-master totals reconcile with the channel total: nothing was
+    # counted twice across partitions.
+    assert sum(m.transactions for m in merged.per_master.values()) == 15
+
+
+def test_percentiles_of_concatenated_latencies_are_exact():
+    first = array("q", [10, 20, 30])
+    second = array("q", [40, 50, 60, 70])
+    merged = merge_latencies([payload(0, latencies=first),
+                              payload(1, latencies=second)])
+    assert list(merged) == [10, 20, 30, 40, 50, 60, 70]
+    everything = array("q", list(first) + list(second))
+    assert percentile_summary(merged) == percentile_summary(everything)
+
+
+def test_grant_counts_sum_across_shared_servers():
+    merged = merge_grant_counts([
+        payload(0, grant_counts={0: 3, 1: 2}),
+        payload(1, grant_counts={1: 5, 2: 1}),
+    ])
+    assert merged == {0: 3, 1: 7, 2: 1}
+
+
+def test_noc_links_merge_by_name():
+    first = NocStats()
+    first.link("n0->n1").busy_cycles = 12
+    first.link("n0->n1").flits = 3
+    first.router_contention[0] = 2
+    first.packets_sent = 5
+    second = NocStats()
+    second.link("n0->n1").busy_cycles = 8
+    second.link("n2->n3").packets = 4
+    second.router_contention[0] = 1
+    second.router_contention[3] = 7
+    second.packets_sent = 2
+    merged = merge_noc_stats([payload(0, noc_stats=first),
+                              payload(1, noc_stats=second)])
+    assert merged.link("n0->n1").busy_cycles == 20
+    assert merged.link("n0->n1").flits == 3
+    assert merged.link("n2->n3").packets == 4
+    assert merged.router_contention == {0: 3, 3: 7}
+    assert merged.packets_sent == 7
+    assert merged.total_busy_cycles() == first.total_busy_cycles() + \
+        second.total_busy_cycles()

@@ -1,0 +1,66 @@
+"""Result-store compatibility of partitioned runs.
+
+The partition count is execution strategy, not simulated hardware, so it
+is excluded from the scenario content key: a warm store filled by a
+sequential sweep replays for the same scenarios run partitioned (and vice
+versa) — but only runs that were provably bit-identical to sequential
+(zero boundary messages) are allowed to *fill* the store.
+"""
+
+import dataclasses
+
+from repro.api import ExperimentRunner, PlatformBuilder, Scenario
+from repro.store import ResultStore, scenario_key
+
+CUT_FREE = dict(pe_nodes=(0, 2, 8, 10), memory_nodes=(5, 7, 13, 15))
+
+
+def scenario(partitions, *, num_memories=4, **mesh_kwargs):
+    builder = (PlatformBuilder().pes(4).wrapper_memories(num_memories)
+               .mesh(4, 4, **mesh_kwargs))
+    if partitions > 1:
+        builder = builder.partitions(partitions)
+    return Scenario(name="pdes-store", config=builder.build(),
+                    workload="fir", params={"num_samples": 32}, seed=4)
+
+
+def test_partition_count_is_excluded_from_the_key():
+    keys = {scenario_key(scenario(p, **CUT_FREE)) for p in (1, 2, 4)}
+    assert len(keys) == 1
+    explicit_epoch = dataclasses.replace(
+        scenario(2, **CUT_FREE).config, pdes_epoch_cycles=128)
+    assert scenario_key(dataclasses.replace(
+        scenario(2, **CUT_FREE), config=explicit_epoch)) == keys.pop()
+
+
+def test_warm_sequential_store_replays_for_partitioned_runs(tmp_path):
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    cold = ExperimentRunner([scenario(1, **CUT_FREE)], store=store).run()
+    assert not cold[0].cached and cold[0].error is None
+    assert store.stats["puts"] == 1
+    warm = ExperimentRunner([scenario(2, **CUT_FREE)], store=store).run()
+    assert warm[0].cached
+    assert store.stats["puts"] == 1  # no re-simulation, no new row
+    assert warm[0].report.results == cold[0].report.results
+
+
+def test_cut_free_partitioned_run_fills_the_store(tmp_path):
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    cold = ExperimentRunner([scenario(4, **CUT_FREE)], store=store).run()
+    assert cold[0].error is None and cold[0].report.pdes is not None
+    assert cold[0].report.pdes["boundary_messages"] == 0
+    assert store.stats["puts"] == 1
+    warm = ExperimentRunner([scenario(1, **CUT_FREE)], store=store).run()
+    assert warm[0].cached  # the partitioned row replays sequentially too
+
+
+def test_cross_traffic_partitioned_run_is_never_cached(tmp_path):
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    crossing = scenario(2, num_memories=1, pe_nodes=(0, 2, 8, 10),
+                        memory_nodes=(15,))
+    first = ExperimentRunner([crossing], store=store).run()
+    assert first[0].error is None
+    assert first[0].report.pdes["boundary_messages"] > 0
+    assert store.stats["puts"] == 0  # timing depends on the tiling
+    second = ExperimentRunner([crossing], store=store).run()
+    assert not second[0].cached
